@@ -1,0 +1,16 @@
+.PHONY: all test bench doc clean
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean
