@@ -1,0 +1,204 @@
+(* rarsub: Boolean division and substitution from the command line.
+
+   Subcommands:
+     list                          available circuits
+     show  (-c NAME | -f FILE)     print a circuit and its statistics
+     optimize (-c NAME | -f FILE)  run a script + resubstitution method
+*)
+
+module Network = Logic_network.Network
+module Lit_count = Logic_network.Lit_count
+module Suite = Bench_suite.Suite
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Circuit loading                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let load ~circuit ~file =
+  match (circuit, file) with
+  | Some _, Some _ -> Error "pass either a circuit name or a BLIF file, not both"
+  | None, None -> Error "pass a circuit name (-c) or a BLIF file (-f)"
+  | Some name, None -> (
+    match Suite.find name with
+    | Some row -> Ok (Suite.build row)
+    | None -> (
+      match List.assoc_opt name Bench_suite.Circuits.all with
+      | Some builder -> Ok (builder ())
+      | None -> Error (Printf.sprintf "unknown circuit %S (try 'rarsub list')" name)))
+  | None, Some path -> (
+    try Ok (Logic_network.Blif.read_file path) with
+    | Logic_network.Blif.Parse_error msg ->
+      Error (Printf.sprintf "BLIF error in %s: %s" path msg)
+    | Sys_error msg -> Error msg)
+
+let circuit_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "c"; "circuit" ] ~docv:"NAME" ~doc:"Benchmark circuit name.")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Read the circuit from a BLIF file.")
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    print_endline "benchmark rows (synthetic stand-ins unless noted):";
+    List.iter
+      (fun row ->
+        let kind =
+          match row.Suite.source with
+          | Suite.Embedded _ -> "embedded"
+          | Suite.Synthetic _ -> "synthetic"
+        in
+        Printf.printf "  %-14s (%s)\n" row.Suite.name kind)
+      Suite.rows;
+    print_endline "embedded circuits:";
+    List.iter
+      (fun (name, _) -> Printf.printf "  %s\n" name)
+      Bench_suite.Circuits.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available circuits.")
+    Term.(const (fun () -> run (); 0) $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* show                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let show_cmd =
+  let run circuit file dump_blif =
+    match load ~circuit ~file with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok net ->
+      if dump_blif then print_string (Logic_network.Blif.to_string net)
+      else begin
+        print_string (Network.to_string net);
+        Printf.printf
+          "\nnodes: %d   inputs: %d   outputs: %d\n\
+           literals: %d flat, %d factored\n"
+          (Network.node_count net)
+          (List.length (Network.inputs net))
+          (List.length (Network.outputs net))
+          (Lit_count.flat net) (Lit_count.factored net)
+      end;
+      0
+  in
+  let blif_flag =
+    Arg.(value & flag & info [ "blif" ] ~doc:"Dump as BLIF instead of equations.")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a circuit and its statistics.")
+    Term.(const run $ circuit_arg $ file_arg $ blif_flag)
+
+(* ------------------------------------------------------------------ *)
+(* optimize                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let scripts =
+  [
+    ("none", []);
+    ("a", Synth.Script.script_a);
+    ("b", Synth.Script.script_b);
+    ("c", Synth.Script.script_c);
+    ("algebraic", Synth.Script.script_algebraic);
+  ]
+
+let resubs =
+  [
+    ("none", fun (_ : Network.t) -> ());
+    ("resub", Synth.Script.resub_algebraic);
+    ("basic", Synth.Script.resub_basic);
+    ("ext", Synth.Script.resub_ext);
+    ("ext-gdc", Synth.Script.resub_ext_gdc);
+    ("rar", fun net -> ignore (Rewiring.Rar.optimize net));
+  ]
+
+let optimize_cmd =
+  let run circuit file script method_name output verify verbose =
+    if verbose then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Debug)
+    end;
+    match load ~circuit ~file with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok net -> (
+      let original = Network.copy net in
+      let steps = List.assoc script scripts in
+      let resub = List.assoc method_name resubs in
+      Printf.printf "initial: %d factored literals\n" (Lit_count.factored net);
+      let (), script_time =
+        Rar_util.Stopwatch.time (fun () -> Synth.Script.run net steps)
+      in
+      if steps <> [] then
+        Printf.printf "after script %s: %d literals (%.2fs)\n" script
+          (Lit_count.factored net) script_time;
+      let (), resub_time = Rar_util.Stopwatch.time (fun () -> resub net) in
+      Printf.printf "after %s: %d literals (%.2fs)\n" method_name
+        (Lit_count.factored net) resub_time;
+      if verify then begin
+        let ok = Logic_sim.Equiv.equivalent net original in
+        Printf.printf "equivalence check: %s\n" (if ok then "pass" else "FAIL");
+        if not ok then exit 2
+      end;
+      match output with
+      | Some path ->
+        Logic_network.Blif.write_file path net;
+        Printf.printf "written to %s\n" path;
+        0
+      | None -> 0)
+  in
+  let script_arg =
+    Arg.(
+      value
+      & opt (enum (List.map (fun (n, _) -> (n, n)) scripts)) "a"
+      & info [ "s"; "script" ] ~docv:"SCRIPT"
+          ~doc:"Starting script: $(b,none), $(b,a), $(b,b), $(b,c) or \
+                $(b,algebraic).")
+  in
+  let method_arg =
+    Arg.(
+      value
+      & opt (enum (List.map (fun (n, _) -> (n, n)) resubs)) "ext"
+      & info [ "m"; "method" ] ~docv:"METHOD"
+          ~doc:"Resubstitution method: $(b,none), $(b,resub) (algebraic), \
+                $(b,basic), $(b,ext), $(b,ext-gdc) or $(b,rar).")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the result as BLIF.")
+  in
+  let verify_flag =
+    Arg.(
+      value & flag
+      & info [ "verify" ] ~doc:"Equivalence-check the result (exit 2 on failure).")
+  in
+  let verbose_flag =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Log every committed substitution.")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Optimise a circuit with a script and a method.")
+    Term.(
+      const run $ circuit_arg $ file_arg $ script_arg $ method_arg $ output_arg
+      $ verify_flag $ verbose_flag)
+
+let () =
+  let info =
+    Cmd.info "rarsub" ~version:"1.0.0"
+      ~doc:"Boolean division and substitution via redundancy addition and removal."
+  in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; show_cmd; optimize_cmd ]))

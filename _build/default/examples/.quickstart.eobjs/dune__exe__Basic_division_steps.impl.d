@@ -1,0 +1,1 @@
+examples/basic_division_steps.ml: Array Atpg Booldiv Cover Fun List Logic_network Logic_sim Printf Twolevel

@@ -1,0 +1,1 @@
+examples/basic_division_steps.mli:

@@ -1,0 +1,1 @@
+examples/division_baselines.ml: Array Booldiv Cover Logic_network Logic_sim Printf Synth Twolevel

@@ -1,0 +1,1 @@
+examples/division_baselines.mli:

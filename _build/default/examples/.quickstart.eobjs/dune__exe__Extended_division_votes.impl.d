@@ -1,0 +1,1 @@
+examples/extended_division_votes.ml: Booldiv Logic_network Logic_sim Printf

@@ -1,0 +1,1 @@
+examples/pos_substitution.ml: Booldiv Cover Logic_network Logic_sim Parse Printf Twolevel

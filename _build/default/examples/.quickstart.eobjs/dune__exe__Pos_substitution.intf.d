@@ -1,0 +1,1 @@
+examples/pos_substitution.mli:

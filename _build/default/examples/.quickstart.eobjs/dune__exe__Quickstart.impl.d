@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algebraic Bench_suite Booldiv Cover Logic_network Logic_sim Parse Printf Synth Twolevel

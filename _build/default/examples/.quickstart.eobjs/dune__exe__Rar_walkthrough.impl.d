@@ -1,0 +1,1 @@
+examples/rar_walkthrough.ml: Atpg List Logic_network Logic_sim Printf Rewiring

@@ -1,0 +1,1 @@
+examples/rar_walkthrough.mli:

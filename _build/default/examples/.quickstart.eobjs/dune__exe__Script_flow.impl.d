@@ -1,0 +1,1 @@
+examples/script_flow.ml: Array Bench_suite List Logic_network Logic_sim Printf Rar_util String Synth Sys

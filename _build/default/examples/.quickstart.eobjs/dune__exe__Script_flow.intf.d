@@ -1,0 +1,1 @@
+examples/script_flow.mli:

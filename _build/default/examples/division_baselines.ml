@@ -1,0 +1,62 @@
+(* The division baselines the paper's introduction surveys, side by side
+   on one substitution problem:
+     - algebraic (weak) division            [SIS resub]
+     - coalgebraic division                 [Hsu-Shen, ref 9]
+     - BDD generalized-cofactor division    [Stanion-Sechen, ref 14]
+     - Espresso-with-don't-cares division   [the "ad-hoc setup"]
+     - this paper's RAR-based division
+
+   Run with:  dune exec examples/division_baselines.exe *)
+
+open Twolevel
+module Network = Logic_network.Network
+module Builder = Logic_network.Builder
+module Lit_count = Logic_network.Lit_count
+
+let fresh () =
+  Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+    ~nodes:[ ("D", "a + b"); ("f", "ab' + a'b + a'b'c") ]
+    ~outputs:[ "f"; "D" ]
+
+let () =
+  let show label committed net f =
+    Printf.printf "  %-28s committed: %-5b  f: %s (%d literals)  ok: %b\n"
+      label committed
+      (let fanins = Network.fanins net f in
+       Cover.to_string ~names:(fun v -> Network.name net fanins.(v))
+         (Network.cover net f))
+      (Lit_count.node_factored net f)
+      (Logic_sim.Equiv.equivalent net (fresh ()))
+  in
+  let base = fresh () in
+  Printf.printf "problem:\n%s\n" (Network.to_string base);
+
+  let try_with label attempt =
+    let net = fresh () in
+    let f = Builder.node net "f" and d = Builder.node net "D" in
+    let committed = attempt net ~f ~d in
+    show label committed net f
+  in
+  try_with "algebraic (resub)" (fun net ~f ~d ->
+      Synth.Resub.try_substitute ~use_complement:false net ~f ~d);
+  try_with "algebraic -d (complement)" (fun net ~f ~d ->
+      Synth.Resub.try_substitute ~use_complement:true net ~f ~d);
+  try_with "coalgebraic [9]" Synth.Coalgebraic.try_substitute;
+  try_with "BDD division [14]" Synth.Bdd_division.try_substitute;
+  try_with "espresso + don't cares" Synth.Espresso_division.try_substitute;
+  try_with "RAR-based (this paper)" (fun net ~f ~d ->
+      (* Both phases together: f = q·D + q2·D' + r, committed on gain —
+         exactly what the substitution driver does. *)
+      let scratch = Network.copy net in
+      let first = Booldiv.Basic_division.divide scratch ~f ~d <> None in
+      let second =
+        Booldiv.Basic_division.divide ~phase:false scratch ~f ~d <> None
+      in
+      if
+        (first || second)
+        && Lit_count.factored scratch < Lit_count.factored net
+      then begin
+        Network.overwrite net scratch;
+        true
+      end
+      else false)

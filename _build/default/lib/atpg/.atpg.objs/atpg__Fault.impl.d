@@ -1,0 +1,1 @@
+lib/atpg/fault.ml: Array Cover Cube Fun Hashtbl Imply List Literal Logic_network Logic_sim Printf Twolevel

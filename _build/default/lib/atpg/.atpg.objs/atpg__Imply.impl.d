@@ -1,0 +1,1 @@
+lib/atpg/imply.ml: Array Cover Cube Fun Hashtbl List Literal Logic_network Printf Twolevel

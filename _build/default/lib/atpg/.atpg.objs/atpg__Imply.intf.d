@@ -1,0 +1,1 @@
+lib/atpg/imply.mli: Logic_network

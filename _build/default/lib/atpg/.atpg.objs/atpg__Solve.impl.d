@@ -1,0 +1,1 @@
+lib/atpg/solve.ml: Array Cover Cube Fault Hashtbl Imply List Literal Logic_network Option Twolevel

@@ -1,0 +1,1 @@
+lib/atpg/solve.mli: Fault Logic_network

@@ -1,0 +1,309 @@
+open Twolevel
+module Network = Logic_network.Network
+
+exception Conflict of string
+
+type t = {
+  net : Network.t;
+  region : Network.node_id -> bool;
+  frozen : Network.node_id -> bool;
+  node_values : (Network.node_id, bool) Hashtbl.t;
+  cube_values : (Network.node_id * int, bool) Hashtbl.t;
+  cubes_of : (Network.node_id, Cube.t array) Hashtbl.t;
+  mutable queue : Network.node_id list;
+  queued : (Network.node_id, unit) Hashtbl.t;
+}
+
+let enqueue t id =
+  if not (Hashtbl.mem t.queued id) then begin
+    Hashtbl.add t.queued id ();
+    t.queue <- id :: t.queue
+  end
+
+let create ?(region = fun _ -> true) ?(frozen = fun _ -> false) net =
+  let t =
+    {
+      net;
+      region;
+      frozen;
+      node_values = Hashtbl.create 64;
+      cube_values = Hashtbl.create 64;
+      cubes_of = Hashtbl.create 64;
+      queue = [];
+      queued = Hashtbl.create 64;
+    }
+  in
+  (* Seed constant nodes: their value holds unconditionally, and a node
+     whose only fanins are constants would otherwise never be examined. *)
+  List.iter
+    (fun id ->
+      if not (Network.is_input net id) then begin
+        let cover = Network.cover net id in
+        let value =
+          if Cover.is_zero cover then Some false
+          else if Cover.is_one cover then Some true
+          else None
+        in
+        match value with
+        | Some v ->
+          Hashtbl.replace t.node_values id v;
+          List.iter
+            (fun out -> if region out then enqueue t out)
+            (Network.fanouts net id)
+        | None -> ()
+      end)
+    (Network.node_ids net);
+  t
+
+let cubes t id =
+  match Hashtbl.find_opt t.cubes_of id with
+  | Some c -> c
+  | None ->
+    let c = Array.of_list (Cover.cubes (Network.cover t.net id)) in
+    Hashtbl.add t.cubes_of id c;
+    c
+
+(* Constant nodes (cover 0, or containing the top cube) have a value
+   independent of any assignment. *)
+let constant_value t id =
+  if Network.is_input t.net id then None
+  else begin
+    let cover = Network.cover t.net id in
+    if Cover.is_zero cover then Some false
+    else if Cover.is_one cover then Some true
+    else None
+  end
+
+let node_value t id =
+  match Hashtbl.find_opt t.node_values id with
+  | Some v -> Some v
+  | None -> constant_value t id
+
+let cube_value t id i = Hashtbl.find_opt t.cube_values (id, i)
+
+let assigned_nodes t =
+  Hashtbl.fold (fun id v acc -> (id, v) :: acc) t.node_values []
+
+(* Record a node value; queue the node and its fanouts for re-examination. *)
+let rec set_node t id v =
+  match node_value t id with
+  | Some v' when v' = v ->
+    if not (Hashtbl.mem t.node_values id) then begin
+      (* A constant's value becomes explicit so fanouts re-examine it. *)
+      Hashtbl.replace t.node_values id v;
+      List.iter
+        (fun out -> if t.region out then enqueue t out)
+        (Network.fanouts t.net id)
+    end
+  | Some _ ->
+    raise
+      (Conflict (Printf.sprintf "node %s needs both 0 and 1" (Network.name t.net id)))
+  | None ->
+    Hashtbl.replace t.node_values id v;
+    if t.region id then enqueue t id;
+    List.iter (fun out -> if t.region out then enqueue t out) (Network.fanouts t.net id)
+
+and set_cube t id i v =
+  match cube_value t id i with
+  | Some v' when v' = v -> ()
+  | Some _ ->
+    raise
+      (Conflict
+         (Printf.sprintf "cube %d of %s needs both 0 and 1" i (Network.name t.net id)))
+  | None ->
+    Hashtbl.replace t.cube_values (id, i) v;
+    if t.region id then enqueue t id
+
+(* Value of a literal of node [id]'s cube under current fanin values. *)
+and literal_value t id lit =
+  let fanins = Network.fanins t.net id in
+  match node_value t fanins.(Literal.var lit) with
+  | None -> None
+  | Some v -> Some (v = Literal.is_pos lit)
+
+(* All local deductions for one logic node. *)
+and process t id =
+  if (not (Network.is_input t.net id)) && t.region id then begin
+    let cube_array = cubes t id in
+    let n = Array.length cube_array in
+    (* Cube-level rules. *)
+    for i = 0 to n - 1 do
+      let lits = Cube.literals cube_array.(i) in
+      let values = List.map (literal_value t id) lits in
+      let any_false = List.exists (fun v -> v = Some false) values in
+      let all_true = List.for_all (fun v -> v = Some true) values in
+      if any_false then set_cube t id i false
+      else if all_true then set_cube t id i true;
+      (match cube_value t id i with
+      | Some true ->
+        (* AND at 1: every literal must hold. *)
+        List.iter
+          (fun lit ->
+            set_node t
+              (Network.fanins t.net id).(Literal.var lit)
+              (Literal.is_pos lit))
+          lits
+      | Some false ->
+        (* AND at 0 with a single free literal and all others true: the
+           free literal must fail. *)
+        let unknown =
+          List.filter (fun lit -> literal_value t id lit = None) lits
+        in
+        (match unknown with
+        | [ lit ]
+          when List.for_all
+                 (fun l ->
+                   Literal.equal l lit || literal_value t id l = Some true)
+                 lits ->
+          set_node t
+            (Network.fanins t.net id).(Literal.var lit)
+            (not (Literal.is_pos lit))
+        | _ -> ())
+      | None -> ())
+    done;
+    (* Node-level rules (skipped for fault-carrying nodes). *)
+    if not (t.frozen id) then begin
+      let cube_vals = Array.init n (fun i -> cube_value t id i) in
+      let any_one = Array.exists (fun v -> v = Some true) cube_vals in
+      let all_zero = Array.for_all (fun v -> v = Some false) cube_vals in
+      if any_one then set_node t id true;
+      if all_zero then set_node t id false;
+      (match node_value t id with
+      | Some false -> Array.iteri (fun i _ -> set_cube t id i false) cube_array
+      | Some true ->
+        let live =
+          Array.to_list (Array.mapi (fun i v -> (i, v)) cube_vals)
+          |> List.filter (fun (_, v) -> v <> Some false)
+        in
+        (match live with
+        | [ (i, _) ] -> set_cube t id i true
+        | _ -> ())
+      | None -> ())
+    end
+  end
+
+let run t =
+  let rec drain () =
+    match t.queue with
+    | [] -> ()
+    | id :: rest ->
+      t.queue <- rest;
+      Hashtbl.remove t.queued id;
+      process t id;
+      drain ()
+  in
+  drain ()
+
+let assign_node t id v =
+  set_node t id v;
+  run t
+
+let assign_cube t id i v =
+  let n = Array.length (cubes t id) in
+  if i < 0 || i >= n then invalid_arg "Imply.assign_cube: cube index";
+  set_cube t id i v;
+  run t
+
+let copy t =
+  {
+    t with
+    node_values = Hashtbl.copy t.node_values;
+    cube_values = Hashtbl.copy t.cube_values;
+    cubes_of = t.cubes_of;
+    queue = t.queue;
+    queued = Hashtbl.copy t.queued;
+  }
+
+(* --- Recursive learning ------------------------------------------------ *)
+
+(* Unjustified situations and their justification options, each option
+   being a list of primitive assignments. *)
+type option_assignments = [ `Node of Network.node_id * bool | `Cube of Network.node_id * int * bool ] list
+
+let justification_options t : option_assignments list list =
+  let options = ref [] in
+  List.iter
+    (fun id ->
+      if (not (Network.is_input t.net id)) && t.region id && not (t.frozen id)
+      then begin
+        let cube_array = cubes t id in
+        let n = Array.length cube_array in
+        (* OR at 1 with several live cubes and none at 1. *)
+        (match node_value t id with
+        | Some true ->
+          let live =
+            List.filter
+              (fun i -> cube_value t id i <> Some false)
+              (List.init n Fun.id)
+          in
+          let already = List.exists (fun i -> cube_value t id i = Some true) live in
+          if (not already) && List.length live >= 2 then
+            options := List.map (fun i -> [ `Cube (id, i, true) ]) live :: !options
+        | Some false | None -> ());
+        (* AND at 0 with several free literals. *)
+        for i = 0 to n - 1 do
+          if cube_value t id i = Some false then begin
+            let lits = Cube.literals cube_array.(i) in
+            let free = List.filter (fun l -> literal_value t id l = None) lits in
+            let falsified =
+              List.exists (fun l -> literal_value t id l = Some false) lits
+            in
+            if (not falsified) && List.length free >= 2 then begin
+              let fanins = Network.fanins t.net id in
+              options :=
+                List.map
+                  (fun l ->
+                    [ `Node (fanins.(Literal.var l), not (Literal.is_pos l)) ])
+                  free
+                :: !options
+            end
+          end
+        done
+      end)
+    (Network.node_ids t.net);
+  !options
+
+let apply_assignment t = function
+  | `Node (id, v) -> set_node t id v
+  | `Cube (id, i, v) -> set_cube t id i v
+
+let rec learn ?(max_options = 4) ~depth t =
+  if depth > 0 then begin
+    let progressed = ref true in
+    while !progressed do
+      progressed := false;
+      let splits = justification_options t in
+      let try_option assignments =
+        let scratch = copy t in
+        match
+          List.iter (apply_assignment scratch) assignments;
+          run scratch;
+          if depth > 1 then learn ~max_options ~depth:(depth - 1) scratch
+        with
+        | () -> Some scratch
+        | exception Conflict _ -> None
+      in
+      List.iter
+        (fun opts ->
+          if List.length opts <= max_options then begin
+            match List.filter_map try_option opts with
+            | [] -> raise (Conflict "all justification options conflict")
+            | first :: rest ->
+              (* Assert assignments agreed by every surviving option. *)
+              Hashtbl.iter
+                (fun id v ->
+                  if
+                    node_value t id = None
+                    && List.for_all
+                         (fun s -> Hashtbl.find_opt s.node_values id = Some v)
+                         rest
+                  then begin
+                    set_node t id v;
+                    progressed := true
+                  end)
+                first.node_values;
+              run t
+          end)
+        splits
+    done
+  end

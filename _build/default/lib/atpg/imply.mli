@@ -1,0 +1,56 @@
+(** Three-valued implication engine over SOP-node networks.
+
+    Works at the paper's granularity: every node is conceptually a
+    two-level OR-of-AND structure, so value assignments exist both for
+    nodes (the OR outputs) and for individual cubes (the AND outputs).
+    Forward rules evaluate cubes from fanin values and nodes from cube
+    values; backward rules justify forced assignments (an OR at 1 with one
+    live cube, an AND at 0 with one free literal, ...). A {e conflict} —
+    deriving both 0 and 1 for the same object — proves the assumed
+    situation impossible; the redundancy analyses in {!Fault} rely on
+    exactly this.
+
+    Two scoping knobs mirror the paper's configurations:
+    {ul
+    {- [region]: implications are only {e computed through} nodes
+       satisfying the predicate (values may still be recorded anywhere).
+       The paper's non-GDC configurations confine implications to the
+       dividend/divisor region; passing [fun _ -> true] gives the global
+       ("GDC") behaviour.}
+    {- [frozen]: nodes whose value must never be derived or propagated —
+       the fault-effect-carrying nodes of a stuck-at test, whose good and
+       faulty values differ.}} *)
+
+type t
+
+exception Conflict of string
+
+val create :
+  ?region:(Logic_network.Network.node_id -> bool) ->
+  ?frozen:(Logic_network.Network.node_id -> bool) ->
+  Logic_network.Network.t ->
+  t
+
+val assign_node : t -> Logic_network.Network.node_id -> bool -> unit
+(** Assume a node value and propagate to fixpoint. @raise Conflict *)
+
+val assign_cube : t -> Logic_network.Network.node_id -> int -> bool -> unit
+(** Assume a value for the [i]-th cube (in {!Twolevel.Cover.cubes} order)
+    of a node and propagate. @raise Conflict *)
+
+val node_value : t -> Logic_network.Network.node_id -> bool option
+
+val cube_value : t -> Logic_network.Network.node_id -> int -> bool option
+
+val assigned_nodes : t -> (Logic_network.Network.node_id * bool) list
+
+val copy : t -> t
+(** Snapshot of the current state (used by recursive learning). *)
+
+val learn : ?max_options:int -> depth:int -> t -> unit
+(** Depth-bounded recursive learning (Kunz–Pradhan): for each unjustified
+    forced value, try every justification option in a scratch copy; if all
+    options conflict, raise {!Conflict}; otherwise assert the assignments
+    common to every option. Iterates until no new assignment is learnt.
+    [max_options] bounds the fanout of each case split (default 4).
+    @raise Conflict *)

@@ -1,0 +1,125 @@
+open Twolevel
+module Network = Logic_network.Network
+
+exception Budget
+
+let satisfy ?(max_decisions = 100_000) net ~node ~value =
+  let decisions = ref 0 in
+  let support =
+    List.filter
+      (fun id -> Network.is_input net id)
+      (Network.Node_set.elements (Network.transitive_fanin net [ node ]))
+  in
+  (* Depth-first search with unit propagation at every step. *)
+  let rec search engine = function
+    | [] ->
+      (* All support inputs decided without conflict: the goal node's value
+         is fully determined and equal to the assumption. *)
+      Some
+        (List.filter_map
+           (fun id ->
+             Option.map (fun v -> (id, v)) (Imply.node_value engine id))
+           support)
+    | input :: rest -> (
+      match Imply.node_value engine input with
+      | Some _ -> search engine rest
+      | None ->
+        incr decisions;
+        if !decisions > max_decisions then raise Budget;
+        let attempt phase =
+          let scratch = Imply.copy engine in
+          match Imply.assign_node scratch input phase with
+          | () -> search scratch rest
+          | exception Imply.Conflict _ -> None
+        in
+        (match attempt true with
+        | Some model -> Some model
+        | None -> attempt false))
+  in
+  let engine = Imply.create net in
+  match Imply.assign_node engine node value with
+  | exception Imply.Conflict _ -> None
+  | () -> (
+    match search engine support with
+    | result -> result
+    | exception Budget -> failwith "Solve.satisfy: decision budget exhausted")
+
+let miter a b =
+  let net = Network.create () in
+  let input_of = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      let name = Network.name a id in
+      Hashtbl.replace input_of name (Network.add_input net name))
+    (Network.inputs a);
+  List.iter
+    (fun id ->
+      let name = Network.name b id in
+      if not (Hashtbl.mem input_of name) then
+        Hashtbl.replace input_of name (Network.add_input net name))
+    (Network.inputs b);
+  (* Import one source network, remapping ids. *)
+  let import prefix src =
+    let map = Hashtbl.create 32 in
+    List.iter
+      (fun id ->
+        if Network.is_input src id then
+          Hashtbl.replace map id (Hashtbl.find input_of (Network.name src id))
+        else begin
+          let fanins = Array.map (Hashtbl.find map) (Network.fanins src id) in
+          let fresh =
+            Network.add_logic net
+              ~name:(prefix ^ Network.name src id)
+              ~fanins (Network.cover src id)
+          in
+          Hashtbl.replace map id fresh
+        end)
+      (Network.topological src);
+    map
+  in
+  let map_a = import "g_" a and map_b = import "f_" b in
+  let xor x y =
+    Network.add_logic net ~fanins:[| x; y |]
+      (Cover.of_cubes
+         [
+           Cube.of_literals_exn [ Literal.pos 0; Literal.neg 1 ];
+           Cube.of_literals_exn [ Literal.neg 0; Literal.pos 1 ];
+         ])
+  in
+  let diffs =
+    List.filter_map
+      (fun (po, id_a) ->
+        match List.assoc_opt po (Network.outputs b) with
+        | Some id_b ->
+          Some (xor (Hashtbl.find map_a id_a) (Hashtbl.find map_b id_b))
+        | None -> None)
+      (Network.outputs a)
+  in
+  let out =
+    match diffs with
+    | [] -> Network.add_logic net ~name:"miter" ~fanins:[||] Cover.zero
+    | _ ->
+      let fanins = Array.of_list diffs in
+      Network.add_logic net ~name:"miter" ~fanins
+        (Cover.of_cubes
+           (List.mapi (fun i _ -> Cube.of_literals_exn [ Literal.pos i ]) diffs))
+  in
+  Network.add_output net "miter" out;
+  (net, out)
+
+let find_test net wire =
+  let faulty = Fault.inject net wire in
+  let m, out = miter net faulty in
+  match satisfy m ~node:out ~value:true with
+  | None -> None
+  | Some model ->
+    (* Complete the assignment: unconstrained inputs default to false. *)
+    let by_name =
+      List.map (fun (id, v) -> (Network.name m id, v)) model
+    in
+    Some
+      (List.map
+         (fun id ->
+           let name = Network.name m id in
+           (name, Option.value (List.assoc_opt name by_name) ~default:false))
+         (Network.inputs m))

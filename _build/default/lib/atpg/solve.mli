@@ -1,0 +1,34 @@
+(** Circuit satisfiability on top of the implication engine.
+
+    A small complete DPLL-style search: assume the goal value, propagate
+    with {!Imply}, branch on an unassigned primary input from the goal's
+    support (trying both phases in scratch engines), and backtrack on
+    conflicts. Complete for the networks in this repository; used to
+    generate stuck-at tests through a miter ({!miter}) without resorting
+    to exhaustive enumeration — the role the topological ATPG literature
+    ([10], [13] in the paper) plays for the RAR techniques. *)
+
+val satisfy :
+  ?max_decisions:int ->
+  Logic_network.Network.t ->
+  node:Logic_network.Network.node_id ->
+  value:bool ->
+  (Logic_network.Network.node_id * bool) list option
+(** An assignment of the primary inputs in the node's transitive fanin
+    forcing the node to the value, or [None] when unsatisfiable (or the
+    decision budget — default 100000 — is exhausted, which raises
+    [Failure] instead so "unsat" stays trustworthy). *)
+
+val miter :
+  Logic_network.Network.t ->
+  Logic_network.Network.t ->
+  Logic_network.Network.t * Logic_network.Network.node_id
+(** [miter a b] is a network computing "some output differs": the two
+    networks' inputs (matched by name) are shared, every common output
+    pair feeds an XOR, and the returned node ORs them all. *)
+
+val find_test :
+  Logic_network.Network.t -> Fault.wire -> (string * bool) list option
+(** SAT-based stuck-at test generation: build the miter of the circuit
+    against {!Fault.inject} and satisfy it. Complete: [None] means the
+    fault is untestable. *)

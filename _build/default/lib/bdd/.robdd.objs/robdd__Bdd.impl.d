@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Array Cover Cube Hashtbl Int List Literal Twolevel

@@ -1,0 +1,1 @@
+lib/bdd/of_network.ml: Array Bdd Cover Cube Hashtbl Int List Literal Logic_network String Twolevel

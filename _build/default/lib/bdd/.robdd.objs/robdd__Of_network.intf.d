@@ -1,0 +1,1 @@
+lib/bdd/of_network.mli: Bdd Hashtbl Logic_network

@@ -1,0 +1,1 @@
+lib/core/basic_division.ml: Array Complement Cover Cube Fun List Literal Logic_network Net_cube Option Rewiring Twolevel

@@ -1,0 +1,1 @@
+lib/core/basic_division.mli: Logic_network

@@ -1,0 +1,1 @@
+lib/core/clique.ml: Array Fun Int List

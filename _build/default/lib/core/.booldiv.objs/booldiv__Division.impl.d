@@ -1,0 +1,1 @@
+lib/core/division.ml: Complement Cover Cube List Minimize Option Twolevel

@@ -1,0 +1,1 @@
+lib/core/extended_division.ml: Array Basic_division Clique Cover Cube Hashtbl Int List Literal Logic_network Net_cube Twolevel Vote

@@ -1,0 +1,1 @@
+lib/core/extended_division.mli: Logic_network

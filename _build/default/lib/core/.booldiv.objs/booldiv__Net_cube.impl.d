@@ -1,0 +1,1 @@
+lib/core/net_cube.ml: Array Cover Cube List Literal Logic_network Stdlib String Twolevel

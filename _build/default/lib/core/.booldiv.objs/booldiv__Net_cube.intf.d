@@ -1,0 +1,1 @@
+lib/core/net_cube.mli: Logic_network Twolevel

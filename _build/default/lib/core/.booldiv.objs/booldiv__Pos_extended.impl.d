@@ -1,0 +1,1 @@
+lib/core/pos_extended.ml: Array Complement Cover Cube Extended_division Filename Hashtbl Int List Literal Logic_network Minimize Option String Twolevel

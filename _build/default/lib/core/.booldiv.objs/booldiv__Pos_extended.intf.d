@@ -1,0 +1,1 @@
+lib/core/pos_extended.mli: Logic_network

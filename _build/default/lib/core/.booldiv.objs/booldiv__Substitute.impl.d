@@ -1,0 +1,1 @@
+lib/core/substitute.ml: Array Basic_division Cover Cube Division Extended_division Int List Literal Logic_network Logs Pos_extended Twolevel

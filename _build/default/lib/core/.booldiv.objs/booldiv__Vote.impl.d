@@ -1,0 +1,1 @@
+lib/core/vote.ml: Array Atpg Basic_division Cover Cube List Logic_network Net_cube Printf Rar_util String Twolevel

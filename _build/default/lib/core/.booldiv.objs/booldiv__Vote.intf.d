@@ -1,0 +1,1 @@
+lib/core/vote.mli: Atpg Logic_network Net_cube

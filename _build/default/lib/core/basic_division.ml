@@ -1,0 +1,116 @@
+open Twolevel
+module Network = Logic_network.Network
+module Collapse = Logic_network.Collapse
+module Lit_count = Logic_network.Lit_count
+
+type outcome = {
+  quotient_literals : int;
+  wires_removed : int;
+  literal_gain : int;
+}
+
+let complement_limit = 128
+
+(* The divisor cubes the SOS test runs against: [d]'s own cubes for a
+   positive-phase division, the cubes of its complement for a
+   negative-phase one (so [f = q·d' + r] can be discovered too, matching
+   the [-d] flavour of SIS resubstitution). *)
+let divisor_cubes net ~d ~phase =
+  if phase then Some (Cover.cubes (Network.cover net d))
+  else
+    Option.map Cover.cubes
+      (Complement.cover_limited ~limit:complement_limit (Network.cover net d))
+
+let sos_cube_indices net ~f ~d ~phase =
+  match divisor_cubes net ~d ~phase with
+  | None -> []
+  | Some cubes ->
+    let d_cubes = List.map (Net_cube.of_node_cube net d) cubes in
+    let n = Cover.cube_count (Network.cover net f) in
+    List.filter
+      (fun i ->
+        let c = Net_cube.of_cube_index net f i in
+        List.exists (fun k -> Net_cube.contained_by c k) d_cubes)
+      (List.init n Fun.id)
+
+let applicable ?(phase = true) net ~f ~d =
+  f <> d
+  && (not (Network.is_input net f))
+  && (not (Network.is_input net d))
+  && (not (Network.depends_on net d f))
+  && sos_cube_indices net ~f ~d ~phase <> []
+
+let region_predicate net seeds =
+  let set =
+    List.fold_left
+      (fun acc id ->
+        Array.fold_left
+          (fun acc fanin -> Network.Node_set.add fanin acc)
+          (Network.Node_set.add id acc)
+          (Network.fanins net id))
+      Network.Node_set.empty seeds
+  in
+  fun id -> Network.Node_set.mem id set
+
+let divide ?(phase = true) ?(gdc = false) ?(learn_depth = 0) net ~f ~d =
+  if not (applicable ~phase net ~f ~d) then None
+  else begin
+    let original_cover = Network.cover net f in
+    let f1_idx = sos_cube_indices net ~f ~d ~phase in
+    let f_cubes = Array.of_list (Cover.cubes original_cover) in
+    let f_fanins = Network.fanins net f in
+    let f1_cubes = Cover.of_cubes (List.map (fun i -> f_cubes.(i)) f1_idx) in
+    let r_cubes =
+      List.filteri (fun i _ -> not (List.mem i f1_idx)) (Array.to_list f_cubes)
+    in
+    (* Materialise the paper's Fig. 2(c): a quotient node for f1 and the
+       bold AND as the cube {quotient, d^phase} inside f. Redundant by
+       Lemma 1 — no redundancy test needed. *)
+    let q_node =
+      Network.add_logic net
+        ~name:(Network.name net f ^ "_q")
+        ~fanins:f_fanins f1_cubes
+    in
+    let combined = Array.append f_fanins [| q_node; d |] in
+    let base = Array.length f_fanins in
+    let bold_and =
+      Cube.of_literals_exn
+        [ Literal.pos base; Literal.make (base + 1) phase ]
+    in
+    Network.set_function net f ~fanins:combined
+      (Cover.of_cubes (bold_and :: r_cubes));
+    (* Redundancy removal confined to the quotient node's wires. *)
+    let region =
+      if gdc then None else Some (region_predicate net [ f; d; q_node ])
+    in
+    let learn_depth = if learn_depth > 0 then Some learn_depth else None in
+    let removed =
+      Rewiring.Remove.run ?region ?learn_depth
+        ~node_filter:(fun n -> n = q_node)
+        net
+    in
+    let quotient_literals = Cover.literal_count (Network.cover net q_node) in
+    (* Fold the quotient node back into f so f stays one SOP node. *)
+    if Collapse.collapse_into_fanouts net q_node then
+      Some { quotient_literals; wires_removed = removed; literal_gain = 0 }
+    else begin
+      (* Composition blow-up: unwind the restructuring entirely. *)
+      Network.set_function net f ~fanins:f_fanins original_cover;
+      Network.remove_node net q_node;
+      None
+    end
+  end
+
+let try_divide ?phase ?gdc ?learn_depth net ~f ~d =
+  let before_cover = Network.cover net f in
+  let before_fanins = Network.fanins net f in
+  let before_lits = Lit_count.node_factored net f in
+  match divide ?phase ?gdc ?learn_depth net ~f ~d with
+  | None -> None
+  | Some outcome ->
+    let gain = before_lits - Lit_count.node_factored net f in
+    if gain > 0 then Some { outcome with literal_gain = gain }
+    else begin
+      Network.set_function net f ~fanins:before_fanins before_cover;
+      None
+    end

@@ -1,0 +1,69 @@
+(** Network-level basic Boolean division (Section III of the paper).
+
+    Dividing node [f] by divisor node [d] proceeds exactly as in the
+    paper's Fig. 2:
+
+    + the cubes of [f] whose lifted form is contained in some lifted cube
+      of [d] become the region [f1]; the rest is the remainder [r];
+    + the network is restructured to [f = (f1 ∧ d) ∨ r] — materialised as
+      a fresh quotient node holding [f1] plus the "bold AND" cube
+      [{quotient, d}] inside [f]. By Lemma 1 the addition is redundant
+      {e a priori}: no redundancy test is needed, which is the paper's key
+      efficiency claim over classic RAR;
+    + implication-based redundancy removal runs on the quotient node's
+      wires; every conflict (e.g. the divisor forced to both 0 and 1)
+      deletes a literal of the emerging quotient;
+    + the quotient node is folded back into [f], leaving
+      [f = q·d + r] as a single SOP node with [d] among its fanins.
+
+    The implication radius follows the paper's configurations: confined to
+    the [f]/[d] region by default, global when [gdc] is set (all internal
+    don't cares; optionally with recursive learning). *)
+
+type outcome = {
+  quotient_literals : int;  (** flat literals of the final quotient *)
+  wires_removed : int;  (** wires deleted by the redundancy-removal step *)
+  literal_gain : int;  (** factored-form literals saved on node [f] *)
+}
+
+val applicable :
+  ?phase:bool ->
+  Logic_network.Network.t ->
+  f:Logic_network.Network.node_id ->
+  d:Logic_network.Network.node_id ->
+  bool
+(** Both are distinct logic nodes, [d] does not depend on [f], and at
+    least one cube of [f] is contained in a cube of [d] (of [d]'s
+    complement when [phase] is [false]). *)
+
+val divide :
+  ?phase:bool ->
+  ?gdc:bool ->
+  ?learn_depth:int ->
+  Logic_network.Network.t ->
+  f:Logic_network.Network.node_id ->
+  d:Logic_network.Network.node_id ->
+  outcome option
+(** Restructure [f] as [q·d + r] in place ([q·d' + r] when [phase] is
+    [false], the [-d] flavour), regardless of literal gain
+    (callers wanting a gain policy should use {!try_divide}). [None] when
+    {!applicable} fails. *)
+
+val try_divide :
+  ?phase:bool ->
+  ?gdc:bool ->
+  ?learn_depth:int ->
+  Logic_network.Network.t ->
+  f:Logic_network.Network.node_id ->
+  d:Logic_network.Network.node_id ->
+  outcome option
+(** Like {!divide} but commits only on positive {!outcome.literal_gain};
+    otherwise the network is left untouched and the result is [None]. *)
+
+val region_predicate :
+  Logic_network.Network.t ->
+  Logic_network.Network.node_id list ->
+  Logic_network.Network.node_id ->
+  bool
+(** The local implication region used by the non-GDC configurations: the
+    given nodes and their immediate fanins. *)

@@ -1,0 +1,34 @@
+(** Maximal-clique selection of the core divisor (Section IV, Fig. 4).
+
+    Vertices are voting wires; two wires are adjacent when their candidate
+    core divisors intersect. A clique whose common intersection is
+    non-empty identifies a core divisor expected to remove every wire in
+    the clique. Small graphs are solved exactly (Bron–Kerbosch with
+    pivoting); larger ones fall back to a greedy heuristic, as the paper
+    reduces to "the maximal clique problem [8]" without prescribing an
+    exact solver. *)
+
+val maximal_cliques : n:int -> adjacent:(int -> int -> bool) -> int list list
+(** All maximal cliques of the graph on vertices [0..n-1] (exact;
+    exponential in the worst case — call only for small [n]). *)
+
+val greedy_clique : n:int -> adjacent:(int -> int -> bool) -> int list
+(** A maximal (not necessarily maximum) clique built greedily by
+    descending degree. *)
+
+type 'a choice = {
+  members : int list;  (** vertices of the chosen clique *)
+  core : 'a list;  (** common intersection of their candidate sets *)
+}
+
+val best_core :
+  candidates:'a list array ->
+  serves:(int -> 'a list -> bool) ->
+  'a choice option
+(** [best_core ~candidates ~serves] picks the clique (over the
+    intersection graph of [candidates]) maximising the number of members
+    [w] for which [serves w core] holds, where [core] is the common
+    intersection of the clique's candidate sets. Exact below 18 vertices,
+    greedy beyond. [None] if no non-empty choice exists. *)
+
+val exact_threshold : int

@@ -1,0 +1,85 @@
+open Twolevel
+
+type sop_result = {
+  quotient : Cover.t;
+  remainder : Cover.t;
+}
+
+type pos_result = {
+  pos_quotient : Cover.t;
+  pos_remainder : Cover.t;
+}
+
+(* Split f into the SOS part (cubes contained in some divisor cube, the
+   initial quotient by Lemma 1) and the remainder. *)
+let sos_split ~f ~d =
+  List.partition
+    (fun c -> List.exists (Cube.contained_by c) (Cover.cubes d))
+    (Cover.cubes f)
+
+let basic_sop ?(dc = Cover.zero) ~f ~d () =
+  let f1, r = sos_split ~f ~d in
+  if f1 = [] then None
+  else begin
+    let target = Cover.union f dc in
+    let r = Cover.of_cubes r in
+    (* Greedy literal removal: growing a quotient cube keeps the identity
+       iff the grown cube ANDed with the divisor stays inside f ∪ dc. *)
+    let shrink_cube cube =
+      let rec go cube = function
+        | [] -> cube
+        | lit :: rest ->
+          let candidate = Cube.remove_literal lit cube in
+          if Cover.contains target (Cover.product_cube candidate d) then
+            go candidate rest
+          else go cube rest
+      in
+      go cube (Cube.literals cube)
+    in
+    let shrunk = List.map shrink_cube f1 in
+    (* Drop quotient cubes already covered by the rest of the result. *)
+    let rec drop_redundant kept = function
+      | [] -> List.rev kept
+      | cube :: rest ->
+        let others = Cover.of_cubes (kept @ rest) in
+        let covered_without =
+          Cover.union (Cover.product others d) (Cover.union r dc)
+        in
+        if Cover.contains covered_without (Cover.product_cube cube d) then
+          drop_redundant kept rest
+        else drop_redundant (cube :: kept) rest
+    in
+    let quotient =
+      Cover.single_cube_containment (Cover.of_cubes (drop_redundant [] shrunk))
+    in
+    if Cover.is_zero quotient then None
+    else Some { quotient; remainder = r }
+  end
+
+let default_complement_limit = 1024
+
+let basic_pos ?(complement_limit = default_complement_limit) ~f ~d () =
+  let ( let* ) = Option.bind in
+  (* Shannon complements are correct but non-minimal; minimising them keeps
+     the SOS split (and hence the reported factors) clean. *)
+  let complement c =
+    Option.map Minimize.simplify
+      (Complement.cover_limited ~limit:complement_limit c)
+  in
+  let* f_not = complement f in
+  let* d_not = complement d in
+  let* { quotient = q_not; remainder = r_not } =
+    basic_sop ~f:f_not ~d:d_not ()
+  in
+  let* pos_quotient = complement q_not in
+  let* pos_remainder = complement r_not in
+  Some { pos_quotient; pos_remainder }
+
+let verify_sop ?(dc = Cover.zero) ~f ~d { quotient; remainder } =
+  let result = Cover.union (Cover.product quotient d) remainder in
+  Cover.contains (Cover.union result dc) f
+  && Cover.contains (Cover.union f dc) result
+
+let verify_pos ~f ~d { pos_quotient; pos_remainder } =
+  let result = Cover.product (Cover.union pos_quotient d) pos_remainder in
+  Cover.equivalent result f

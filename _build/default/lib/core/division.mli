@@ -1,0 +1,54 @@
+(** Boolean division at the cover level (function-level API).
+
+    This is the pure, network-free face of the paper's algorithm, obtained
+    by specialising the implication argument to a single function: the SOS
+    split gives [f = f1·d + r] for free (Lemma 1), and a wire of [f1] is
+    redundant exactly when the grown cube stays inside the function, which
+    a containment (tautology) check decides. Don't cares are honoured by
+    widening the containment target. The POS dual works on the complements
+    (a POS of [f] is an SOP of [f'], Lemma 2). *)
+
+type sop_result = {
+  quotient : Twolevel.Cover.t;
+  remainder : Twolevel.Cover.t;
+}
+
+val basic_sop :
+  ?dc:Twolevel.Cover.t ->
+  f:Twolevel.Cover.t ->
+  d:Twolevel.Cover.t ->
+  unit ->
+  sop_result option
+(** Boolean division [f = quotient·d + remainder]. The quotient starts as
+    the cubes of [f] contained in some cube of [d] and is then shrunk
+    literal-by-literal and cube-by-cube while preserving
+    [quotient·d + remainder ≡ f] modulo [dc]. [None] when no cube of [f]
+    is contained in [d] (quotient 0). The identity is guaranteed:
+    [quotient·d ∪ remainder ≡ f] (mod dc). *)
+
+type pos_result = {
+  pos_quotient : Twolevel.Cover.t;  (** SOP cover of the factor [q]. *)
+  pos_remainder : Twolevel.Cover.t;  (** SOP cover of the factor [r]. *)
+}
+
+val basic_pos :
+  ?complement_limit:int ->
+  f:Twolevel.Cover.t ->
+  d:Twolevel.Cover.t ->
+  unit ->
+  pos_result option
+(** Product-of-sums division [f = (pos_quotient + d) · pos_remainder] —
+    the paper's substitution "in the flavor of product-of-sum form".
+    [None] when the POS containment yields nothing or a complement exceeds
+    [complement_limit] cubes (default 1024). *)
+
+val verify_sop :
+  ?dc:Twolevel.Cover.t ->
+  f:Twolevel.Cover.t ->
+  d:Twolevel.Cover.t ->
+  sop_result ->
+  bool
+(** Check the defining identity of {!basic_sop} (used by tests). *)
+
+val verify_pos :
+  f:Twolevel.Cover.t -> d:Twolevel.Cover.t -> pos_result -> bool

@@ -1,0 +1,146 @@
+open Twolevel
+module Network = Logic_network.Network
+module Lit_count = Logic_network.Lit_count
+
+type outcome = {
+  core_cubes : int;
+  core_sources : int;
+  expected_removals : int;
+  decomposed_divisor : bool;
+  literal_gain : int;
+}
+
+let distinct_sources core = List.sort_uniq Int.compare (List.map fst core)
+
+(* Expose the core divisor as a node of [net]; returns the node and
+   whether an existing divisor node was decomposed into core + rest. *)
+let materialise_core net core =
+  match distinct_sources core with
+  | [ m ] when List.length core = Cover.cube_count (Network.cover net m) ->
+    (* The whole node was chosen: plain basic division against m. *)
+    (m, false)
+  | [ m ] ->
+    let m_fanins = Network.fanins net m in
+    let m_cubes = Array.of_list (Cover.cubes (Network.cover net m)) in
+    let selected = List.map snd core in
+    let core_cover =
+      Cover.of_cubes (List.map (fun j -> m_cubes.(j)) selected)
+    in
+    let g =
+      Network.add_logic net
+        ~name:(Network.name net m ^ "_core")
+        ~fanins:m_fanins core_cover
+    in
+    (* Decompose m = core + rest (the paper's divisor decomposition). *)
+    let rest =
+      List.filteri (fun j _ -> not (List.mem j selected))
+        (Array.to_list m_cubes)
+    in
+    let slot = Array.length m_fanins in
+    Network.set_function net m
+      ~fanins:(Array.append m_fanins [| g |])
+      (Cover.of_cubes (Cube.of_literals_exn [ Literal.pos slot ] :: rest));
+    (g, true)
+  | sources ->
+    (* Cubes from several nodes: build a fresh node over the union of the
+       referenced signals. *)
+    let global_cubes =
+      List.sort_uniq Net_cube.compare
+        (List.map (fun (m, j) -> Net_cube.of_cube_index net m j) core)
+    in
+    let signals =
+      List.sort_uniq Int.compare
+        (List.concat_map
+           (fun c -> List.map fst (Net_cube.signals c))
+           global_cubes)
+    in
+    let fanins = Array.of_list signals in
+    let slot_of =
+      let tbl = Hashtbl.create 8 in
+      Array.iteri (fun i id -> Hashtbl.replace tbl id i) fanins;
+      Hashtbl.find tbl
+    in
+    let cover =
+      Cover.of_cubes
+        (List.map
+           (fun c ->
+             Cube.of_literals_exn
+               (List.map
+                  (fun (id, phase) -> Literal.make (slot_of id) phase)
+                  (Net_cube.signals c)))
+           global_cubes)
+    in
+    let g = Network.add_logic net ~name:"core" ~fanins cover in
+    (* Any source that contains the whole core as a subset of its own
+       cubes can be decomposed around it too, so the new node is shared
+       rather than duplicated logic. *)
+    let decomposed = ref false in
+    List.iter
+      (fun m ->
+        let m_cubes = Array.of_list (Cover.cubes (Network.cover net m)) in
+        let m_globals =
+          Array.mapi (fun j _ -> Net_cube.of_cube_index net m j) m_cubes
+        in
+        let inside c = Array.exists (Net_cube.equal c) m_globals in
+        if List.for_all inside global_cubes then begin
+          let rest =
+            List.filteri
+              (fun j _ ->
+                not (List.exists (Net_cube.equal m_globals.(j)) global_cubes))
+              (Array.to_list m_cubes)
+          in
+          let m_fanins = Network.fanins net m in
+          let slot = Array.length m_fanins in
+          Network.set_function net m
+            ~fanins:(Array.append m_fanins [| g |])
+            (Cover.of_cubes (Cube.of_literals_exn [ Literal.pos slot ] :: rest));
+          decomposed := true
+        end)
+      sources;
+    (g, !decomposed)
+
+let try_run ?gdc ?learn_depth net ~f ~pool =
+  let scratch = Network.copy net in
+  let entries = Vote.collect ?gdc ?learn_depth scratch ~f ~pool in
+  let valid = Array.of_list (Vote.valid_entries entries) in
+  if Array.length valid = 0 then None
+  else begin
+    let candidates = Array.map (fun e -> e.Vote.candidates) valid in
+    let serves v core =
+      List.exists
+        (fun (m, j) ->
+          Net_cube.contained_by valid.(v).Vote.wire_cube
+            (Net_cube.of_cube_index scratch m j))
+        core
+    in
+    match Clique.best_core ~candidates ~serves with
+    | None -> None
+    | Some { members; core } ->
+      let core_node, decomposed = materialise_core scratch core in
+      let divided =
+        Basic_division.divide ?gdc ?learn_depth scratch ~f ~d:core_node
+      in
+      let cleanup_ok =
+        match divided with
+        | Some _ -> true
+        | None ->
+          (* Division refused after materialisation: reject the attempt. *)
+          false
+      in
+      if not cleanup_ok then None
+      else begin
+        let gain = Lit_count.factored net - Lit_count.factored scratch in
+        if gain > 0 then begin
+          Network.overwrite net scratch;
+          Some
+            {
+              core_cubes = List.length core;
+              core_sources = List.length (distinct_sources core);
+              expected_removals = List.length members;
+              decomposed_divisor = decomposed;
+              literal_gain = gain;
+            }
+        end
+        else None
+      end
+  end

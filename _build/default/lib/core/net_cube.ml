@@ -1,0 +1,35 @@
+open Twolevel
+module Network = Logic_network.Network
+
+type t = (Network.node_id * bool) list (* sorted by node id, distinct ids *)
+
+let of_node_cube net id cube =
+  let fanins = Network.fanins net id in
+  let signals =
+    List.map
+      (fun lit -> (fanins.(Literal.var lit), Literal.is_pos lit))
+      (Cube.literals cube)
+  in
+  List.sort_uniq compare signals
+
+let of_cube_index net id i =
+  match List.nth_opt (Cover.cubes (Network.cover net id)) i with
+  | Some cube -> of_node_cube net id cube
+  | None -> invalid_arg "Net_cube.of_cube_index: bad index"
+
+let contained_by c k = List.for_all (fun s -> List.mem s c) k
+
+let signals t = t
+
+let compare = Stdlib.compare
+
+let equal a b = a = b
+
+let to_string net t =
+  if t = [] then "1"
+  else
+    String.concat ""
+      (List.map
+         (fun (id, phase) ->
+           Network.name net id ^ if phase then "" else "'")
+         t)

@@ -1,0 +1,231 @@
+open Twolevel
+module Network = Logic_network.Network
+module Lit_count = Logic_network.Lit_count
+
+let log_src = Logs.Src.create "booldiv.substitute" ~doc:"Substitution driver"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type mode = Basic | Extended
+
+type config = {
+  mode : mode;
+  gdc : bool;
+  learn_depth : int;
+  use_complement : bool;
+  try_pos : bool;
+  max_divisors : int;
+  max_pool : int;
+  max_passes : int;
+}
+
+let basic_config =
+  {
+    mode = Basic;
+    gdc = false;
+    learn_depth = 0;
+    use_complement = true;
+    try_pos = true;
+    max_divisors = 20;
+    max_pool = 6;
+    max_passes = 4;
+  }
+
+let extended_config = { basic_config with mode = Extended }
+
+let extended_gdc_config =
+  { extended_config with gdc = true; learn_depth = 1 }
+
+type stats = {
+  basic_substitutions : int;
+  extended_substitutions : int;
+  pos_substitutions : int;
+  literals_before : int;
+  literals_after : int;
+}
+
+(* Candidate divisors for a node, ranked by transitive-fanin overlap. *)
+let rank_divisors net f ~limit =
+  let f_support = Network.transitive_fanin net [ f ] in
+  let scored =
+    List.filter_map
+      (fun d ->
+        if d = f || Network.depends_on net d f then None
+        else begin
+          let overlap =
+            Network.Node_set.cardinal
+              (Network.Node_set.inter f_support
+                 (Network.transitive_fanin net [ d ]))
+          in
+          if overlap = 0 then None else Some (d, overlap)
+        end)
+      (Network.logic_ids net)
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> Int.compare b a) scored in
+  List.filteri (fun i _ -> i < limit) (List.map fst sorted)
+
+let pos_cube_limit = 64
+
+(* POS substitution at the cover level: lift f and d into a shared fanin
+   space, divide in product-of-sums form, and rebuild f's SOP cover as
+   (q + d)·r with d as a literal. The identity is algebraic on covers, so
+   no implication machinery is involved. *)
+let substitute_pos net ~f ~d =
+  if
+    f = d
+    || Network.is_input net f
+    || Network.is_input net d
+    || Network.depends_on net d f
+  then false
+  else begin
+    let f_fanins = Network.fanins net f in
+    let d_fanins = Network.fanins net d in
+    let combined = ref (Array.to_list f_fanins) in
+    Array.iter
+      (fun x -> if not (List.mem x !combined) then combined := !combined @ [ x ])
+      d_fanins;
+    let combined = Array.of_list !combined in
+    let slot_of id =
+      match Array.to_list combined |> List.find_index (Int.equal id) with
+      | Some i -> i
+      | None -> assert false
+    in
+    let f_lift =
+      Cover.map_vars (fun v -> slot_of f_fanins.(v)) (Network.cover net f)
+    in
+    let d_lift =
+      Cover.map_vars (fun v -> slot_of d_fanins.(v)) (Network.cover net d)
+    in
+    match
+      Division.basic_pos ~complement_limit:pos_cube_limit ~f:f_lift ~d:d_lift ()
+    with
+    | None -> false
+    | Some { pos_quotient; pos_remainder } ->
+      let d_slot = Array.length combined in
+      let d_lit = Cover.of_cubes [ Cube.of_literals_exn [ Literal.pos d_slot ] ] in
+      let rebuilt =
+        Cover.product (Cover.union pos_quotient d_lit) pos_remainder
+      in
+      if Cover.cube_count rebuilt > pos_cube_limit then false
+      else begin
+        let before_cover = Network.cover net f in
+        let before_lits = Lit_count.node_factored net f in
+        let new_fanins = Array.append combined [| d |] in
+        match Network.set_function net f ~fanins:new_fanins rebuilt with
+        | exception Network.Cyclic _ -> false
+        | () ->
+          if Lit_count.node_factored net f < before_lits then true
+          else begin
+            Network.set_function net f ~fanins:f_fanins before_cover;
+            false
+          end
+      end
+  end
+
+let run ?(config = extended_config) net =
+  let literals_before = Lit_count.factored net in
+  let basic_count = ref 0 and ext_count = ref 0 and pos_count = ref 0 in
+  let gdc = config.gdc and learn_depth = config.learn_depth in
+  let attempt_basic f d =
+    let commit phase =
+      match
+        Basic_division.try_divide ~phase ~gdc ~learn_depth net ~f ~d
+      with
+      | Some outcome ->
+        incr basic_count;
+        Log.debug (fun m ->
+            m "basic division: %s / %s%s (+%d literals)" (Network.name net f)
+              (Network.name net d)
+              (if phase then "" else "'")
+              outcome.Basic_division.literal_gain);
+        true
+      | None -> false
+    in
+    (* Combined rewrite f = q·d + q'·d' + r: each phase alone can be
+       gain-neutral while the pair is profitable (both phases share the
+       single literal cost of d). *)
+    let commit_both () =
+      let scratch = Network.copy net in
+      let gain_before = Lit_count.factored scratch in
+      let first = Basic_division.divide ~gdc ~learn_depth scratch ~f ~d in
+      let second =
+        Basic_division.divide ~phase:false ~gdc ~learn_depth scratch ~f ~d
+      in
+      if
+        first <> None && second <> None
+        && Lit_count.factored scratch < gain_before
+      then begin
+        Network.overwrite net scratch;
+        incr basic_count;
+        true
+      end
+      else false
+    in
+    let committed = commit true in
+    let committed_c =
+      if config.use_complement then commit false else false
+    in
+    if committed || committed_c then true
+    else if config.use_complement then commit_both ()
+    else false
+  in
+  let attempt_pos f d =
+    if config.try_pos && substitute_pos net ~f ~d then begin
+      incr pos_count;
+      true
+    end
+    else false
+  in
+  let attempt_extended f pool =
+    match Extended_division.try_run ~gdc ~learn_depth net ~f ~pool with
+    | Some outcome ->
+      incr ext_count;
+      Log.debug (fun m ->
+          m "extended division on %s: core of %d cube(s), gain %d"
+            (Network.name net f) outcome.Extended_division.core_cubes
+            outcome.Extended_division.literal_gain);
+      true
+    | None ->
+      if config.try_pos then begin
+        match Pos_extended.try_run net ~f ~pool with
+        | Some _ ->
+          incr pos_count;
+          true
+        | None -> false
+      end
+      else false
+  in
+  let pass () =
+    let changed = ref false in
+    let nodes = List.sort Int.compare (Network.logic_ids net) in
+    List.iter
+      (fun f ->
+        if Network.mem net f then begin
+          let divisors = rank_divisors net f ~limit:config.max_divisors in
+          (match config.mode with
+          | Extended ->
+            let pool =
+              List.filteri (fun i _ -> i < config.max_pool) divisors
+            in
+            if pool <> [] && attempt_extended f pool then changed := true
+          | Basic -> ());
+          List.iter
+            (fun d ->
+              if Network.mem net f && Network.mem net d then begin
+                if attempt_basic f d then changed := true
+                else if attempt_pos f d then changed := true
+              end)
+            divisors
+        end)
+      nodes;
+    !changed
+  in
+  let rec loop remaining = if remaining > 0 && pass () then loop (remaining - 1) in
+  loop config.max_passes;
+  {
+    basic_substitutions = !basic_count;
+    extended_substitutions = !ext_count;
+    pos_substitutions = !pos_count;
+    literals_before;
+    literals_after = Lit_count.factored net;
+  }

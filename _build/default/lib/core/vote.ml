@@ -1,0 +1,117 @@
+open Twolevel
+module Network = Logic_network.Network
+
+type pool_cube = Network.node_id * int
+
+type entry = {
+  wire : Atpg.Fault.wire;
+  wire_cube : Net_cube.t;
+  candidates : pool_cube list;
+  valid : bool;
+  conflicted : bool;
+}
+
+let collect ?(gdc = false) ?(learn_depth = 0) net ~f ~pool =
+  let pool =
+    List.filter
+      (fun m ->
+        m <> f
+        && (not (Network.is_input net m))
+        && not (Network.depends_on net m f))
+      pool
+  in
+  let tfo = Network.transitive_fanout net [ f ] in
+  let frozen id = Network.Node_set.mem id tfo in
+  let region =
+    if gdc then fun _ -> true
+    else Basic_division.region_predicate net (f :: pool)
+  in
+  let literal_wires =
+    List.filter
+      (function Atpg.Fault.Literal_wire _ -> true | Atpg.Fault.Cube_wire _ -> false)
+      (Atpg.Fault.all_wires net f)
+  in
+  let pool_cubes =
+    List.concat_map
+      (fun m ->
+        List.mapi (fun j _ -> (m, j)) (Cover.cubes (Network.cover net m)))
+      pool
+  in
+  let entry_of_wire wire =
+    let cube_index =
+      match wire with
+      | Atpg.Fault.Literal_wire { cube; _ } -> cube
+      | Atpg.Fault.Cube_wire _ -> assert false
+    in
+    let wire_cube = Net_cube.of_cube_index net f cube_index in
+    let engine = Atpg.Imply.create ~region ~frozen net in
+    let outcome =
+      match
+        List.iter
+          (function
+            | Atpg.Fault.Node (id, v) -> Atpg.Imply.assign_node engine id v
+            | Atpg.Fault.Cube (id, i, v) -> Atpg.Imply.assign_cube engine id i v)
+          (Atpg.Fault.activation_assignments net wire);
+        if learn_depth > 0 then Atpg.Imply.learn ~depth:learn_depth engine
+      with
+      | () -> `Ok
+      | exception Atpg.Imply.Conflict _ -> `Conflict
+    in
+    match outcome with
+    | `Conflict ->
+      { wire; wire_cube; candidates = []; valid = false; conflicted = true }
+    | `Ok ->
+      let candidates =
+        List.filter
+          (fun (m, j) -> Atpg.Imply.cube_value engine m j = Some false)
+          pool_cubes
+      in
+      (* SOS validity: some candidate cube must contain the wire's cube so
+         the cube lands in the f1 region of the eventual core divisor. *)
+      let valid =
+        List.exists
+          (fun (m, j) ->
+            Net_cube.contained_by wire_cube (Net_cube.of_cube_index net m j))
+          candidates
+      in
+      { wire; wire_cube; candidates; valid; conflicted = false }
+  in
+  List.map entry_of_wire literal_wires
+
+let valid_entries entries =
+  List.filter (fun e -> e.valid && e.candidates <> []) entries
+
+let pool_cube_to_string net (m, j) =
+  Printf.sprintf "%s[%s]" (Network.name net m)
+    (match List.nth_opt (Cover.cubes (Network.cover net m)) j with
+    | Some cube ->
+      Cube.to_string
+        ~names:(fun v -> Network.name net (Network.fanins net m).(v))
+        cube
+    | None -> string_of_int j)
+
+let table_to_string net entries =
+  let table =
+    Rar_util.Text_table.create
+      [
+        ("wire", Rar_util.Text_table.Left);
+        ("candidate core divisor (cubes implied 0)", Rar_util.Text_table.Left);
+        ("valid", Rar_util.Text_table.Left);
+      ]
+  in
+  List.iter
+    (fun e ->
+      let candidate_text =
+        if e.conflicted then "(removable with no divisor)"
+        else if e.candidates = [] then "(none)"
+        else
+          String.concat " + " (List.map (pool_cube_to_string net) e.candidates)
+      in
+      Rar_util.Text_table.add_row table
+        [
+          Atpg.Fault.wire_to_string net e.wire;
+          candidate_text;
+          (if e.valid then "yes" else "no");
+        ])
+    entries;
+  Rar_util.Text_table.render table

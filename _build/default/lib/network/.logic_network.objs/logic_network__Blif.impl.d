@@ -1,0 +1,1 @@
+lib/network/blif.ml: Array Buffer Bytes Complement Cover Cube Hashtbl List Literal Network Printf String Twolevel

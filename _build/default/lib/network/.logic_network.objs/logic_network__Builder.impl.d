@@ -1,0 +1,1 @@
+lib/network/builder.ml: Array Hashtbl List Network Parse Printf Symtab Twolevel

@@ -1,0 +1,1 @@
+lib/network/builder.mli: Network

@@ -1,0 +1,1 @@
+lib/network/collapse.ml: Array Complement Cover Cube List Literal Network Option Twolevel

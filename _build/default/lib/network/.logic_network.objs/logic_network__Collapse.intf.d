@@ -1,0 +1,1 @@
+lib/network/collapse.mli: Network

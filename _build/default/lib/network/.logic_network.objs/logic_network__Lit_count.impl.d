@@ -1,0 +1,1 @@
+lib/network/lit_count.ml: Cover Factor List Network Twolevel

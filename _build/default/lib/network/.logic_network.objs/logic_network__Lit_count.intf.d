@@ -1,0 +1,1 @@
+lib/network/lit_count.mli: Network

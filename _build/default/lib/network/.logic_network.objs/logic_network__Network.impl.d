@@ -1,0 +1,1 @@
+lib/network/network.ml: Array Buffer Cover Hashtbl Int List Map Option Printf Set Twolevel

@@ -1,0 +1,1 @@
+lib/network/sweep.ml: Array Cover Cube Hashtbl Int List Literal Network Twolevel

@@ -1,0 +1,211 @@
+open Twolevel
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Logical lines: strip comments, join continuations, drop blanks. *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let strip_comment line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let rec join acc pending = function
+    | [] ->
+      let acc = if pending = "" then acc else pending :: acc in
+      List.rev acc
+    | line :: rest ->
+      let line = String.trim (strip_comment line) in
+      if line = "" then join acc pending rest
+      else if String.length line > 0 && line.[String.length line - 1] = '\\' then
+        let chunk = String.sub line 0 (String.length line - 1) in
+        join acc (pending ^ chunk ^ " ") rest
+      else if pending <> "" then join ((pending ^ line) :: acc) "" rest
+      else join (line :: acc) "" rest
+  in
+  join [] "" raw
+
+let words line =
+  List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.concat " " (String.split_on_char '\t' line)))
+
+type pending_names = {
+  signals : string list; (* inputs @ [output] *)
+  mutable on_rows : string list; (* input patterns for output=1 *)
+  mutable off_rows : string list; (* input patterns for output=0 *)
+}
+
+let parse text =
+  let lines = logical_lines text in
+  let inputs = ref [] and outputs = ref [] in
+  let tables = ref [] (* reversed pending_names list *) in
+  let current = ref None in
+  let finish () =
+    match !current with
+    | Some table ->
+      tables := table :: !tables;
+      current := None
+    | None -> ()
+  in
+  List.iter
+    (fun line ->
+      match words line with
+      | [] -> ()
+      | cmd :: args when String.length cmd > 0 && cmd.[0] = '.' -> (
+        finish ();
+        match cmd with
+        | ".model" -> ()
+        | ".inputs" -> inputs := !inputs @ args
+        | ".outputs" -> outputs := !outputs @ args
+        | ".names" ->
+          if args = [] then fail ".names without signals";
+          current := Some { signals = args; on_rows = []; off_rows = [] }
+        | ".end" -> ()
+        | ".exdc" | ".latch" | ".subckt" | ".gate" ->
+          fail "unsupported BLIF construct %s" cmd
+        | _ -> fail "unknown BLIF directive %s" cmd)
+      | row -> (
+        match !current with
+        | None -> fail "cube row outside .names: %s" line
+        | Some table -> (
+          match row with
+          | [ pattern; "1" ] -> table.on_rows <- pattern :: table.on_rows
+          | [ pattern; "0" ] -> table.off_rows <- pattern :: table.off_rows
+          | [ "1" ] when List.length table.signals = 1 ->
+            table.on_rows <- "" :: table.on_rows
+          | [ "0" ] when List.length table.signals = 1 ->
+            table.off_rows <- "" :: table.off_rows
+          | _ -> fail "malformed cube row: %s" line)))
+    lines;
+  finish ();
+  let net = Network.create () in
+  let by_name = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem by_name n then fail "duplicate input %s" n
+      else Hashtbl.add by_name n (Network.add_input net n))
+    !inputs;
+  (* Tables may reference signals defined later; create nodes in dependency
+     order by iterating until all are resolvable. *)
+  let remaining = ref (List.rev !tables) in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    let unresolved = ref [] in
+    List.iter
+      (fun table ->
+        match List.rev table.signals with
+        | [] -> assert false
+        | out_name :: rev_ins ->
+          let in_names = List.rev rev_ins in
+          if List.for_all (Hashtbl.mem by_name) in_names then begin
+            let fanins =
+              Array.of_list (List.map (Hashtbl.find by_name) in_names)
+            in
+            let nvars = Array.length fanins in
+            let row_cube pattern =
+              if String.length pattern <> nvars then
+                fail "cube row width mismatch for %s" out_name;
+              let lits = ref [] in
+              String.iteri
+                (fun i ch ->
+                  match ch with
+                  | '1' -> lits := Literal.pos i :: !lits
+                  | '0' -> lits := Literal.neg i :: !lits
+                  | '-' -> ()
+                  | _ -> fail "bad cube character %C for %s" ch out_name)
+                pattern;
+              match Cube.of_literals !lits with
+              | Some c -> c
+              | None -> assert false
+            in
+            let cover =
+              match (table.on_rows, table.off_rows) with
+              | on, [] -> Cover.of_cubes (List.map row_cube on)
+              | [], off ->
+                Complement.cover (Cover.of_cubes (List.map row_cube off))
+              | _ -> fail "mixed on/off rows for %s" out_name
+            in
+            if Hashtbl.mem by_name out_name then
+              fail "signal %s defined twice" out_name;
+            let id = Network.add_logic net ~name:out_name ~fanins cover in
+            Hashtbl.add by_name out_name id;
+            progress := true
+          end
+          else unresolved := table :: !unresolved)
+      !remaining;
+    remaining := List.rev !unresolved
+  done;
+  if !remaining <> [] then fail "unresolved or cyclic .names definitions";
+  List.iter
+    (fun po ->
+      match Hashtbl.find_opt by_name po with
+      | Some id -> Network.add_output net po id
+      | None -> fail "undefined output %s" po)
+    !outputs;
+  Network.check net;
+  net
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let to_string net =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer ".model network\n";
+  let add_signal_list directive names =
+    if names <> [] then
+      Buffer.add_string buffer
+        (Printf.sprintf "%s %s\n" directive (String.concat " " names))
+  in
+  add_signal_list ".inputs" (List.map (Network.name net) (Network.inputs net));
+  add_signal_list ".outputs" (List.map fst (Network.outputs net));
+  (* Outputs whose BLIF name differs from the driving node get a buffer
+     table so that the name exists as a signal. *)
+  let order = Network.topological net in
+  List.iter
+    (fun id ->
+      if not (Network.is_input net id) then begin
+        let fanins = Network.fanins net id in
+        let in_names =
+          Array.to_list (Array.map (Network.name net) fanins)
+        in
+        Buffer.add_string buffer
+          (Printf.sprintf ".names %s\n"
+             (String.concat " " (in_names @ [ Network.name net id ])));
+        let nvars = Array.length fanins in
+        let cover = Network.cover net id in
+        if nvars = 0 then begin
+          if not (Cover.is_zero cover) then Buffer.add_string buffer "1\n"
+        end
+        else
+          List.iter
+            (fun cube ->
+              let row = Bytes.make nvars '-' in
+              List.iter
+                (fun lit ->
+                  Bytes.set row (Literal.var lit)
+                    (if Literal.is_pos lit then '1' else '0'))
+                (Cube.literals cube);
+              Buffer.add_string buffer
+                (Printf.sprintf "%s 1\n" (Bytes.to_string row)))
+            (Cover.cubes cover)
+      end)
+    order;
+  List.iter
+    (fun (po_name, id) ->
+      if po_name <> Network.name net id then
+        Buffer.add_string buffer
+          (Printf.sprintf ".names %s %s\n1 1\n" (Network.name net id) po_name))
+    (Network.outputs net);
+  Buffer.add_string buffer ".end\n";
+  Buffer.contents buffer
+
+let write_file path net =
+  let oc = open_out path in
+  output_string oc (to_string net);
+  close_out oc

@@ -1,0 +1,20 @@
+(** Reading and writing the combinational subset of BLIF.
+
+    Supported constructs: [.model], [.inputs], [.outputs], [.names] with
+    on-set (output [1]) or off-set (output [0]) single-output cover rows,
+    [\\] line continuations, [#] comments, [.end]. Latches and subcircuits
+    are rejected — the paper's experiments are purely combinational. *)
+
+exception Parse_error of string
+
+val parse : string -> Network.t
+(** Parse BLIF text. @raise Parse_error on malformed or unsupported
+    input. *)
+
+val read_file : string -> Network.t
+
+val to_string : Network.t -> string
+(** Serialise; reading the result back yields a functionally equivalent
+    network. *)
+
+val write_file : string -> Network.t -> unit

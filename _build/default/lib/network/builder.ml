@@ -1,0 +1,40 @@
+open Twolevel
+
+let of_spec ~inputs ~nodes ~outputs =
+  let net = Network.create () in
+  let by_name = Hashtbl.create 16 in
+  let declare name id =
+    if Hashtbl.mem by_name name then
+      invalid_arg (Printf.sprintf "Builder: duplicate name %s" name);
+    Hashtbl.add by_name name id
+  in
+  List.iter (fun n -> declare n (Network.add_input net n)) inputs;
+  List.iter
+    (fun (node_name, expr) ->
+      let symtab = Symtab.create () in
+      let cover = Parse.cover symtab expr in
+      let fanins =
+        Array.init (Symtab.size symtab) (fun v ->
+            let fanin_name = Symtab.name symtab v in
+            match Hashtbl.find_opt by_name fanin_name with
+            | Some id -> id
+            | None ->
+              invalid_arg
+                (Printf.sprintf "Builder: %s references unknown signal %s"
+                   node_name fanin_name))
+      in
+      declare node_name (Network.add_logic net ~name:node_name ~fanins cover))
+    nodes;
+  List.iter
+    (fun po ->
+      match Hashtbl.find_opt by_name po with
+      | Some id -> Network.add_output net po id
+      | None -> invalid_arg (Printf.sprintf "Builder: unknown output %s" po))
+    outputs;
+  Network.check net;
+  net
+
+let node net wanted =
+  match Network.find_by_name net wanted with
+  | Some id -> id
+  | None -> raise Not_found

@@ -1,0 +1,21 @@
+(** Convenient construction of networks from textual node equations.
+
+    Used heavily by tests, examples and the embedded benchmark circuits:
+
+    {[
+      Builder.of_spec ~inputs:[ "a"; "b"; "c"; "d" ]
+        ~nodes:[ ("g", "a + b"); ("f", "g c + d'") ]
+        ~outputs:[ "f" ]
+    ]}
+
+    Node equations are parsed with {!Twolevel.Parse} and may reference
+    primary inputs and previously defined nodes by name. *)
+
+val of_spec :
+  inputs:string list ->
+  nodes:(string * string) list ->
+  outputs:string list ->
+  Network.t
+
+val node : Network.t -> string -> Network.node_id
+(** Look a node up by name. @raise Not_found if absent. *)

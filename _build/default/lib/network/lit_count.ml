@@ -1,0 +1,14 @@
+open Twolevel
+
+let node_flat net id =
+  if Network.is_input net id then 0 else Cover.literal_count (Network.cover net id)
+
+let node_factored net id =
+  if Network.is_input net id then 0 else Factor.count (Network.cover net id)
+
+let sum per_node net =
+  List.fold_left (fun acc id -> acc + per_node net id) 0 (Network.logic_ids net)
+
+let flat net = sum node_flat net
+
+let factored net = sum node_factored net

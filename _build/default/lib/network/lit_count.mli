@@ -1,0 +1,15 @@
+(** Literal-count metrics of a network.
+
+    The paper reports literal counts "in factored form" (its footnote 1);
+    {!factored} is that metric: the sum over logic nodes of the
+    factored-form literal count of the node's cover. {!flat} is the plain
+    SOP literal count, useful for value functions inside the synthesis
+    commands. *)
+
+val flat : Network.t -> int
+
+val factored : Network.t -> int
+
+val node_flat : Network.t -> Network.node_id -> int
+
+val node_factored : Network.t -> Network.node_id -> int

@@ -1,0 +1,337 @@
+open Twolevel
+
+type node_id = int
+
+module Node_set = Set.Make (Int)
+module Node_map = Map.Make (Int)
+
+exception Cyclic of string
+
+type kind =
+  | Input
+  | Logic of { mutable fanins : node_id array; mutable cover : Cover.t }
+
+type node = {
+  id : node_id;
+  mutable node_name : string;
+  mutable kind : kind;
+  mutable fanout : int Node_map.t; (* fanout node id -> reference count *)
+}
+
+type t = {
+  nodes : (node_id, node) Hashtbl.t;
+  mutable next_id : int;
+  mutable input_order : node_id list; (* reversed *)
+  mutable output_order : (string * node_id) list; (* reversed *)
+}
+
+let create () =
+  {
+    nodes = Hashtbl.create 64;
+    next_id = 0;
+    input_order = [];
+    output_order = [];
+  }
+
+let mem t id = Hashtbl.mem t.nodes id
+
+let node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Network: unknown node %d" id)
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let add_input t input_name =
+  let id = fresh_id t in
+  Hashtbl.add t.nodes id
+    { id; node_name = input_name; kind = Input; fanout = Node_map.empty };
+  t.input_order <- id :: t.input_order;
+  id
+
+(* Merge duplicate fanins and drop fanins not in the cover's support,
+   remapping the cover variables accordingly. *)
+let normalise ~fanins ~cover =
+  let support = Cover.support cover in
+  let kept = ref [] (* (slot, target), reversed *) and mapping = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      if v >= Array.length fanins then
+        invalid_arg "Network: cover variable exceeds fanin count";
+      let target = fanins.(v) in
+      let slot =
+        match List.find_opt (fun (_, n) -> n = target) !kept with
+        | Some (slot, _) -> slot
+        | None ->
+          let slot = List.length !kept in
+          kept := (slot, target) :: !kept;
+          slot
+      in
+      Hashtbl.replace mapping v slot)
+    support;
+  let fanins' = Array.of_list (List.map snd (List.rev !kept)) in
+  let cover' = Cover.rename_vars (fun v -> Hashtbl.find mapping v) cover in
+  (fanins', cover')
+
+let incr_fanout t ~from ~target =
+  let n = node t target in
+  let count = Option.value (Node_map.find_opt from n.fanout) ~default:0 in
+  n.fanout <- Node_map.add from (count + 1) n.fanout
+
+let decr_fanout t ~from ~target =
+  let n = node t target in
+  match Node_map.find_opt from n.fanout with
+  | None -> ()
+  | Some 1 -> n.fanout <- Node_map.remove from n.fanout
+  | Some c -> n.fanout <- Node_map.add from (c - 1) n.fanout
+
+let add_logic t ?name ~fanins cover =
+  Array.iter
+    (fun f -> if not (mem t f) then invalid_arg "Network.add_logic: unknown fanin")
+    fanins;
+  let fanins, cover = normalise ~fanins ~cover in
+  let id = fresh_id t in
+  let node_name = Option.value name ~default:(Printf.sprintf "n%d" id) in
+  Hashtbl.add t.nodes id
+    { id; node_name; kind = Logic { fanins; cover }; fanout = Node_map.empty };
+  Array.iter (fun f -> incr_fanout t ~from:id ~target:f) fanins;
+  id
+
+let add_output t po_name id =
+  if not (mem t id) then invalid_arg "Network.add_output: unknown node";
+  t.output_order <- (po_name, id) :: t.output_order
+
+let retarget_outputs t ~from_node ~to_node =
+  if not (mem t to_node) then invalid_arg "Network.retarget_outputs: unknown node";
+  t.output_order <-
+    List.map
+      (fun (po_name, id) ->
+        if id = from_node then (po_name, to_node) else (po_name, id))
+      t.output_order
+
+let is_input t id = match (node t id).kind with Input -> true | Logic _ -> false
+
+let name t id = (node t id).node_name
+
+let find_by_name t wanted =
+  Hashtbl.fold
+    (fun id n acc -> if n.node_name = wanted then Some id else acc)
+    t.nodes None
+
+let fanins t id =
+  match (node t id).kind with Input -> [||] | Logic l -> Array.copy l.fanins
+
+let cover t id =
+  match (node t id).kind with
+  | Input -> invalid_arg "Network.cover: primary input"
+  | Logic l -> l.cover
+
+let fanouts t id = List.map fst (Node_map.bindings (node t id).fanout)
+
+let fanout_count t id =
+  Node_map.fold (fun _ c acc -> acc + c) (node t id).fanout 0
+
+let outputs t = List.rev t.output_order
+
+let is_output t id = List.exists (fun (_, n) -> n = id) t.output_order
+
+let output_names t id =
+  List.rev_map fst (List.filter (fun (_, n) -> n = id) t.output_order)
+
+let inputs t = List.rev t.input_order
+
+let node_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes []
+
+let logic_ids t = List.filter (fun id -> not (is_input t id)) (node_ids t)
+
+let node_count t = Hashtbl.length t.nodes
+
+let transitive_fanin t seeds =
+  let visited = ref Node_set.empty in
+  let rec visit id =
+    if not (Node_set.mem id !visited) then begin
+      visited := Node_set.add id !visited;
+      Array.iter visit (fanins t id)
+    end
+  in
+  List.iter visit seeds;
+  !visited
+
+let transitive_fanout t seeds =
+  let visited = ref Node_set.empty in
+  let rec visit id =
+    if not (Node_set.mem id !visited) then begin
+      visited := Node_set.add id !visited;
+      List.iter visit (fanouts t id)
+    end
+  in
+  List.iter visit seeds;
+  !visited
+
+let depends_on t n m = Node_set.mem m (transitive_fanin t [ n ])
+
+let topological t =
+  let color = Hashtbl.create (node_count t) in
+  let order = ref [] in
+  let rec visit id =
+    match Hashtbl.find_opt color id with
+    | Some `Done -> ()
+    | Some `Active -> raise (Cyclic (Printf.sprintf "node %d on a cycle" id))
+    | None ->
+      Hashtbl.replace color id `Active;
+      Array.iter visit (fanins t id);
+      Hashtbl.replace color id `Done;
+      order := id :: !order
+  in
+  List.iter visit (List.sort Int.compare (node_ids t));
+  List.rev !order
+
+let set_function t id ~fanins:new_fanins cover =
+  let n = node t id in
+  match n.kind with
+  | Input -> invalid_arg "Network.set_function: primary input"
+  | Logic l ->
+    Array.iter
+      (fun f ->
+        if not (mem t f) then invalid_arg "Network.set_function: unknown fanin")
+      new_fanins;
+    let new_fanins, new_cover = normalise ~fanins:new_fanins ~cover in
+    Array.iter
+      (fun f ->
+        if f = id || Node_set.mem id (transitive_fanin t [ f ]) then
+          raise (Cyclic (Printf.sprintf "fanin %d depends on node %d" f id)))
+      new_fanins;
+    Array.iter (fun f -> decr_fanout t ~from:id ~target:f) l.fanins;
+    l.fanins <- new_fanins;
+    l.cover <- new_cover;
+    Array.iter (fun f -> incr_fanout t ~from:id ~target:f) new_fanins
+
+let remove_node t id =
+  let n = node t id in
+  if is_output t id then invalid_arg "Network.remove_node: drives an output";
+  if not (Node_map.is_empty n.fanout) then
+    invalid_arg "Network.remove_node: node still has fanouts";
+  begin
+    match n.kind with
+    | Input -> t.input_order <- List.filter (fun i -> i <> id) t.input_order
+    | Logic l -> Array.iter (fun f -> decr_fanout t ~from:id ~target:f) l.fanins
+  end;
+  Hashtbl.remove t.nodes id
+
+let copy t =
+  let fresh = create () in
+  fresh.next_id <- t.next_id;
+  Hashtbl.iter
+    (fun id n ->
+      let kind =
+        match n.kind with
+        | Input -> Input
+        | Logic l -> Logic { fanins = Array.copy l.fanins; cover = l.cover }
+      in
+      Hashtbl.add fresh.nodes id
+        { id; node_name = n.node_name; kind; fanout = n.fanout })
+    t.nodes;
+  fresh.input_order <- t.input_order;
+  fresh.output_order <- t.output_order;
+  fresh
+
+let overwrite dst src =
+  let fresh = copy src in
+  Hashtbl.reset dst.nodes;
+  Hashtbl.iter (fun id n -> Hashtbl.add dst.nodes id n) fresh.nodes;
+  dst.next_id <- fresh.next_id;
+  dst.input_order <- fresh.input_order;
+  dst.output_order <- fresh.output_order
+
+let eval t input_assignment =
+  let values = Hashtbl.create (node_count t) in
+  List.iter
+    (fun id ->
+      let v =
+        match (node t id).kind with
+        | Input -> input_assignment id
+        | Logic l ->
+          Cover.eval (fun var -> Hashtbl.find values l.fanins.(var)) l.cover
+      in
+      Hashtbl.replace values id v)
+    (topological t);
+  fun id -> Hashtbl.find values id
+
+let eval_outputs t input_assignment =
+  let values = eval t input_assignment in
+  List.map (fun (po_name, id) -> (po_name, values id)) (outputs t)
+
+let check t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  (* Acyclicity (raises Cyclic). *)
+  let order = topological t in
+  if List.length order <> node_count t then fail "topological order incomplete";
+  Hashtbl.iter
+    (fun id n ->
+      if n.id <> id then fail "node %d has inconsistent id" id;
+      (match n.kind with
+      | Input -> ()
+      | Logic l ->
+        let nvars = Array.length l.fanins in
+        List.iter
+          (fun v ->
+            if v < 0 || v >= nvars then
+              fail "node %d: cover variable %d out of range" id v)
+          (Cover.support l.cover);
+        Array.iter
+          (fun f ->
+            if not (mem t f) then fail "node %d: dangling fanin %d" id f;
+            let fo = (node t f).fanout in
+            if not (Node_map.mem id fo) then
+              fail "node %d missing from fanout of %d" id f)
+          l.fanins;
+        let seen = Hashtbl.create 4 in
+        Array.iter
+          (fun f ->
+            if Hashtbl.mem seen f then fail "node %d: duplicate fanin %d" id f;
+            Hashtbl.add seen f ())
+          l.fanins);
+      Node_map.iter
+        (fun out count ->
+          if count <= 0 then fail "node %d: non-positive fanout count" id;
+          match Hashtbl.find_opt t.nodes out with
+          | None -> fail "node %d: dangling fanout %d" id out
+          | Some m ->
+            (match m.kind with
+            | Input -> fail "node %d: fanout %d is an input" id out
+            | Logic l ->
+              let refs =
+                Array.fold_left
+                  (fun acc f -> if f = id then acc + 1 else acc)
+                  0 l.fanins
+              in
+              if refs <> count then
+                fail "fanout count mismatch between %d and %d" id out))
+        n.fanout)
+    t.nodes;
+  List.iter
+    (fun (po_name, id) ->
+      if not (mem t id) then fail "output %s: dangling node %d" po_name id)
+    (outputs t)
+
+let to_string t =
+  let buffer = Buffer.create 256 in
+  let order = topological t in
+  List.iter
+    (fun id ->
+      match (node t id).kind with
+      | Input -> Buffer.add_string buffer (Printf.sprintf "input %s\n" (name t id))
+      | Logic l ->
+        let var_name v = name t l.fanins.(v) in
+        Buffer.add_string buffer
+          (Printf.sprintf "%s = %s\n" (name t id)
+             (Cover.to_string ~names:var_name l.cover)))
+    order;
+  List.iter
+    (fun (po_name, id) ->
+      Buffer.add_string buffer (Printf.sprintf "output %s = %s\n" po_name (name t id)))
+    (outputs t);
+  Buffer.contents buffer

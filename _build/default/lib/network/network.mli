@@ -1,0 +1,124 @@
+(** Multilevel Boolean networks in the SIS style.
+
+    A network is a DAG of nodes. Each {e logic} node carries a
+    sum-of-products cover whose variable [i] denotes the node's [i]-th
+    fanin; both phases of a fanin may appear, so inverters are implicit in
+    the covers. Primary inputs are nodes without a function; primary
+    outputs are named references to nodes. Constants are logic nodes with
+    an empty fanin list and cover 0 or 1.
+
+    This native representation {e is} the paper's "decompose each node's
+    internal sum-of-product form into two-level AND and OR gates": a node's
+    cubes play the role of the AND gates and the node itself of the OR
+    gate, so the division algorithms address wires as
+    (node, cube index, literal) triples without materialising gates. *)
+
+type t
+
+type node_id = int
+
+module Node_set : Set.S with type elt = node_id
+
+exception Cyclic of string
+(** Raised by {!check} and {!topological} when the DAG invariant breaks. *)
+
+(** {1 Construction} *)
+
+val create : unit -> t
+
+val add_input : t -> string -> node_id
+
+val add_logic : t -> ?name:string -> fanins:node_id array -> Twolevel.Cover.t -> node_id
+(** Add a logic node. Duplicate fanins are merged and fanins whose variable
+    does not occur in the cover are dropped (the cover is remapped
+    accordingly). All referenced nodes must already exist. *)
+
+val add_output : t -> string -> node_id -> unit
+(** Mark a node as driving a primary output of the given name. *)
+
+val retarget_outputs : t -> from_node:node_id -> to_node:node_id -> unit
+(** Redirect every primary output driven by [from_node] to [to_node]
+    (used when merging functionally identical nodes). *)
+
+val set_function : t -> node_id -> fanins:node_id array -> Twolevel.Cover.t -> unit
+(** Replace a logic node's fanins and cover (same normalisation as
+    {!add_logic}); fanout links are maintained. The node must be a logic
+    node and the new fanins must not create a cycle. *)
+
+val remove_node : t -> node_id -> unit
+(** Remove a fanout-free, non-output logic node. *)
+
+val copy : t -> t
+(** Deep copy preserving node ids. *)
+
+val overwrite : t -> t -> unit
+(** [overwrite dst src] makes [dst] structurally identical to [src]
+    (deep-copying [src]'s state). Supports try-on-a-copy / commit
+    workflows in the optimisation drivers. *)
+
+(** {1 Queries} *)
+
+val mem : t -> node_id -> bool
+
+val is_input : t -> node_id -> bool
+
+val name : t -> node_id -> string
+
+val find_by_name : t -> string -> node_id option
+
+val fanins : t -> node_id -> node_id array
+(** Empty for inputs and constants. *)
+
+val cover : t -> node_id -> Twolevel.Cover.t
+(** @raise Invalid_argument on a primary input. *)
+
+val fanouts : t -> node_id -> node_id list
+
+val fanout_count : t -> node_id -> int
+
+val is_output : t -> node_id -> bool
+
+val output_names : t -> node_id -> string list
+
+val inputs : t -> node_id list
+(** In creation order. *)
+
+val outputs : t -> (string * node_id) list
+(** In creation order. *)
+
+val node_ids : t -> node_id list
+
+val logic_ids : t -> node_id list
+
+val node_count : t -> int
+
+val topological : t -> node_id list
+(** All nodes, fanins before fanouts. *)
+
+val transitive_fanin : t -> node_id list -> Node_set.t
+(** Includes the seed nodes. *)
+
+val transitive_fanout : t -> node_id list -> Node_set.t
+(** Includes the seed nodes. *)
+
+val depends_on : t -> node_id -> node_id -> bool
+(** [depends_on t n m] iff [m] is in the transitive fanin of [n]. *)
+
+(** {1 Evaluation} *)
+
+val eval : t -> (node_id -> bool) -> (node_id -> bool)
+(** [eval t input_assignment] evaluates the whole network once and returns
+    a total valuation of the nodes. The assignment is consulted for primary
+    inputs only. *)
+
+val eval_outputs : t -> (node_id -> bool) -> (string * bool) list
+
+(** {1 Invariants and printing} *)
+
+val check : t -> unit
+(** Validate all structural invariants (link symmetry, cover support within
+    fanins, acyclicity, outputs exist). @raise Failure with a diagnostic
+    when an invariant is broken. *)
+
+val to_string : t -> string
+(** Multi-line dump: one line per node, SIS-like. *)

@@ -1,0 +1,13 @@
+(** Network cleanup: the SIS [sweep] command.
+
+    Repeatedly removes dangling logic nodes, propagates constant nodes into
+    their fanouts, and inlines buffer/inverter nodes (single-literal
+    covers), until a fixpoint. Output-driving nodes are preserved. *)
+
+val run : Network.t -> int
+(** Returns the number of nodes removed. *)
+
+val share_common_nodes : Network.t -> int
+(** Merge structurally identical logic nodes (same fanins and cover up to
+    fanin ordering): fanouts and outputs of the duplicate are redirected
+    to the surviving node. Returns the number of nodes merged away. *)

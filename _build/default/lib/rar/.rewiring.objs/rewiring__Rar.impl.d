@@ -1,0 +1,1 @@
+lib/rar/rar.ml: Array Atpg Cover Cube Int List Literal Logic_network Remove Twolevel

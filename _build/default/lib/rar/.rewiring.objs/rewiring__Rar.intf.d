@@ -1,0 +1,1 @@
+lib/rar/rar.mli: Logic_network

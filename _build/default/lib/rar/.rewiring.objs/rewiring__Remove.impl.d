@@ -1,0 +1,1 @@
+lib/rar/remove.ml: Array Atpg Cover Cube List Logic_network Twolevel

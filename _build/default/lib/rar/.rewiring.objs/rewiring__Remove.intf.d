@@ -1,0 +1,1 @@
+lib/rar/remove.mli: Atpg Logic_network

@@ -1,0 +1,151 @@
+open Twolevel
+module Network = Logic_network.Network
+module Lit_count = Logic_network.Lit_count
+
+type stats = {
+  additions_tried : int;
+  additions_kept : int;
+  wires_removed : int;
+  literals_saved : int;
+}
+
+(* Index of [source] inside [node]'s fanins after extending them. *)
+let cube_with_literal net ~node ~cube ~source ~phase =
+  let fanins = Network.fanins net node in
+  let cubes = Array.of_list (Cover.cubes (Network.cover net node)) in
+  let slot =
+    match Array.to_list fanins |> List.find_index (Int.equal source) with
+    | Some v -> (`Old, v)
+    | None -> (`New, Array.length fanins)
+  in
+  let kind, v = slot in
+  let fanins' =
+    match kind with `Old -> fanins | `New -> Array.append fanins [| source |]
+  in
+  match Cube.add_literal (Literal.make v phase) cubes.(cube) with
+  | None -> None (* the opposite literal is already there *)
+  | Some bigger ->
+    if Cube.equal bigger cubes.(cube) then None (* already present *)
+    else begin
+      cubes.(cube) <- bigger;
+      Some (fanins', Cover.of_cubes (Array.to_list cubes), bigger)
+    end
+
+let try_add_wire ?use_dominators net ~node ~cube ~source ~phase =
+  if Network.depends_on net source node then false
+  else
+    let old_fanins = Network.fanins net node in
+    let old_cover = Network.cover net node in
+    match cube_with_literal net ~node ~cube ~source ~phase with
+    | None -> false
+    | Some (fanins', cover', bigger) ->
+      Network.set_function net node ~fanins:fanins' cover';
+      (* Find the cube again (normalisation may reorder) and test the new
+         literal wire for redundancy. *)
+      let idx =
+        let cubes = Cover.cubes (Network.cover net node) in
+        List.find_index (fun c -> Cube.equal c bigger) cubes
+      in
+      let redundant =
+        match idx with
+        | None -> false
+        | Some i ->
+          let new_fanins = Network.fanins net node in
+          (match
+             Array.to_list new_fanins |> List.find_index (Int.equal source)
+           with
+          | None -> false
+          | Some v ->
+            Atpg.Fault.redundant ?use_dominators net
+              (Atpg.Fault.Literal_wire
+                 { node; cube = i; lit = Literal.make v phase }))
+      in
+      if redundant then true
+      else begin
+        Network.set_function net node ~fanins:old_fanins old_cover;
+        false
+      end
+
+(* Candidate sources: nodes sharing transitive-fanin support with [node],
+   nearest first, excluding anything that would create a cycle. *)
+let candidate_sources net node ~limit =
+  let my_support = Network.transitive_fanin net [ node ] in
+  let scored =
+    List.filter_map
+      (fun c ->
+        if c = node || Network.depends_on net c node then None
+        else begin
+          let shared =
+            Network.Node_set.cardinal
+              (Network.Node_set.inter my_support
+                 (Network.transitive_fanin net [ c ]))
+          in
+          if shared = 0 then None else Some (c, shared)
+        end)
+      (Network.logic_ids net)
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> Int.compare b a) scored in
+  List.filteri (fun i _ -> i < limit) (List.map fst sorted)
+
+(* One tentative RAR move, executed on a scratch copy: add the wire, run
+   redundancy removal around it, keep the copy only on literal gain. *)
+let attempt_move ?use_dominators net ~node ~cube ~source ~phase =
+  let scratch = Network.copy net in
+  if not (try_add_wire ?use_dominators scratch ~node ~cube ~source ~phase) then
+    None
+  else begin
+    let neighbourhood =
+      Network.Node_set.union
+        (Network.transitive_fanout scratch [ source ])
+        (Network.transitive_fanin scratch [ node ])
+    in
+    let removed =
+      Remove.run ?use_dominators
+        ~node_filter:(fun n -> Network.Node_set.mem n neighbourhood)
+        scratch
+    in
+    let gain = Lit_count.factored net - Lit_count.factored scratch in
+    if gain > 0 then Some (scratch, removed) else None
+  end
+
+let optimize ?use_dominators ?(max_sources_per_node = 8) net =
+  let tried = ref 0 and kept = ref 0 and removed = ref 0 in
+  let lits_before = Lit_count.factored net in
+  List.iter
+    (fun node ->
+      if Network.mem net node then begin
+        let sources = candidate_sources net node ~limit:max_sources_per_node in
+        List.iter
+          (fun source ->
+            if Network.mem net node && Network.mem net source then begin
+              let ncubes = Cover.cube_count (Network.cover net node) in
+              for i = 0 to ncubes - 1 do
+                if
+                  Network.mem net node
+                  && i < Cover.cube_count (Network.cover net node)
+                then
+                  List.iter
+                    (fun phase ->
+                      incr tried;
+                      match
+                        attempt_move ?use_dominators net ~node ~cube:i ~source
+                          ~phase
+                      with
+                      | Some (better, r) ->
+                        Network.overwrite net better;
+                        incr kept;
+                        removed := !removed + r
+                      | None -> ())
+                    [ true; false ]
+              done
+            end)
+          sources
+      end)
+    (Network.logic_ids net);
+  let lits_after = Lit_count.factored net in
+  {
+    additions_tried = !tried;
+    additions_kept = !kept;
+    wires_removed = !removed;
+    literals_saved = lits_before - lits_after;
+  }

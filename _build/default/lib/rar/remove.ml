@@ -1,0 +1,47 @@
+open Twolevel
+module Network = Logic_network.Network
+
+let remove_wire net wire =
+  match wire with
+  | Atpg.Fault.Literal_wire { node; cube; lit } ->
+    let cubes = Array.of_list (Cover.cubes (Network.cover net node)) in
+    cubes.(cube) <- Cube.remove_literal lit cubes.(cube);
+    Network.set_function net node ~fanins:(Network.fanins net node)
+      (Cover.single_cube_containment (Cover.of_cubes (Array.to_list cubes)))
+  | Atpg.Fault.Cube_wire { node; cube } ->
+    let cubes = Cover.cubes (Network.cover net node) in
+    let remaining = List.filteri (fun i _ -> i <> cube) cubes in
+    Network.set_function net node ~fanins:(Network.fanins net node)
+      (Cover.of_cubes remaining)
+
+let run ?use_dominators ?learn_depth ?region ?(node_filter = fun _ -> true) net =
+  let removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let nodes = List.filter node_filter (Network.logic_ids net) in
+    List.iter
+      (fun id ->
+        if Network.mem net id then begin
+          (* Wire indices shift after a removal, so rescan the node after
+             every hit. *)
+          let rec scan () =
+            let wires = Atpg.Fault.all_wires net id in
+            match
+              List.find_opt
+                (fun w ->
+                  Atpg.Fault.redundant ?use_dominators ?learn_depth ?region net w)
+                wires
+            with
+            | Some w ->
+              remove_wire net w;
+              incr removed;
+              changed := true;
+              scan ()
+            | None -> ()
+          in
+          scan ()
+        end)
+      nodes
+  done;
+  !removed

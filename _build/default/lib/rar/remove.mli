@@ -1,0 +1,23 @@
+(** Implication-based redundancy removal (the "removal" half of RAR).
+
+    Scans wires — literal connections into cubes and cube connections into
+    nodes — testing each one's stuck-at fault for untestability via
+    {!Atpg.Fault.redundant}, and deletes proven-redundant wires until a
+    fixpoint. Deleting a wire can expose new redundancies, so the scan
+    restarts after every change. *)
+
+val remove_wire : Logic_network.Network.t -> Atpg.Fault.wire -> unit
+(** Delete one wire: a literal wire disappears from its cube (the network
+    cover is re-normalised), a cube wire removes the whole cube. *)
+
+val run :
+  ?use_dominators:bool ->
+  ?learn_depth:int ->
+  ?region:(Logic_network.Network.node_id -> bool) ->
+  ?node_filter:(Logic_network.Network.node_id -> bool) ->
+  Logic_network.Network.t ->
+  int
+(** Remove redundant wires everywhere (or on nodes passing [node_filter]);
+    returns the number of wires removed. [region] restricts how far the
+    implications travel (see {!Atpg.Imply.create}); [node_filter] restricts
+    which nodes' wires are tested. *)

@@ -1,0 +1,1 @@
+lib/sim/equiv.ml: Array Hashtbl Int64 List Logic_network Rar_util Simulate String

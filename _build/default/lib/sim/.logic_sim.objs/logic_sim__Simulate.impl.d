@@ -1,0 +1,1 @@
+lib/sim/simulate.ml: Array Cover Cube Hashtbl Int Int64 List Literal Logic_network Rar_util Twolevel

@@ -1,0 +1,1 @@
+lib/sim/simulate.mli: Hashtbl Logic_network Rar_util

@@ -1,0 +1,85 @@
+module Network = Logic_network.Network
+
+type result = Equivalent | Counterexample of (string * bool) list
+
+let sorted_names names = List.sort String.compare names
+
+let input_names net = sorted_names (List.map (Network.name net) (Network.inputs net))
+
+let output_names net = sorted_names (List.map fst (Network.outputs net))
+
+let require_same_interface net1 net2 =
+  if input_names net1 <> input_names net2 then
+    invalid_arg "Equiv: input name sets differ";
+  if output_names net1 <> output_names net2 then
+    invalid_arg "Equiv: output name sets differ"
+
+(* Compare all outputs under shared input patterns; patterns are assigned
+   to inputs of net2 by name so both networks see the same stimulus. *)
+let compare_under net1 net2 ~words ~inputs1 =
+  let values_by_name = Hashtbl.create 16 in
+  List.iter
+    (fun id -> Hashtbl.replace values_by_name (Network.name net1 id) (inputs1 id))
+    (Network.inputs net1);
+  let inputs2 id = Hashtbl.find values_by_name (Network.name net2 id) in
+  let v1 = Simulate.run net1 ~words ~input_values:inputs1 in
+  let v2 = Simulate.run net2 ~words ~input_values:inputs2 in
+  let outputs1 = Network.outputs net1 in
+  let mismatch =
+    List.find_map
+      (fun (po_name, id1) ->
+        let id2 =
+          match
+            List.find_opt (fun (n, _) -> n = po_name) (Network.outputs net2)
+          with
+          | Some (_, id) -> id
+          | None -> invalid_arg "Equiv: output missing"
+        in
+        let a = Hashtbl.find v1 id1 and b = Hashtbl.find v2 id2 in
+        let rec scan w =
+          if w >= words then None
+          else if a.(w) <> b.(w) then Some (w, Int64.logxor a.(w) b.(w))
+          else scan (w + 1)
+        in
+        scan 0)
+      outputs1
+  in
+  match mismatch with
+  | None -> Equivalent
+  | Some (w, diff) ->
+    (* Extract the first differing bit as a named counterexample. *)
+    let bit =
+      let rec first b =
+        if Int64.logand (Int64.shift_right_logical diff b) 1L = 1L then b
+        else first (b + 1)
+      in
+      first 0
+    in
+    let assignment =
+      List.map
+        (fun id ->
+          let v = (inputs1 id).(w) in
+          ( Network.name net1 id,
+            Int64.logand (Int64.shift_right_logical v bit) 1L = 1L ))
+        (Network.inputs net1)
+    in
+    Counterexample assignment
+
+let exhaustive net1 net2 =
+  require_same_interface net1 net2;
+  let n = List.length (Network.inputs net1) in
+  if n > 22 then invalid_arg "Equiv.exhaustive: too many inputs";
+  let words = Simulate.exhaustive_words n in
+  compare_under net1 net2 ~words ~inputs1:(Simulate.exhaustive_inputs net1)
+
+let random ?(seed = 0x5eed) ?(words = 64) net1 net2 =
+  require_same_interface net1 net2;
+  let rng = Rar_util.Rng.create seed in
+  compare_under net1 net2 ~words
+    ~inputs1:(Simulate.random_inputs rng net1 ~words)
+
+let check net1 net2 =
+  let n = List.length (Network.inputs net1) in
+  if n <= 14 then exhaustive net1 net2 else random ~words:256 net1 net2
+
+let equivalent net1 net2 = check net1 net2 = Equivalent

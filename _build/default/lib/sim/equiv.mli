@@ -1,0 +1,29 @@
+(** Combinational equivalence checking between two networks.
+
+    Inputs and outputs are matched by name; both networks must expose the
+    same input-name and output-name sets. Used by the test suite and the
+    optimization drivers to guarantee that every rewrite preserves the
+    circuit function. *)
+
+type result = Equivalent | Counterexample of (string * bool) list
+(** A counterexample lists an input assignment by input name. *)
+
+val exhaustive : Logic_network.Network.t -> Logic_network.Network.t -> result
+(** Complete check by 64-way parallel enumeration; the networks must have
+    at most 22 inputs. *)
+
+val random :
+  ?seed:int ->
+  ?words:int ->
+  Logic_network.Network.t ->
+  Logic_network.Network.t ->
+  result
+(** Random simulation with [64 * words] patterns (default 64 words).
+    [Equivalent] means "no difference found". *)
+
+val check : Logic_network.Network.t -> Logic_network.Network.t -> result
+(** {!exhaustive} when the input count allows it, otherwise {!random} with
+    a generous pattern budget. *)
+
+val equivalent : Logic_network.Network.t -> Logic_network.Network.t -> bool
+(** [check] collapsed to a boolean. *)

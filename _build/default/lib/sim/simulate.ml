@@ -1,0 +1,89 @@
+open Twolevel
+module Network = Logic_network.Network
+
+type valuation = (Network.node_id, int64 array) Hashtbl.t
+
+let run net ~words ~input_values =
+  let values : valuation = Hashtbl.create 64 in
+  let full = Int64.minus_one in
+  List.iter
+    (fun id ->
+      let value =
+        if Network.is_input net id then begin
+          let v = input_values id in
+          assert (Array.length v = words);
+          v
+        end
+        else begin
+          let fanins = Network.fanins net id in
+          let fanin_values = Array.map (Hashtbl.find values) fanins in
+          let out = Array.make words 0L in
+          List.iter
+            (fun cube ->
+              let cube_word w =
+                List.fold_left
+                  (fun acc lit ->
+                    let fv = fanin_values.(Literal.var lit).(w) in
+                    let fv = if Literal.is_pos lit then fv else Int64.lognot fv in
+                    Int64.logand acc fv)
+                  full (Cube.literals cube)
+              in
+              for w = 0 to words - 1 do
+                out.(w) <- Int64.logor out.(w) (cube_word w)
+              done)
+            (Cover.cubes (Network.cover net id));
+          out
+        end
+      in
+      Hashtbl.replace values id value)
+    (Network.topological net);
+  values
+
+let random_inputs rng net ~words =
+  let memo = Hashtbl.create 16 in
+  fun id ->
+    match Hashtbl.find_opt memo id with
+    | Some v -> v
+    | None ->
+      ignore net;
+      let v = Array.init words (fun _ -> Rar_util.Rng.int64 rng) in
+      Hashtbl.add memo id v;
+      v
+
+let exhaustive_words n =
+  if n > 26 then invalid_arg "Simulate.exhaustive_words: too many inputs";
+  if n <= 6 then 1 else 1 lsl (n - 6)
+
+let exhaustive_inputs net =
+  let order = Network.inputs net in
+  let n = List.length order in
+  let words = exhaustive_words n in
+  let memo = Hashtbl.create 16 in
+  fun id ->
+    match Hashtbl.find_opt memo id with
+    | Some v -> v
+    | None ->
+      let index =
+        match List.find_index (Int.equal id) order with
+        | Some i -> i
+        | None -> invalid_arg "Simulate.exhaustive_inputs: not an input"
+      in
+      let v =
+        Array.init words (fun w ->
+            (* Bit b of word w corresponds to assignment number 64w + b;
+               input [index] is bit [index] of that number. *)
+            if index < 6 then begin
+              (* Patterns repeat within a word. *)
+              let block = 1 lsl index in
+              let word = ref 0L in
+              for b = 63 downto 0 do
+                let bit = if b land block <> 0 then 1L else 0L in
+                word := Int64.logor (Int64.shift_left !word 1) bit
+              done;
+              !word
+            end
+            else if w land (1 lsl (index - 6)) <> 0 then Int64.minus_one
+            else 0L)
+      in
+      Hashtbl.add memo id v;
+      v

@@ -1,0 +1,1 @@
+lib/suite/circuits.ml: Array Cover Cube Int List Literal Logic_network Minimize Printf String Twolevel

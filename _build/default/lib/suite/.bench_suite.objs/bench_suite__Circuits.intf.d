@@ -1,0 +1,1 @@
+lib/suite/circuits.mli: Logic_network

@@ -1,0 +1,1 @@
+lib/suite/generator.ml: Array Cover Cube Fun Hashtbl Int List Literal Logic_network Printf Rar_util Twolevel

@@ -1,0 +1,1 @@
+lib/suite/suite.ml: Circuits Generator List Logic_network

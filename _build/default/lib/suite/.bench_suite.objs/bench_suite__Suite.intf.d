@@ -1,0 +1,1 @@
+lib/suite/suite.mli: Generator Logic_network

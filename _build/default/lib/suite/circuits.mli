@@ -1,0 +1,48 @@
+(** Embedded genuine circuits.
+
+    Small, well-known combinational blocks used by the examples, the tests
+    and the small rows of the experiment tables. Everything is constructed
+    programmatically (no external benchmark files are required), but the
+    functions are the textbook ones — e.g. {!c17} is the ISCAS-85 C17
+    netlist gate for gate. *)
+
+val c17 : unit -> Logic_network.Network.t
+(** ISCAS-85 C17: 5 inputs, 6 NAND gates, 2 outputs. *)
+
+val full_adder : unit -> Logic_network.Network.t
+
+val ripple_adder : int -> Logic_network.Network.t
+(** n-bit ripple-carry adder (2n+1 inputs, n+1 outputs). *)
+
+val mux : int -> Logic_network.Network.t
+(** 2^k-to-1 multiplexer with k select lines. *)
+
+val decoder : int -> Logic_network.Network.t
+(** k-to-2^k decoder. *)
+
+val majority : int -> Logic_network.Network.t
+(** Majority of n inputs (n odd). *)
+
+val parity : int -> Logic_network.Network.t
+(** Odd parity of n inputs, built as an XOR tree. *)
+
+val comparator : int -> Logic_network.Network.t
+(** n-bit magnitude comparator: outputs lt, eq, gt. *)
+
+val alu_slice : unit -> Logic_network.Network.t
+(** One bit-slice of a 4-function ALU (and/or/xor/add) with two select
+    lines and carry in/out. *)
+
+val multiplier : int -> Logic_network.Network.t
+(** n×n-bit combinational multiplier (minimised per product bit; n ≤ 3). *)
+
+val bcd_to_7seg : unit -> Logic_network.Network.t
+(** BCD digit to seven-segment decoder (segments a-g; inputs ≥ 10 are
+    don't cares resolved to blank). *)
+
+val priority_encoder : int -> Logic_network.Network.t
+(** n-input priority encoder: binary index of the highest set request plus
+    a valid flag (n ≤ 8). *)
+
+val all : (string * (unit -> Logic_network.Network.t)) list
+(** Every embedded circuit with a short name. *)

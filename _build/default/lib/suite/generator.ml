@@ -1,0 +1,320 @@
+open Twolevel
+module Network = Logic_network.Network
+module Rng = Rar_util.Rng
+
+type planted_profile = {
+  inputs : int;
+  noise_nodes : int;
+  algebraic_plants : int;
+  boolean_plants : int;
+  gdc_plants : int;
+  outputs : int;
+}
+
+(* A random non-constant cover over the given variable indices. *)
+let random_cover rng ~vars ~max_cubes ~max_lits =
+  let n_cubes = 1 + Rng.int rng max_cubes in
+  let cube () =
+    let n_lits = 1 + Rng.int rng max_lits in
+    let lits =
+      List.init n_lits (fun _ ->
+          Literal.make (Rng.pick rng vars) (Rng.bool rng))
+    in
+    Cube.of_literals lits
+  in
+  let cubes = List.filter_map (fun c -> c) (List.init n_cubes (fun _ -> cube ())) in
+  let cover = Cover.single_cube_containment (Cover.of_cubes cubes) in
+  if Cover.is_zero cover || Cover.is_one cover then
+    Cover.of_cubes [ Cube.of_literals_exn [ Literal.pos (List.hd vars) ] ]
+  else cover
+
+let pick_distinct rng ~count ~from =
+  let arr = Array.of_list from in
+  Rng.shuffle rng arr;
+  Array.to_list (Array.sub arr 0 (min count (Array.length arr)))
+
+let random ?(seed = 1) ?(n_inputs = 6) ?(n_nodes = 10) ?(n_outputs = 3) () =
+  let rng = Rng.create seed in
+  let net = Network.create () in
+  let inputs =
+    List.init n_inputs (fun i -> Network.add_input net (Printf.sprintf "i%d" i))
+  in
+  let signals = ref inputs in
+  let nodes =
+    List.init n_nodes (fun k ->
+        let n_fanins = min (2 + Rng.int rng 3) (List.length !signals) in
+        let fanins = pick_distinct rng ~count:n_fanins ~from:!signals in
+        let cover =
+          random_cover rng
+            ~vars:(List.init (List.length fanins) Fun.id)
+            ~max_cubes:3 ~max_lits:3
+        in
+        let id =
+          Network.add_logic net
+            ~name:(Printf.sprintf "g%d" k)
+            ~fanins:(Array.of_list fanins) cover
+        in
+        signals := id :: !signals;
+        id)
+    |> List.filter (fun id -> not (Network.is_input net id))
+  in
+  let sinks =
+    List.filter (fun id -> Network.fanouts net id = []) nodes
+  in
+  let chosen =
+    if List.length sinks >= n_outputs then
+      pick_distinct rng ~count:n_outputs ~from:sinks
+    else
+      sinks
+      @ pick_distinct rng
+          ~count:(n_outputs - List.length sinks)
+          ~from:(List.filter (fun n -> not (List.mem n sinks)) nodes)
+  in
+  List.iteri
+    (fun i id -> Network.add_output net (Printf.sprintf "o%d" i) id)
+    (List.sort_uniq Int.compare chosen);
+  Network.check net;
+  net
+
+let planted ?(seed = 1) profile =
+  let rng = Rng.create seed in
+  let net = Network.create () in
+  let inputs =
+    List.init profile.inputs (fun i ->
+        Network.add_input net (Printf.sprintf "i%d" i))
+  in
+  let input_index = Hashtbl.create 16 in
+  List.iteri (fun i id -> Hashtbl.replace input_index id i) inputs;
+  let all_input_vars = List.init profile.inputs Fun.id in
+  let all_inputs_array = Array.of_list inputs in
+  let fresh_name =
+    let counter = ref 0 in
+    fun prefix ->
+      incr counter;
+      Printf.sprintf "%s%d" prefix !counter
+  in
+  let add_flat_node prefix cover =
+    Network.add_logic net ~name:(fresh_name prefix) ~fanins:all_inputs_array
+      cover
+  in
+  (* One plant: a divisor node d (over inputs) and a consumer node whose
+     flattened cover hides q·d + r.
+
+     `Algebraic: q's support is disjoint from d's, so plain weak division
+     recovers d (and Boolean division does too).
+
+     `Boolean: q carries the complement of a literal of one of d's cubes,
+     so forming q·d annihilates that cube's cross products (the identity
+     x·x' = 0). The flattened cover then has no cube divisible by the
+     annihilated divisor cube, which makes the algebraic quotient empty,
+     while the implication-based Boolean division still recovers d. Odd
+     Boolean plants add a third, unconstrained cube to d so that even
+     Boolean {e basic} division fails against the whole divisor and only
+     {e extended} division (splitting d) succeeds. *)
+  let consumers = ref [] in
+  let divisors = ref [] in
+  let fresh_vars_outside rng vars ~count =
+    let outside = List.filter (fun v -> not (List.mem v vars)) all_input_vars in
+    if outside = [] then pick_distinct rng ~count ~from:all_input_vars
+    else pick_distinct rng ~count:(min count (List.length outside)) ~from:outside
+  in
+  let random_cube rng ~vars ~lits =
+    let chosen = pick_distinct rng ~count:lits ~from:vars in
+    Cube.of_literals_exn
+      (List.map (fun v -> Literal.make v (Rng.bool rng)) chosen)
+  in
+  let make_plant style index =
+    let f_cover, d_cover =
+      match style with
+      | `Algebraic ->
+        let d_vars =
+          pick_distinct rng ~count:(2 + Rng.int rng 2) ~from:all_input_vars
+        in
+        let d_cover = random_cover rng ~vars:d_vars ~max_cubes:3 ~max_lits:2 in
+        let q_vars = fresh_vars_outside rng d_vars ~count:3 in
+        let q_cover = random_cover rng ~vars:q_vars ~max_cubes:2 ~max_lits:2 in
+        (Cover.product q_cover d_cover, d_cover)
+      | `Boolean ->
+        let d_vars = pick_distinct rng ~count:4 ~from:all_input_vars in
+        (match (d_vars, fresh_vars_outside rng d_vars ~count:7) with
+        | v1 :: v2 :: v3 :: v4 :: _, o1 :: o2 :: o3 :: q_pool
+          when List.length q_pool >= 2 ->
+          let extended_case = index mod 2 = 0 in
+          if extended_case then begin
+            (* Extended-division plant: f = q·k1 + r against the divisor
+               d = k1 + k2 + k3 with pairwise-disjoint supports. Basic
+               division by the whole of d cannot force a conflict (k2 and
+               k3 both stay unknown), and weak division fails because k2
+               and k3 divide nothing — only decomposing d and dividing by
+               the core {k1} works. *)
+            let k1 = random_cube rng ~vars:[ v1; v2; o1 ] ~lits:3 in
+            let k2 =
+              Cube.of_literals_exn
+                [ Literal.make v3 (Rng.bool rng); Literal.make v4 (Rng.bool rng) ]
+            in
+            let k3 = random_cube rng ~vars:[ o2; o3 ] ~lits:2 in
+            let d_cover = Cover.of_cubes [ k1; k2; k3 ] in
+            let q_vars =
+              pick_distinct rng
+                ~count:(min (2 + Rng.int rng 2) (List.length q_pool))
+                ~from:q_pool
+            in
+            let q_cover =
+              Cover.of_cubes
+                (List.map
+                   (fun v ->
+                     Cube.of_literals_exn [ Literal.make v (Rng.bool rng) ])
+                   q_vars)
+            in
+            (Cover.product q_cover (Cover.of_cubes [ k1 ]), d_cover)
+          end
+          else begin
+            (* Boolean-basic plant: d = k1 + k2 and a quotient that
+               annihilates k2 through the pivot variable v3 (the identity
+               x·x' = 0), defeating algebraic division but not the
+               implication-based Boolean one. *)
+            let k1 = random_cube rng ~vars:[ v1; v2 ] ~lits:2 in
+            let pivot_phase = Rng.bool rng in
+            let k2 =
+              Cube.of_literals_exn
+                [ Literal.make v3 pivot_phase; Literal.make v4 (Rng.bool rng) ]
+            in
+            let d_cover = Cover.of_cubes [ k1; k2 ] in
+            let q_vars =
+              pick_distinct rng
+                ~count:(min (2 + Rng.int rng 2) (List.length q_pool))
+                ~from:q_pool
+            in
+            let q_cube extra_var =
+              Cube.of_literals_exn
+                [
+                  Literal.make v3 (not pivot_phase);
+                  Literal.make extra_var (Rng.bool rng);
+                ]
+            in
+            let q_cover = Cover.of_cubes (List.map q_cube q_vars) in
+            (Cover.product q_cover d_cover, d_cover)
+          end
+        | _ -> (Cover.zero, Cover.zero))
+    in
+    if Cover.is_zero d_cover then ()
+    else begin
+      let d_node = add_flat_node "d" d_cover in
+      divisors := d_node :: !divisors;
+      let r_cover =
+        if Rng.bool rng then
+          random_cover rng
+            ~vars:(pick_distinct rng ~count:2 ~from:all_input_vars)
+            ~max_cubes:1 ~max_lits:3
+        else Cover.zero
+      in
+      let f_cover =
+        Cover.single_cube_containment (Cover.union f_cover r_cover)
+      in
+      if Cover.is_zero f_cover || Cover.is_one f_cover then ()
+      else consumers := add_flat_node "f" f_cover :: !consumers
+    end
+  in
+  List.iteri (fun i () -> make_plant `Algebraic i)
+    (List.init profile.algebraic_plants (fun _ -> ()));
+  List.iteri (fun i () -> make_plant `Boolean i)
+    (List.init profile.boolean_plants (fun _ -> ()));
+  (* GDC plants: y = a·b and x = y·e are internal nodes (kept alive as
+     outputs, i.e. shared subfunctions). The consumer's quotient cube
+     contains both x and the literal a, which is redundant because x = 1
+     forces y = 1 forces a — but proving it takes an implication crossing
+     two node levels, which only the global-don't-care configuration
+     performs. Every configuration still finds the ordinary division by
+     the single-literal-cube divisor d = g + h. *)
+  let gdc_keep = ref [] in
+  for _ = 1 to profile.gdc_plants do
+    match pick_distinct rng ~count:8 ~from:all_input_vars with
+    | a :: b :: e :: w1 :: u :: w2 :: g :: h :: _ ->
+      let input v = all_inputs_array.(v) in
+      let pa = Rng.bool rng and pb = Rng.bool rng and pe = Rng.bool rng in
+      let cube lits = Cover.of_cubes [ Cube.of_literals_exn lits ] in
+      let y_node =
+        Network.add_logic net ~name:(fresh_name "y")
+          ~fanins:[| input a; input b |]
+          (cube [ Literal.make 0 pa; Literal.make 1 pb ])
+      in
+      let x_node =
+        Network.add_logic net ~name:(fresh_name "x")
+          ~fanins:[| y_node; input e |]
+          (cube [ Literal.pos 0; Literal.make 1 pe ])
+      in
+      let d_node =
+        Network.add_logic net ~name:(fresh_name "d")
+          ~fanins:[| input g; input h |]
+          (Cover.of_cubes
+             [
+               Cube.of_literals_exn [ Literal.pos 0 ];
+               Cube.of_literals_exn [ Literal.pos 1 ];
+             ])
+      in
+      divisors := d_node :: !divisors;
+      (* f = (x·a^pa·w1 + u·w2)·(g + h) over explicit fanins. *)
+      let fanins =
+        [| x_node; input a; input w1; input u; input w2; input g; input h |]
+      in
+      let q_cover =
+        Cover.of_cubes
+          [
+            Cube.of_literals_exn
+              [ Literal.pos 0; Literal.make 1 pa; Literal.make 2 (Rng.bool rng) ];
+            Cube.of_literals_exn
+              [ Literal.make 3 (Rng.bool rng); Literal.make 4 (Rng.bool rng) ];
+          ]
+      in
+      let d_local =
+        Cover.of_cubes
+          [
+            Cube.of_literals_exn [ Literal.pos 5 ];
+            Cube.of_literals_exn [ Literal.pos 6 ];
+          ]
+      in
+      let f_node =
+        Network.add_logic net ~name:(fresh_name "f") ~fanins
+          (Cover.product q_cover d_local)
+      in
+      consumers := f_node :: !consumers;
+      gdc_keep := x_node :: y_node :: !gdc_keep
+    | _ -> ()
+  done;
+  (* Noise nodes over inputs, earlier noise and divisors (giving divisors
+     organic fanout, as in real circuits). *)
+  let noise_pool = ref (inputs @ !divisors) in
+  for _ = 1 to profile.noise_nodes do
+    let n_fanins = min (2 + Rng.int rng 3) (List.length !noise_pool) in
+    let fanins = pick_distinct rng ~count:n_fanins ~from:!noise_pool in
+    let cover =
+      random_cover rng
+        ~vars:(List.init (List.length fanins) Fun.id)
+        ~max_cubes:3 ~max_lits:3
+    in
+    let id = Network.add_logic net ~name:(fresh_name "n") ~fanins:(Array.of_list fanins) cover in
+    noise_pool := id :: !noise_pool
+  done;
+  (* Outputs: all consumers, plus enough sinks to reach the requested
+     output count. *)
+  let sinks =
+    List.filter
+      (fun id ->
+        (not (Network.is_input net id)) && Network.fanouts net id = [])
+      (Network.node_ids net)
+  in
+  let outs =
+    (* Divisors are visible as outputs (shared subfunctions in a larger
+       design) so that [eliminate] keeps them available for
+       resubstitution, like the multi-fanout nodes of a real circuit. *)
+    List.sort_uniq Int.compare
+      (!consumers @ !divisors @ !gdc_keep
+      @ pick_distinct rng
+          ~count:(max 0 (profile.outputs - List.length !consumers))
+          ~from:sinks)
+  in
+  List.iteri
+    (fun i id -> Network.add_output net (Printf.sprintf "o%d" i) id)
+    outs;
+  Network.check net;
+  net

@@ -1,0 +1,40 @@
+(** Seeded random multilevel networks.
+
+    Two flavours:
+    {ul
+    {- {!random}: unstructured random logic, used by the property-based
+       tests as adversarial input;}
+    {- {!planted}: benchmark-style networks with {e planted sharing}. Some
+       generated functions are built as [q·d + r] (or their XOR-flavoured
+       Boolean variants) and then flattened, so that resubstitution can
+       rediscover the divisor [d] that exists elsewhere in the circuit.
+       Algebraic-style plants have quotients support-disjoint from the
+       divisor (findable by algebraic resub); Boolean-style plants overlap
+       the divisor's support or hide it behind complement identities, so
+       only Boolean division can recover them — reproducing the paper's
+       experimental contrast.}}
+
+    All randomness flows from the seed; equal parameters give identical
+    networks. *)
+
+val random :
+  ?seed:int ->
+  ?n_inputs:int ->
+  ?n_nodes:int ->
+  ?n_outputs:int ->
+  unit ->
+  Logic_network.Network.t
+
+type planted_profile = {
+  inputs : int;
+  noise_nodes : int;  (** unstructured filler nodes *)
+  algebraic_plants : int;  (** f = q·d + r with disjoint-support q, d *)
+  boolean_plants : int;  (** f = q·d + r with support-sharing q, d *)
+  gdc_plants : int;
+      (** plants with a literal removable only through implications that
+          cross two levels of logic — visible to the GDC configuration
+          only *)
+  outputs : int;
+}
+
+val planted : ?seed:int -> planted_profile -> Logic_network.Network.t

@@ -1,0 +1,72 @@
+type source =
+  | Embedded of (unit -> Logic_network.Network.t)
+  | Synthetic of Generator.planted_profile
+
+type row = {
+  name : string;
+  seed : int;
+  source : source;
+}
+
+(* A profile scaled around the benchmark's rough relative size in the
+   paper's tables ([weight] 1 = small MCNC circuit, 10 = large ISCAS). *)
+let profile weight : Generator.planted_profile =
+  {
+    inputs = 12 + (3 * weight);
+    noise_nodes = 6 + (6 * weight);
+    algebraic_plants = 1 + weight;
+    boolean_plants = 1 + weight;
+    gdc_plants = (weight / 2) + 1;
+    outputs = 4 + (2 * weight);
+  }
+
+let synthetic name seed weight =
+  { name; seed; source = Synthetic (profile weight) }
+
+let embedded name builder = { name; seed = 0; source = Embedded builder }
+
+(* Benchmark names follow the MCNC / ISCAS sets the paper uses; seeds are
+   fixed so every run sees identical circuits. *)
+let rows =
+  [
+    embedded "c17" Circuits.c17;
+    embedded "adder4" (fun () -> Circuits.ripple_adder 4);
+    embedded "alu_slice" Circuits.alu_slice;
+    embedded "comparator2" (fun () -> Circuits.comparator 2);
+    embedded "mult2" (fun () -> Circuits.multiplier 2);
+    embedded "bcd7seg" Circuits.bcd_to_7seg;
+    synthetic "9sym" 901 2;
+    synthetic "alu2" 902 3;
+    synthetic "apex6" 903 6;
+    synthetic "apex7" 904 4;
+    synthetic "b9" 905 2;
+    synthetic "c8" 906 2;
+    synthetic "dalu" 907 6;
+    synthetic "example2" 908 4;
+    synthetic "f51m" 909 2;
+    synthetic "frg1" 910 3;
+    synthetic "k2" 911 7;
+    synthetic "rot" 912 6;
+    synthetic "t481" 913 5;
+    synthetic "term1" 914 3;
+    synthetic "ttt2" 915 3;
+    synthetic "x3" 916 6;
+    synthetic "C432" 1001 4;
+    synthetic "C880" 1002 5;
+    synthetic "C1355" 1003 5;
+    synthetic "C1908" 1004 6;
+    synthetic "C2670" 1005 8;
+    synthetic "C5315" 1006 10;
+  ]
+
+let quick_rows =
+  List.filter
+    (fun r -> List.mem r.name [ "c17"; "alu_slice"; "9sym"; "b9"; "f51m" ])
+    rows
+
+let build row =
+  match row.source with
+  | Embedded builder -> builder ()
+  | Synthetic p -> Generator.planted ~seed:row.seed p
+
+let find name = List.find_opt (fun r -> r.name = name) rows

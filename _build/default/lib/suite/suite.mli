@@ -1,0 +1,33 @@
+(** The benchmark set for the experiment tables.
+
+    The paper evaluates on MCNC and ISCAS benchmarks inside SIS. Those
+    netlists are not redistributable here, so each row is either one of
+    the genuine embedded circuits ({!Circuits}) or a {e seeded synthetic
+    stand-in} generated with {!Generator.planted} — carrying the paper's
+    benchmark name, sized roughly proportionally (scaled down ~3x so the
+    whole harness runs in minutes), and containing the planted mix of
+    algebraic, Boolean, extended and GDC substitution opportunities that
+    the real circuits offer the algorithms. Every method runs on the
+    identical network, so the comparative shape of the tables is
+    meaningful even though the absolute numbers are not the paper's. *)
+
+type source =
+  | Embedded of (unit -> Logic_network.Network.t)
+  | Synthetic of Generator.planted_profile
+
+type row = {
+  name : string;
+  seed : int;
+  source : source;
+}
+
+val rows : row list
+(** The benchmark set used for Tables II-V, in display order. *)
+
+val quick_rows : row list
+(** A small subset for smoke tests and the Bechamel timing benches. *)
+
+val build : row -> Logic_network.Network.t
+(** Fresh instance of a row's circuit. *)
+
+val find : string -> row option

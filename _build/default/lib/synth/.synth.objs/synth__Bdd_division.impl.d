@@ -1,0 +1,1 @@
+lib/synth/bdd_division.ml: Cover Cube Lift Literal Logic_network Minimize Robdd Twolevel

@@ -1,0 +1,1 @@
+lib/synth/bdd_division.mli: Logic_network

@@ -1,0 +1,1 @@
+lib/synth/coalgebraic.ml: Cover Cube Lift List Literal Logic_network Twolevel

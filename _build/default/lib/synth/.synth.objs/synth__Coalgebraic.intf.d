@@ -1,0 +1,1 @@
+lib/synth/coalgebraic.mli: Logic_network Twolevel

@@ -1,0 +1,1 @@
+lib/synth/decomp.ml: Array Cover Cube Factor Hashtbl Lift List Literal Logic_network Printf Twolevel

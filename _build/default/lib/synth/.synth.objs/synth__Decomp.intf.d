@@ -1,0 +1,1 @@
+lib/synth/decomp.mli: Logic_network

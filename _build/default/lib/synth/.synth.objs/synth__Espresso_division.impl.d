@@ -1,0 +1,1 @@
+lib/synth/espresso_division.ml: Complement Cover Cube Lift List Literal Logic_network Minimize Twolevel

@@ -1,0 +1,1 @@
+lib/synth/espresso_division.mli: Logic_network

@@ -1,0 +1,1 @@
+lib/synth/extract.ml: Algebraic Array Cover Cube Hashtbl Kernel Lift List Literal Logic_network Map Option Printf Twolevel

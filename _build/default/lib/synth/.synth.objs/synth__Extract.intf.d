@@ -1,0 +1,1 @@
+lib/synth/extract.mli: Logic_network

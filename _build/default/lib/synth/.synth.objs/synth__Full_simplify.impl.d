@@ -1,0 +1,1 @@
+lib/synth/full_simplify.ml: Array Complement Cover Cube Int List Literal Logic_network Minimize Simplify Twolevel

@@ -1,0 +1,1 @@
+lib/synth/full_simplify.mli: Logic_network Twolevel

@@ -1,0 +1,1 @@
+lib/synth/lift.ml: Array Cover Hashtbl Logic_network Twolevel

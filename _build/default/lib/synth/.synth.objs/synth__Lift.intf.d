@@ -1,0 +1,1 @@
+lib/synth/lift.mli: Logic_network Twolevel

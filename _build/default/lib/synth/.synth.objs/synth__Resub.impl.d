@@ -1,0 +1,1 @@
+lib/synth/resub.ml: Algebraic Complement Cover Cube Int Lift List Literal Logic_network Minimize Twolevel

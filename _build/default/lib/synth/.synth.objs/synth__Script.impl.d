@@ -1,0 +1,1 @@
+lib/synth/script.ml: Booldiv Extract Full_simplify List Logic_network Resub Simplify

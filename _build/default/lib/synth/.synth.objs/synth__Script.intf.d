@@ -1,0 +1,1 @@
+lib/synth/script.mli: Logic_network

@@ -1,0 +1,1 @@
+lib/synth/simplify.ml: Cover List Logic_network Minimize Twolevel

@@ -1,0 +1,1 @@
+lib/synth/simplify.mli: Logic_network

@@ -1,0 +1,50 @@
+open Twolevel
+module Network = Logic_network.Network
+module Lit_count = Logic_network.Lit_count
+
+let cover_limit = 64
+
+let try_substitute net ~f ~d =
+  if
+    f = d
+    || Network.is_input net f
+    || Network.is_input net d
+    || Network.depends_on net d f
+  then false
+  else begin
+    let man = Robdd.Bdd.create () in
+    (* Variables are node ids (the lifted space). *)
+    let f_bdd = Robdd.Bdd.of_cover man (Lift.cover net f) in
+    let d_bdd = Robdd.Bdd.of_cover man (Lift.cover net d) in
+    if Robdd.Bdd.is_true man d_bdd || Robdd.Bdd.is_false man d_bdd then false
+    else begin
+      let q = Robdd.Bdd.constrain man f_bdd d_bdd in
+      let d_not = Robdd.Bdd.not_ man d_bdd in
+      let r = Robdd.Bdd.constrain man f_bdd d_not in
+      let q_cover = Minimize.simplify (Robdd.Bdd.to_cover man q) in
+      let r_cover = Minimize.simplify (Robdd.Bdd.to_cover man r) in
+      if
+        Cover.cube_count q_cover > cover_limit
+        || Cover.cube_count r_cover > cover_limit
+      then false
+      else begin
+        let lit phase = Cover.of_cubes [ Cube.of_literals_exn [ Literal.make d phase ] ] in
+        let rebuilt =
+          Cover.union
+            (Cover.product (lit true) q_cover)
+            (Cover.product (lit false) r_cover)
+        in
+        let before_cover = Network.cover net f in
+        let before_fanins = Network.fanins net f in
+        let before_lits = Lit_count.node_factored net f in
+        match Lift.set_cover net f rebuilt with
+        | exception Network.Cyclic _ -> false
+        | () ->
+          if Lit_count.node_factored net f < before_lits then true
+          else begin
+            Network.set_function net f ~fanins:before_fanins before_cover;
+            false
+          end
+      end
+    end
+  end

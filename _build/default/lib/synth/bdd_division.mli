@@ -1,0 +1,16 @@
+(** BDD-based Boolean division (Stanion–Sechen, TCAD'94 — reference [14]
+    of the paper).
+
+    Built on the fact the paper quotes: [f = d·f↓d + d'·f↓d'] where [↓]
+    is the generalized cofactor, so the quotient of [f] by [d] is [f↓d]
+    and the remainder is [d'·(f↓d')]. Functions are manipulated as BDDs
+    over the shared fanin space and converted back to covers for the
+    rewrite. *)
+
+val try_substitute :
+  Logic_network.Network.t ->
+  f:Logic_network.Network.node_id ->
+  d:Logic_network.Network.node_id ->
+  bool
+(** Rewrite [f = d·(f↓d) + d'·(f↓d')] with [d] as a literal, committed on
+    positive factored-literal gain. *)

@@ -1,0 +1,67 @@
+open Twolevel
+module Network = Logic_network.Network
+module Lit_count = Logic_network.Lit_count
+
+(* Coalgebraic division: start from the SOS split (which is cube-level
+   divisibility up to the identity x·x = x), then shrink quotient cubes by
+   dropping literals of the divisor's support only — the step enabled by
+   x·x = x / x·x' = 0 when forming the product q·d. Validity of each drop
+   is a containment check, so the result stays within what the two
+   identities justify. *)
+let divide f d =
+  let d_support = Cover.support d in
+  let f1, r =
+    List.partition
+      (fun c -> List.exists (Cube.contained_by c) (Cover.cubes d))
+      (Cover.cubes f)
+  in
+  if f1 = [] then None
+  else begin
+    let r = Cover.of_cubes r in
+    let shrink cube =
+      let rec go cube = function
+        | [] -> cube
+        | lit :: rest ->
+          if List.mem (Literal.var lit) d_support then begin
+            let candidate = Cube.remove_literal lit cube in
+            if Cover.contains f (Cover.product_cube candidate d) then
+              go candidate rest
+            else go cube rest
+          end
+          else go cube rest
+      in
+      go cube (Cube.literals cube)
+    in
+    let quotient =
+      Cover.single_cube_containment (Cover.of_cubes (List.map shrink f1))
+    in
+    Some (quotient, r)
+  end
+
+let try_substitute net ~f ~d =
+  if
+    f = d
+    || Network.is_input net f
+    || Network.is_input net d
+    || Network.depends_on net d f
+  then false
+  else begin
+    let f_cover = Lift.cover net f in
+    let d_cover = Lift.cover net d in
+    match divide f_cover d_cover with
+    | None -> false
+    | Some (q, r) ->
+      let d_lit = Cover.of_cubes [ Cube.of_literals_exn [ Literal.pos d ] ] in
+      let rebuilt = Cover.union (Cover.product q d_lit) r in
+      let before_cover = Network.cover net f in
+      let before_fanins = Network.fanins net f in
+      let before_lits = Lit_count.node_factored net f in
+      (match Lift.set_cover net f rebuilt with
+      | exception Network.Cyclic _ -> false
+      | () ->
+        if Lit_count.node_factored net f < before_lits then true
+        else begin
+          Network.set_function net f ~fanins:before_fanins before_cover;
+          false
+        end)
+  end

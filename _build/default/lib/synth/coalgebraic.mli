@@ -1,0 +1,23 @@
+(** Coalgebraic division (Hsu–Shen, DAC'92 — reference [9] of the paper).
+
+    Algebraic division augmented with the two Boolean identities
+    [x·x = x] and [x·x' = 0]: the quotient cubes produced by weak division
+    may keep or re-absorb literals drawn from the divisor's support, and
+    cross-products that the identities annihilate are tolerated. This sits
+    strictly between algebraic and full Boolean division and serves as a
+    middle baseline. *)
+
+val divide :
+  Twolevel.Cover.t ->
+  Twolevel.Cover.t ->
+  (Twolevel.Cover.t * Twolevel.Cover.t) option
+(** [divide f d] is [(q, r)] with [q·d + r ≡ f] as Boolean functions and
+    [q] restricted to the coalgebraic search space; [None] when no useful
+    quotient exists. *)
+
+val try_substitute :
+  Logic_network.Network.t ->
+  f:Logic_network.Network.node_id ->
+  d:Logic_network.Network.node_id ->
+  bool
+(** Node-level substitution with factored-literal gain policy. *)

@@ -1,0 +1,95 @@
+open Twolevel
+module Network = Logic_network.Network
+
+(* Build the factor tree as nodes; returns a cover (over the node's fanin
+   ids, lifted space) for the subtree — single-literal covers reference
+   freshly created nodes. *)
+let rec materialise net ~name_hint factor =
+  match factor with
+  | Factor.Const false -> Cover.zero
+  | Factor.Const true -> Cover.one
+  | Factor.Lit lit ->
+    Cover.of_cubes [ Cube.of_literals_exn [ lit ] ]
+  | Factor.And parts ->
+    let covers = List.map (materialise net ~name_hint) parts in
+    let as_literal cover = literal_of net ~name_hint cover in
+    let lits = List.map as_literal covers in
+    (match Cube.of_literals lits with
+    | Some cube -> Cover.of_cubes [ cube ]
+    | None -> Cover.zero)
+  | Factor.Or parts ->
+    let covers = List.map (materialise net ~name_hint) parts in
+    let lits = List.map (fun c -> literal_of net ~name_hint c) covers in
+    Cover.of_cubes
+      (List.filter_map (fun l -> Cube.of_literals [ l ]) lits)
+
+(* Turn a lifted cover into a single literal: trivial covers stay literal,
+   anything else becomes a fresh node. *)
+and literal_of net ~name_hint cover =
+  match Cover.cubes cover with
+  | [ cube ] when Cube.size cube = 1 ->
+    (match Cube.literals cube with [ l ] -> l | _ -> assert false)
+  | _ ->
+    let support = Cover.support cover in
+    let fanins = Array.of_list support in
+    let slot =
+      let tbl = Hashtbl.create 8 in
+      Array.iteri (fun i n -> Hashtbl.replace tbl n i) fanins;
+      Hashtbl.find tbl
+    in
+    let id =
+      Network.add_logic net
+        ~name:(Printf.sprintf "%s_d%d" name_hint (Network.node_count net))
+        ~fanins (Cover.map_vars slot cover)
+    in
+    Literal.pos id
+
+(* Count the internal operator nodes a factored form would create. *)
+let rec operator_count = function
+  | Factor.Const _ | Factor.Lit _ -> 0
+  | Factor.And parts | Factor.Or parts ->
+    1 + List.fold_left (fun acc p -> acc + operator_count p) 0 parts
+
+let node ?(threshold = 2) net id =
+  if Network.is_input net id then false
+  else begin
+    let lifted = Lift.cover net id in
+    let factored = Factor.of_cover lifted in
+    if operator_count factored < threshold then false
+    else begin
+      (* Materialise children of the ROOT operator only partially: the
+         root's own structure stays in this node, subtrees become new
+         nodes. *)
+      let name_hint = Network.name net id in
+      let root_cover =
+        match factored with
+        | Factor.Const false -> Cover.zero
+        | Factor.Const true -> Cover.one
+        | Factor.Lit lit -> Cover.of_cubes [ Cube.of_literals_exn [ lit ] ]
+        | Factor.And parts ->
+          let lits = List.map (fun p -> literal_of net ~name_hint (materialise net ~name_hint p)) parts in
+          (match Cube.of_literals lits with
+          | Some cube -> Cover.of_cubes [ cube ]
+          | None -> Cover.zero)
+        | Factor.Or parts ->
+          Cover.of_cubes
+            (List.filter_map
+               (fun p ->
+                 match
+                   Cube.of_literals
+                     [ literal_of net ~name_hint (materialise net ~name_hint p) ]
+                 with
+                 | Some c -> Some c
+                 | None -> None)
+               parts)
+      in
+      match Lift.set_cover net id root_cover with
+      | exception Network.Cyclic _ -> false
+      | () -> true
+    end
+  end
+
+let run ?threshold net =
+  List.fold_left
+    (fun acc id -> if Network.mem net id && node ?threshold net id then acc + 1 else acc)
+    0 (Network.logic_ids net)

@@ -1,0 +1,20 @@
+(** Factored-form decomposition: the SIS [decomp -g] command.
+
+    Each large node is rewritten as the tree of its quick-factored form:
+    AND and OR factors become separate nodes, so a complex gate turns into
+    a multilevel structure of simple ones. The inverse of [eliminate];
+    useful before technology mapping and as a restructuring step between
+    optimisation rounds. *)
+
+val node :
+  ?threshold:int ->
+  Logic_network.Network.t ->
+  Logic_network.Network.node_id ->
+  bool
+(** Decompose one node when its factored form has at least [threshold]
+    (default 2) internal operator nodes; returns [true] if the network
+    changed. *)
+
+val run : ?threshold:int -> Logic_network.Network.t -> int
+(** Decompose every qualifying logic node; returns the number of nodes
+    decomposed. *)

@@ -1,0 +1,57 @@
+open Twolevel
+module Network = Logic_network.Network
+module Lit_count = Logic_network.Lit_count
+
+let complement_limit = 64
+
+let try_substitute net ~f ~d =
+  if
+    f = d
+    || Network.is_input net f
+    || Network.is_input net d
+    || Network.depends_on net d f
+  then false
+  else begin
+    let f_cover = Lift.cover net f in
+    let d_cover = Lift.cover net d in
+    (* x <-> d disagreement is the don't-care set: x·d' + x'·d, with x
+       being the literal of node d itself in the lifted space. *)
+    match Complement.cover_limited ~limit:complement_limit d_cover with
+    | None -> false
+    | Some d_not ->
+      let x_pos = Cover.of_cubes [ Cube.of_literals_exn [ Literal.pos d ] ] in
+      let x_neg = Cover.of_cubes [ Cube.of_literals_exn [ Literal.neg d ] ] in
+      let dc =
+        Cover.union (Cover.product x_pos d_not) (Cover.product x_neg d_cover)
+      in
+      (* Seed the cover with both phases of x so the expand step can trade
+         function literals for the new input (our containment-based
+         expander only ever removes literals). *)
+      let seeded =
+        Cover.of_cubes
+          (List.concat_map
+             (fun c ->
+               List.filter_map
+                 (fun lit -> Cube.add_literal lit c)
+                 [ Literal.pos d; Literal.neg d ])
+             (Cover.cubes f_cover))
+      in
+      let minimized = Minimize.simplify ~dc seeded in
+      let uses_x =
+        List.exists (fun c -> Cube.mem_var d c) (Cover.cubes minimized)
+      in
+      if not uses_x then false
+      else begin
+        let before_cover = Network.cover net f in
+        let before_fanins = Network.fanins net f in
+        let before_lits = Lit_count.node_factored net f in
+        match Lift.set_cover net f minimized with
+        | exception Network.Cyclic _ -> false
+        | () ->
+          if Lit_count.node_factored net f < before_lits then true
+          else begin
+            Network.set_function net f ~fanins:before_fanins before_cover;
+            false
+          end
+      end
+  end

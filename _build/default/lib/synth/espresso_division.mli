@@ -1,0 +1,15 @@
+(** Boolean division by two-level minimization with don't cares — the
+    "ad-hoc setup based on a good two-level optimizer" the paper's
+    introduction describes.
+
+    The divisor [d] is introduced as a fresh input [x]; since [x] will be
+    wired to [d], the assignments where [x ≠ d] are don't cares. Minimizing
+    [f] against that don't-care set lets the optimizer pull [x] into the
+    cover, achieving the effect of Boolean division. *)
+
+val try_substitute :
+  Logic_network.Network.t ->
+  f:Logic_network.Network.node_id ->
+  d:Logic_network.Network.node_id ->
+  bool
+(** Committed on positive factored-literal gain. *)

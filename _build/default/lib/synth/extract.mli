@@ -1,0 +1,15 @@
+(** Common-divisor extraction: the [gcx] and [gkx] commands of the
+    paper's Scripts B and C.
+
+    [gcx] greedily extracts the best common {e cube}: a product appearing
+    inside at least two cubes across the network becomes a new node and is
+    algebraically divided out of its hosts. [gkx] greedily extracts the
+    best common {e kernel} (a multi-cube divisor). Both use the saved
+    flat-literal count as the value function and stop at zero value, like
+    their SIS namesakes. *)
+
+val gcx : ?max_rounds:int -> Logic_network.Network.t -> int
+(** Returns the number of cube nodes extracted. *)
+
+val gkx : ?max_rounds:int -> Logic_network.Network.t -> int
+(** Returns the number of kernel nodes extracted. *)

@@ -1,0 +1,24 @@
+(** Node minimization with fanin satisfiability don't cares — the SIS
+    [full_simplify] command (the last step of the real script.algebraic).
+
+    For a node [n] and a logic fanin [g], the combinations of [g] and the
+    [n]-visible part of [g]'s support that can never occur are
+    satisfiability don't cares of [n]: [g] cannot be 1 where [∃hidden G]
+    is false and cannot be 0 where [∀hidden G] is true (fanins of [g]
+    invisible to [n] are quantified away). They widen the two-level
+    minimization of [n]'s cover. This is the "internal don't cares"
+    mechanism the paper's GDC configuration subsumes, packaged as a
+    per-node minimizer. *)
+
+val node_dc :
+  Logic_network.Network.t -> Logic_network.Network.node_id -> Twolevel.Cover.t
+(** The usable satisfiability don't-care cover of a node, expressed over
+    its fanin variables (empty when no fanin qualifies or complements blow
+    up). *)
+
+val node : Logic_network.Network.t -> Logic_network.Network.node_id -> bool
+(** Minimize one node against its don't cares; [true] if changed. Only
+    commits when the factored literal count does not grow. *)
+
+val run : Logic_network.Network.t -> int
+(** Apply to every logic node; returns the number of nodes changed. *)

@@ -1,0 +1,16 @@
+open Twolevel
+module Network = Logic_network.Network
+
+let cover net id =
+  let fanins = Network.fanins net id in
+  Cover.map_vars (fun v -> fanins.(v)) (Network.cover net id)
+
+let set_cover net id lifted =
+  let support = Cover.support lifted in
+  let fanins = Array.of_list support in
+  let slot =
+    let tbl = Hashtbl.create 8 in
+    Array.iteri (fun i node -> Hashtbl.replace tbl node i) fanins;
+    Hashtbl.find tbl
+  in
+  Network.set_function net id ~fanins (Cover.map_vars slot lifted)

@@ -1,0 +1,19 @@
+(** Lifting node covers into the global node-id variable space.
+
+    Several synthesis commands ([resub], [gcx], [gkx], the division
+    baselines) compare logic {e across} nodes. They do so by rewriting each
+    node's cover so that variable [i] denotes the network node with id
+    [i]; covers of different nodes then share a variable space and the
+    two-level algebra applies directly. *)
+
+val cover :
+  Logic_network.Network.t -> Logic_network.Network.node_id -> Twolevel.Cover.t
+(** A node's cover with fanin variables replaced by node ids. *)
+
+val set_cover :
+  Logic_network.Network.t ->
+  Logic_network.Network.node_id ->
+  Twolevel.Cover.t ->
+  unit
+(** Install a lifted cover back onto a node: the support node-ids become
+    the fanins. @raise Logic_network.Network.Cyclic on cyclic rewrites. *)

@@ -1,0 +1,72 @@
+open Twolevel
+module Network = Logic_network.Network
+module Lit_count = Logic_network.Lit_count
+
+let complement_limit = 64
+
+(* One algebraic division attempt of f by the given lifted divisor cover,
+   substituting the literal [d_lit] for it on success. *)
+let attempt net ~f ~d_cover ~d_lit =
+  let f_cover = Lift.cover net f in
+  let q, r = Algebraic.divide f_cover d_cover in
+  if Cover.is_zero q then false
+  else begin
+    let d_single = Cover.of_cubes [ Cube.of_literals_exn [ d_lit ] ] in
+    let rebuilt = Cover.union (Cover.product q d_single) r in
+    let before_cover = Network.cover net f in
+    let before_fanins = Network.fanins net f in
+    let before_lits = Lit_count.node_factored net f in
+    match Lift.set_cover net f rebuilt with
+    | exception Network.Cyclic _ -> false
+    | () ->
+      if Lit_count.node_factored net f < before_lits then true
+      else begin
+        Network.set_function net f ~fanins:before_fanins before_cover;
+        false
+      end
+  end
+
+let try_substitute ?(use_complement = true) net ~f ~d =
+  if
+    f = d
+    || Network.is_input net f
+    || Network.is_input net d
+    || Network.depends_on net d f
+  then false
+  else begin
+    let d_cover = Lift.cover net d in
+    let direct = attempt net ~f ~d_cover ~d_lit:(Literal.pos d) in
+    if direct then true
+    else if use_complement then begin
+      match Complement.cover_limited ~limit:complement_limit d_cover with
+      | None -> false
+      | Some d_not ->
+        attempt net ~f ~d_cover:(Minimize.simplify d_not)
+          ~d_lit:(Literal.neg d)
+    end
+    else false
+  end
+
+let run ?use_complement ?(max_passes = 4) net =
+  let substitutions = ref 0 in
+  let pass () =
+    let changed = ref false in
+    let nodes = List.sort Int.compare (Network.logic_ids net) in
+    List.iter
+      (fun f ->
+        List.iter
+          (fun d ->
+            if
+              Network.mem net f && Network.mem net d
+              && try_substitute ?use_complement net ~f ~d
+            then begin
+              incr substitutions;
+              changed := true
+            end)
+          nodes)
+      nodes;
+    !changed
+  in
+  let rec loop remaining = if remaining > 0 && pass () then loop (remaining - 1) in
+  loop max_passes;
+  !substitutions

@@ -1,0 +1,19 @@
+(** Algebraic resubstitution: the SIS [resub -d] baseline of the paper.
+
+    For every node [f] and every other node [d] (and, with
+    [use_complement], its complement — the [-d] flag), compute the
+    algebraic (weak) quotient of [f] by [d] in the shared variable space;
+    when it is non-zero, rewrite [f = q·d + r] and keep the rewrite if it
+    lowers the factored literal count. Purely algebraic: none of the
+    Boolean identities or don't cares of the main algorithm are used. *)
+
+val try_substitute :
+  ?use_complement:bool ->
+  Logic_network.Network.t ->
+  f:Logic_network.Network.node_id ->
+  d:Logic_network.Network.node_id ->
+  bool
+
+val run : ?use_complement:bool -> ?max_passes:int -> Logic_network.Network.t -> int
+(** Returns the number of substitutions committed. [use_complement]
+    defaults to [true] (i.e., [resub -d]). *)

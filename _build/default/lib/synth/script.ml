@@ -1,0 +1,63 @@
+module Network = Logic_network.Network
+
+type step =
+  | Sweep
+  | Eliminate of int
+  | Simplify
+  | Full_simplify
+  | Gcx
+  | Gkx
+  | Resub
+
+type resub_command = Network.t -> unit
+
+let script_a = [ Eliminate 0; Simplify ]
+
+let script_b = script_a @ [ Gcx ]
+
+let script_c = script_a @ [ Gkx ]
+
+let script_algebraic =
+  [
+    Sweep;
+    Eliminate (-1);
+    Simplify;
+    Eliminate (-1);
+    Sweep;
+    Eliminate 0;
+    Simplify;
+    Resub;
+    Gkx;
+    Resub;
+    Sweep;
+    Eliminate (-1);
+    Sweep;
+    Full_simplify;
+  ]
+
+let run ?resub net steps =
+  List.iter
+    (fun step ->
+      match step with
+      | Sweep -> ignore (Logic_network.Sweep.run net)
+      | Eliminate threshold ->
+        ignore (Logic_network.Collapse.eliminate ~threshold net)
+      | Simplify -> ignore (Simplify.run net)
+      | Full_simplify -> ignore (Full_simplify.run net)
+      | Gcx -> ignore (Extract.gcx net)
+      | Gkx -> ignore (Extract.gkx net)
+      | Resub -> (
+        match resub with Some command -> command net | None -> ()))
+    steps
+
+let resub_algebraic net = ignore (Resub.run ~use_complement:true net)
+
+let resub_basic net =
+  ignore (Booldiv.Substitute.run ~config:Booldiv.Substitute.basic_config net)
+
+let resub_ext net =
+  ignore (Booldiv.Substitute.run ~config:Booldiv.Substitute.extended_config net)
+
+let resub_ext_gdc net =
+  ignore
+    (Booldiv.Substitute.run ~config:Booldiv.Substitute.extended_gdc_config net)

@@ -1,0 +1,54 @@
+(** Synthesis script runner reproducing the paper's experimental setups.
+
+    Section V runs each benchmark through a starting script and then
+    compares resubstitution algorithms:
+    {ul
+    {- Script A: [eliminate; simplify] — collapse single-fanout gates into
+       complex gates, then minimize each node;}
+    {- Script B: Script A followed by [gcx];}
+    {- Script C: Script A followed by [gkx];}
+    {- script.algebraic: the SIS script with every [resub] occurrence
+       replaced by the algorithm under test (Table V).}}
+
+    The [Resub] step is parameterised so the same script can run with the
+    SIS-style algebraic resubstitution or any of the paper's three
+    configurations. *)
+
+type step =
+  | Sweep
+  | Eliminate of int  (** threshold, as in SIS [eliminate n] *)
+  | Simplify
+  | Full_simplify  (** simplify with fanin satisfiability don't cares *)
+  | Gcx
+  | Gkx
+  | Resub  (** dispatched to the [resub] callback *)
+
+type resub_command = Logic_network.Network.t -> unit
+
+val script_a : step list
+
+val script_b : step list
+
+val script_c : step list
+
+val script_algebraic : step list
+(** Our rendering of SIS's script.algebraic (chosen by the paper because
+    it contains the most [resub] steps): sweep/eliminate/simplify rounds
+    with two [Resub] occurrences around a [gkx]-style extraction, ending
+    with a [full_simplify] as the real script does. *)
+
+val run : ?resub:resub_command -> Logic_network.Network.t -> step list -> unit
+(** Execute a script in place. [Resub] steps do nothing unless [resub] is
+    provided. *)
+
+val resub_algebraic : resub_command
+(** SIS [resub -d]: the baseline. *)
+
+val resub_basic : resub_command
+(** The paper's basic-division configuration. *)
+
+val resub_ext : resub_command
+(** The paper's extended-division configuration. *)
+
+val resub_ext_gdc : resub_command
+(** Extended division with global don't cares. *)

@@ -1,0 +1,16 @@
+open Twolevel
+module Network = Logic_network.Network
+
+let node net id =
+  let before = Network.cover net id in
+  let after = Minimize.simplify before in
+  if Cover.equal before after then false
+  else begin
+    Network.set_function net id ~fanins:(Network.fanins net id) after;
+    true
+  end
+
+let run net =
+  List.fold_left
+    (fun acc id -> if node net id then acc + 1 else acc)
+    0 (Network.logic_ids net)

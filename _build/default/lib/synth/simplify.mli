@@ -1,0 +1,13 @@
+(** The SIS [simplify] command: per-node two-level minimization.
+
+    Each logic node's cover is put through the espresso-lite minimizer
+    ({!Twolevel.Minimize.simplify}); a node is rewritten only when the
+    minimization does not increase its literal count. This matches the
+    [simplify] (no external don't cares) used by the paper's starting
+    scripts. *)
+
+val node : Logic_network.Network.t -> Logic_network.Network.node_id -> bool
+(** Simplify one node; [true] if its cover changed. *)
+
+val run : Logic_network.Network.t -> int
+(** Simplify every logic node; returns the number of nodes changed. *)

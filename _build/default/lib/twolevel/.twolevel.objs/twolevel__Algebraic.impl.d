@@ -1,0 +1,1 @@
+lib/twolevel/algebraic.ml: Cover Cube List Set

@@ -1,0 +1,1 @@
+lib/twolevel/complement.ml: Cover Cube Hashtbl List Literal Option

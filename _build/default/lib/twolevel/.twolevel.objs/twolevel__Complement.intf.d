@@ -1,0 +1,1 @@
+lib/twolevel/complement.mli: Cover Cube

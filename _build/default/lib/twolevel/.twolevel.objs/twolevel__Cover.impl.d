@@ -1,0 +1,1 @@
+lib/twolevel/cover.ml: Array Cube Int List Literal Stdlib String Tautology

@@ -1,0 +1,1 @@
+lib/twolevel/cube.ml: Int List Literal Option Stdlib String

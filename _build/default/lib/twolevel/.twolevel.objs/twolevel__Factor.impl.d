@@ -1,0 +1,1 @@
+lib/twolevel/factor.ml: Algebraic Cover Cube Hashtbl Kernel List Literal Option String

@@ -1,0 +1,1 @@
+lib/twolevel/kernel.ml: Array Cover Cube List Literal

@@ -1,0 +1,1 @@
+lib/twolevel/kernel.mli: Cover Cube

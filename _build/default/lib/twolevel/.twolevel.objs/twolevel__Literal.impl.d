@@ -1,0 +1,1 @@
+lib/twolevel/literal.ml: Char Int Printf String

@@ -1,0 +1,1 @@
+lib/twolevel/minimize.ml: Complement Cover Cube Int List

@@ -1,0 +1,1 @@
+lib/twolevel/minimize.mli: Cover

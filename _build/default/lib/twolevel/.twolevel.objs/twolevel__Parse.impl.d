@@ -1,0 +1,1 @@
+lib/twolevel/parse.ml: Cover Cube List Literal Printf String Symtab

@@ -1,0 +1,1 @@
+lib/twolevel/parse.mli: Cover Cube Symtab

@@ -1,0 +1,1 @@
+lib/twolevel/pla.ml: Array Buffer Bytes Cover Cube Hashtbl List Literal Option Printf String

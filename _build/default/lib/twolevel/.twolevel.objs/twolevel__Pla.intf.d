@@ -1,0 +1,1 @@
+lib/twolevel/pla.mli: Cover

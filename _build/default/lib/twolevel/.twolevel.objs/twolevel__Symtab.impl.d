@@ -1,0 +1,1 @@
+lib/twolevel/symtab.ml: Array Hashtbl Literal

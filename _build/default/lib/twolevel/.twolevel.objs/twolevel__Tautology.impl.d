@@ -1,0 +1,1 @@
+lib/twolevel/tautology.ml: Cube Int List Literal Map Option

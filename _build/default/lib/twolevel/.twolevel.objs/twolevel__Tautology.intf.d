@@ -1,0 +1,1 @@
+lib/twolevel/tautology.mli: Cube

@@ -1,0 +1,41 @@
+module Cube_set = Set.Make (Cube)
+
+(* Weak division (Brayton-McMullen): the quotient is the intersection over
+   divisor cubes d_i of { c / d_i : c in f, d_i divides c }. *)
+let quotient f d =
+  let f_cubes = Cover.cubes f in
+  match Cover.cubes d with
+  | [] -> Cover.zero
+  | d0 :: d_rest ->
+    let candidates di =
+      Cube_set.of_list (List.filter_map (fun c -> Cube.algebraic_div c di) f_cubes)
+    in
+    let q =
+      List.fold_left
+        (fun acc di -> Cube_set.inter acc (candidates di))
+        (candidates d0) d_rest
+    in
+    Cover.of_cubes (Cube_set.elements q)
+
+let divide f d =
+  let q = quotient f d in
+  if Cover.is_zero q then (Cover.zero, f)
+  else begin
+    (* r = cubes of f not accounted for by q·d (an exact algebraic product:
+       every q_j ∩ d_i is a cube of f by construction of the quotient). *)
+    let produced =
+      List.fold_left
+        (fun acc qc ->
+          List.fold_left
+            (fun acc dc ->
+              match Cube.intersect qc dc with
+              | Some c -> Cube_set.add c acc
+              | None -> acc)
+            acc (Cover.cubes d))
+        Cube_set.empty (Cover.cubes q)
+    in
+    let r =
+      List.filter (fun c -> not (Cube_set.mem c produced)) (Cover.cubes f)
+    in
+    (q, Cover.of_cubes r)
+  end

@@ -1,0 +1,14 @@
+(** Algebraic (weak) division of covers.
+
+    Logic expressions are treated as polynomials: a product is algebraic
+    only when its operands have disjoint support, so identities like
+    [a·a = a] or [a·a' = 0] are unavailable. This is the division underlying
+    SIS's [resub], used as the paper's baseline. *)
+
+val divide : Cover.t -> Cover.t -> Cover.t * Cover.t
+(** [divide f d] returns [(q, r)] with [f = q·d + r] as polynomials, where
+    [q] is the largest algebraic quotient and [r] the leftover cubes. When
+    [d] does not divide [f], [q] is the zero cover and [r = f]. *)
+
+val quotient : Cover.t -> Cover.t -> Cover.t
+(** First component of {!divide}. *)

@@ -1,0 +1,57 @@
+exception Too_large
+
+let of_cube c =
+  Cover.of_cubes
+    (List.map
+       (fun lit -> Cube.of_literals_exn [ Literal.negate lit ])
+       (Cube.literals c))
+
+(* Count positive/negative occurrences to pick a splitting variable. *)
+let most_binate_var cubes =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun cube ->
+      List.iter
+        (fun lit ->
+          let v = Literal.var lit in
+          let p, n = Option.value (Hashtbl.find_opt tbl v) ~default:(0, 0) in
+          if Literal.is_pos lit then Hashtbl.replace tbl v (p + 1, n)
+          else Hashtbl.replace tbl v (p, n + 1))
+        (Cube.literals cube))
+    cubes;
+  Hashtbl.fold
+    (fun v (p, n) best ->
+      let score = (min p n * 1000) + p + n in
+      match best with
+      | Some (_, best_score) when best_score >= score -> best
+      | _ -> Some (v, score))
+    tbl None
+
+let rec complement ~limit cubes =
+  if List.exists Cube.is_top cubes then []
+  else
+    match cubes with
+    | [] -> [ Cube.top ]
+    | [ c ] -> Cover.cubes (of_cube c)
+    | _ ->
+      let v =
+        match most_binate_var cubes with
+        | Some (v, _) -> v
+        | None -> assert false (* non-empty, no top cube: has literals *)
+      in
+      let pos = Literal.pos v and neg = Literal.neg v in
+      let cpos = complement ~limit (List.filter_map (Cube.cofactor pos) cubes) in
+      let cneg = complement ~limit (List.filter_map (Cube.cofactor neg) cubes) in
+      let attach lit branch =
+        List.filter_map (fun c -> Cube.add_literal lit c) branch
+      in
+      let result = attach pos cpos @ attach neg cneg in
+      if limit > 0 && List.length result > limit then raise Too_large;
+      result
+
+let cover t = Cover.of_cubes (complement ~limit:0 (Cover.cubes t))
+
+let cover_limited ~limit t =
+  match complement ~limit (Cover.cubes t) with
+  | cubes -> Some (Cover.single_cube_containment (Cover.of_cubes cubes))
+  | exception Too_large -> None

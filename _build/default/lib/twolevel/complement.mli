@@ -1,0 +1,17 @@
+(** Cover complementation by Shannon expansion.
+
+    Needed by the two-level minimizer (off-set reasoning), by the
+    [resub -d] baseline (dividing by the complement of a node) and by the
+    Espresso-style Boolean division baseline. Complements can blow up
+    exponentially, so a size limit can be imposed. *)
+
+val cover : Cover.t -> Cover.t
+(** Exact complement (no size bound). *)
+
+val cover_limited : limit:int -> Cover.t -> Cover.t option
+(** Complement, abandoning with [None] as soon as the intermediate result
+    exceeds [limit] cubes. *)
+
+val of_cube : Cube.t -> Cover.t
+(** De Morgan complement of a single cube: one single-literal cube per
+    literal. *)

@@ -1,0 +1,131 @@
+(* Invariant: the cube list is sorted and duplicate-free, which makes
+   structural comparison canonical for syntactically equal covers. *)
+type t = Cube.t list
+
+let canonical cubes = List.sort_uniq Cube.compare cubes
+
+let zero = []
+
+let one = [ Cube.top ]
+
+let of_cubes cubes = canonical cubes
+
+let cubes t = t
+
+let is_zero t = t = []
+
+let is_one t = List.exists Cube.is_top t
+
+let cube_count = List.length
+
+let literal_count t = List.fold_left (fun acc c -> acc + Cube.size c) 0 t
+
+let support t =
+  List.sort_uniq Int.compare (List.concat_map Cube.support t)
+
+let add_cube c t = canonical (c :: t)
+
+let union t1 t2 = canonical (t1 @ t2)
+
+(* Drop cubes contained by another cube of the list (single-cube
+   containment). Keeps the first of two equal cubes. *)
+let scc cubes =
+  let rec keep acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+      let absorbed_by other =
+        (not (Cube.equal c other)) && Cube.contained_by c other
+      in
+      if List.exists absorbed_by acc || List.exists absorbed_by rest then
+        keep acc rest
+      else keep (c :: acc) rest
+  in
+  keep [] (canonical cubes)
+
+let single_cube_containment = scc
+
+let product t1 t2 =
+  let pairs =
+    List.concat_map
+      (fun c1 -> List.filter_map (fun c2 -> Cube.intersect c1 c2) t2)
+      t1
+  in
+  scc pairs
+
+let product_cube c t = scc (List.filter_map (Cube.intersect c) t)
+
+let cofactor lit t = canonical (List.filter_map (Cube.cofactor lit) t)
+
+let cofactor_cube c t =
+  let cof cube =
+    (* cube cofactored by c: 0 if they conflict, else drop c's literals. *)
+    match Cube.intersect cube c with
+    | None -> None
+    | Some _ ->
+      Some
+        (List.fold_left
+           (fun acc lit -> Cube.remove_literal lit acc)
+           cube (Cube.literals c))
+  in
+  canonical (List.filter_map cof t)
+
+let contains_cube t c = Tautology.check (cofactor_cube c t)
+
+let contains t g = List.for_all (contains_cube t) g
+
+let equivalent t1 t2 = contains t1 t2 && contains t2 t1
+
+let is_tautology t = Tautology.check t
+
+let sos_of s g =
+  List.for_all (fun c -> List.exists (Cube.contained_by c) g) s
+
+let eval assign t = List.exists (Cube.eval assign) t
+
+let minterm_count ~nvars t =
+  let count = ref 0 in
+  let assign = Array.make (max nvars 1) false in
+  let rec go v =
+    if v = nvars then begin
+      if eval (fun i -> assign.(i)) t then incr count
+    end
+    else begin
+      assign.(v) <- false;
+      go (v + 1);
+      assign.(v) <- true;
+      go (v + 1)
+    end
+  in
+  go 0;
+  !count
+
+let map_vars f t =
+  let rename cube =
+    let lits =
+      List.map
+        (fun lit -> Literal.make (f (Literal.var lit)) (Literal.is_pos lit))
+        (Cube.literals cube)
+    in
+    Cube.of_literals_exn lits
+  in
+  canonical (List.map rename t)
+
+let rename_vars f t =
+  let rename cube =
+    let lits =
+      List.map
+        (fun lit -> Literal.make (f (Literal.var lit)) (Literal.is_pos lit))
+        (Cube.literals cube)
+    in
+    Cube.of_literals lits
+  in
+  canonical (List.filter_map rename t)
+
+let compare = Stdlib.compare
+
+let equal t1 t2 = compare t1 t2 = 0
+
+let to_string ?names t =
+  match t with
+  | [] -> "0"
+  | _ -> String.concat " + " (List.map (Cube.to_string ?names) t)

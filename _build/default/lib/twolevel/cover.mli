@@ -1,0 +1,92 @@
+(** Covers: sums of cubes (two-level sum-of-product representations).
+
+    The empty cover is the constant 0; a cover containing the top cube is a
+    tautology. Covers are the unit of manipulation for node functions in the
+    multilevel network, and the paper's SOS relation ({!sos_of}) is defined
+    on them. *)
+
+type t
+
+val zero : t
+(** Constant 0 (no cubes). *)
+
+val one : t
+(** Constant 1 (the single top cube). *)
+
+val of_cubes : Cube.t list -> t
+
+val cubes : t -> Cube.t list
+
+val is_zero : t -> bool
+
+val is_one : t -> bool
+(** Syntactic check: some cube is the top cube. *)
+
+val cube_count : t -> int
+
+val literal_count : t -> int
+(** Total literals, i.e. the flat (non-factored) SOP literal count. *)
+
+val support : t -> int list
+(** Sorted variable indices appearing in the cover. *)
+
+val add_cube : Cube.t -> t -> t
+
+val union : t -> t -> t
+(** Boolean OR (cube list concatenation, duplicates removed). *)
+
+val product : t -> t -> t
+(** Boolean AND (pairwise cube intersection, contained cubes pruned). *)
+
+val product_cube : Cube.t -> t -> t
+(** AND with a single cube. *)
+
+val cofactor : Literal.t -> t -> t
+(** Shannon cofactor with respect to a literal being true. *)
+
+val cofactor_cube : Cube.t -> t -> t
+(** Generalised cofactor with respect to a whole cube. *)
+
+val contains_cube : t -> Cube.t -> bool
+(** [contains_cube f c] iff onset(c) ⊆ onset(f) — decided by tautology of
+    the cofactor of [f] by [c]. *)
+
+val contains : t -> t -> bool
+(** [contains f g] iff onset(g) ⊆ onset(f). *)
+
+val equivalent : t -> t -> bool
+(** Functional (not syntactic) equality. *)
+
+val is_tautology : t -> bool
+
+val sos_of : t -> t -> bool
+(** [sos_of s g]: [s] is a {e sum-of-subproducts} of [g] — every cube of [s]
+    is contained by at least one cube of [g] (Definition SOS of the paper).
+    Implies [product s g] ≡ [s] (Lemma 1). *)
+
+val single_cube_containment : t -> t
+(** Remove every cube contained by another single cube of the cover. *)
+
+val eval : (int -> bool) -> t -> bool
+
+val minterm_count : nvars:int -> t -> int
+(** Number of satisfying assignments over the first [nvars] variables
+    (exponential; intended for small test functions). *)
+
+val map_vars : (int -> int) -> t -> t
+(** Rename variables; the mapping must be injective on the support. *)
+
+val rename_vars : (int -> int) -> t -> t
+(** Rename variables by a possibly non-injective mapping: literals of two
+    variables mapped to the same target merge inside a cube, and cubes that
+    become contradictory (both phases of a target) are dropped as constant
+    0 products. *)
+
+val compare : t -> t -> int
+(** Structural comparison on the canonically sorted cube lists. *)
+
+val equal : t -> t -> bool
+(** Structural equality of canonically sorted cube lists. *)
+
+val to_string : ?names:(int -> string) -> t -> string
+(** ["0"] for the empty cover; cubes joined by [" + "]. *)

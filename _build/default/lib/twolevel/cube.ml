@@ -1,0 +1,102 @@
+(* A cube is a strictly increasing list of literal codes with distinct
+   variables. Sortedness makes subset tests and merges linear. *)
+type t = int list
+
+let top = []
+
+let rec normalise = function
+  | [] -> Some []
+  | [ l ] -> Some [ l ]
+  | l1 :: (l2 :: _ as rest) ->
+    if l1 = l2 then normalise rest
+    else if l1 / 2 = l2 / 2 then None
+    else begin
+      match normalise rest with
+      | None -> None
+      | Some rest' -> Some (l1 :: rest')
+    end
+
+let of_literals lits =
+  normalise (List.sort_uniq Int.compare (List.map Literal.code lits))
+
+let of_literals_exn lits =
+  match of_literals lits with
+  | Some c -> c
+  | None -> invalid_arg "Cube.of_literals_exn: contradictory literals"
+
+let literals t = List.map Literal.of_code t
+
+let size = List.length
+
+let is_top t = t = []
+
+let mem lit t = List.mem (Literal.code lit) t
+
+let mem_var v t = List.exists (fun code -> code / 2 = v) t
+
+let phase_of_var t v =
+  List.find_map
+    (fun code -> if code / 2 = v then Some (code land 1 = 0) else None)
+    t
+
+(* lits(c2) ⊆ lits(c1), both sorted. *)
+let rec subset small big =
+  match (small, big) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | s :: srest, b :: brest ->
+    if s = b then subset srest brest
+    else if b < s then subset small brest
+    else false
+
+let contained_by c1 c2 = subset c2 c1
+
+let rec merge c1 c2 =
+  match (c1, c2) with
+  | [], c | c, [] -> Some c
+  | l1 :: r1, l2 :: r2 ->
+    if l1 = l2 then Option.map (fun rest -> l1 :: rest) (merge r1 r2)
+    else if l1 / 2 = l2 / 2 then None
+    else if l1 < l2 then Option.map (fun rest -> l1 :: rest) (merge r1 c2)
+    else Option.map (fun rest -> l2 :: rest) (merge c1 r2)
+
+let intersect = merge
+
+let distance c1 c2 =
+  let rec go acc c1 c2 =
+    match (c1, c2) with
+    | [], _ | _, [] -> acc
+    | l1 :: r1, l2 :: r2 ->
+      if l1 / 2 = l2 / 2 then go (if l1 = l2 then acc else acc + 1) r1 r2
+      else if l1 < l2 then go acc r1 c2
+      else go acc c1 r2
+  in
+  go 0 c1 c2
+
+let remove_var v t = List.filter (fun code -> code / 2 <> v) t
+
+let remove_literal lit t = List.filter (fun code -> code <> Literal.code lit) t
+
+let add_literal lit t = merge [ Literal.code lit ] t
+
+let cofactor lit t =
+  let code = Literal.code lit in
+  if List.mem (code lxor 1) t then None
+  else Some (List.filter (fun c -> c <> code) t)
+
+let algebraic_div c d = if subset d c then Some (List.filter (fun l -> not (List.mem l d)) c) else None
+
+let common c1 c2 = List.filter (fun l -> List.mem l c2) c1
+
+let support t = List.sort_uniq Int.compare (List.map (fun code -> code / 2) t)
+
+let eval assign t =
+  List.for_all (fun code -> assign (code / 2) = (code land 1 = 0)) t
+
+let compare = Stdlib.compare
+
+let equal c1 c2 = c1 = c2
+
+let to_string ?names t =
+  if is_top t then "1"
+  else String.concat "" (List.map (fun c -> Literal.to_string ?names (Literal.of_code c)) t)

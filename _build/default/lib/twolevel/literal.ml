@@ -1,0 +1,35 @@
+type t = int
+
+let pos var =
+  assert (var >= 0);
+  2 * var
+
+let neg var =
+  assert (var >= 0);
+  (2 * var) + 1
+
+let make var phase = if phase then pos var else neg var
+
+let var t = t / 2
+
+let is_pos t = t land 1 = 0
+
+let negate t = t lxor 1
+
+let of_code c =
+  assert (c >= 0);
+  c
+
+let code t = t
+
+let compare = Int.compare
+
+let equal = Int.equal
+
+let default_names v =
+  if v < 26 then String.make 1 (Char.chr (Char.code 'a' + v))
+  else Printf.sprintf "x%d" v
+
+let to_string ?(names = default_names) t =
+  let base = names (var t) in
+  if is_pos t then base else base ^ "'"

@@ -1,0 +1,42 @@
+(** Boolean literals: a variable index together with a polarity.
+
+    Variables are dense non-negative integers. A literal is encoded as a
+    single integer ([2 * var] for the positive phase, [2 * var + 1] for the
+    negative phase) so that literals order first by variable and then by
+    polarity, and can be stored compactly inside cubes. *)
+
+type t = private int
+
+val pos : int -> t
+(** Positive-phase literal of a variable. *)
+
+val neg : int -> t
+(** Negative-phase literal of a variable. *)
+
+val make : int -> bool -> t
+(** [make var phase] is [pos var] when [phase] and [neg var] otherwise. *)
+
+val var : t -> int
+(** Variable index of a literal. *)
+
+val is_pos : t -> bool
+(** [true] for positive-phase literals. *)
+
+val negate : t -> t
+(** Opposite phase of the same variable. *)
+
+val of_code : int -> t
+(** Inverse of [code]; the argument must be non-negative. *)
+
+val code : t -> int
+(** Raw integer encoding. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val default_names : int -> string
+(** [a]..[z] for variables 0-25, then [x26], [x27], ... *)
+
+val to_string : ?names:(int -> string) -> t -> string
+(** Negative literals print with a postfix apostrophe, e.g. [b']. *)

@@ -1,0 +1,77 @@
+let expand ?(dc = Cover.zero) cover =
+  let base = Cover.union cover dc in
+  let expand_cube cube =
+    (* Try dropping literals one at a time; a drop is valid when the grown
+       cube is still contained in onset ∪ dc. *)
+    let rec go cube = function
+      | [] -> cube
+      | lit :: rest ->
+        let candidate = Cube.remove_literal lit cube in
+        if Cover.contains_cube base candidate then go candidate rest
+        else go cube rest
+    in
+    go cube (Cube.literals cube)
+  in
+  Cover.single_cube_containment
+    (Cover.of_cubes (List.map expand_cube (Cover.cubes cover)))
+
+let irredundant ?(dc = Cover.zero) cover =
+  (* Largest cubes first: prefer keeping big cubes, dropping specific ones. *)
+  let ordered =
+    List.sort
+      (fun c1 c2 -> Int.compare (Cube.size c2) (Cube.size c1))
+      (Cover.cubes cover)
+  in
+  let rec go kept = function
+    | [] -> List.rev kept
+    | cube :: rest ->
+      let others = Cover.of_cubes (kept @ rest) in
+      if Cover.contains_cube (Cover.union others dc) cube then go kept rest
+      else go (cube :: kept) rest
+  in
+  Cover.of_cubes (go [] ordered)
+
+let reduce_complement_limit = 256
+
+(* Supercube (smallest containing cube) of a cover. *)
+let supercube cover =
+  match Cover.cubes cover with
+  | [] -> None
+  | first :: rest -> Some (List.fold_left Cube.common first rest)
+
+let reduce ?(dc = Cover.zero) cover =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | cube :: rest ->
+      let others = Cover.union (Cover.of_cubes (kept @ rest)) dc in
+      let reduced =
+        match
+          Complement.cover_limited ~limit:reduce_complement_limit others
+        with
+        | None -> cube
+        | Some off ->
+          (* The part of [cube] covered by nothing else. *)
+          let essential = Cover.product_cube cube off in
+          (match supercube essential with
+          | None -> cube (* fully covered elsewhere; irredundant removes it *)
+          | Some core -> (
+            match Cube.intersect core cube with
+            | Some shrunk -> shrunk
+            | None -> cube))
+      in
+      go (reduced :: kept) rest
+  in
+  Cover.of_cubes (go [] (Cover.cubes cover))
+
+let simplify ?(dc = Cover.zero) cover =
+  let step c =
+    let c = irredundant ~dc (expand ~dc (Cover.single_cube_containment c)) in
+    irredundant ~dc (expand ~dc (reduce ~dc c))
+  in
+  let rec fixpoint budget c =
+    let c' = step c in
+    if budget = 0 || Cover.equal c' c then c' else fixpoint (budget - 1) c'
+  in
+  let result = fixpoint 2 cover in
+  if Cover.literal_count result <= Cover.literal_count cover then result
+  else cover

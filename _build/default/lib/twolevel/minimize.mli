@@ -1,0 +1,27 @@
+(** Two-level minimization (espresso-lite).
+
+    A containment-driven EXPAND / IRREDUNDANT loop with optional don't
+    cares. It is weaker than full Espresso (no REDUCE/LAST_GASP, no
+    blocking-matrix expansion) but exact in the sense that the result is a
+    prime-ish irredundant cover of the same function modulo the don't-care
+    set. This implements the SIS [simplify] command of the paper's starting
+    scripts and the "force Espresso to do Boolean division" baseline of
+    Section I. *)
+
+val expand : ?dc:Cover.t -> Cover.t -> Cover.t
+(** Greedily remove literals from each cube while the enlarged cube stays
+    inside onset ∪ dc. *)
+
+val irredundant : ?dc:Cover.t -> Cover.t -> Cover.t
+(** Remove cubes covered by the union of the remaining cubes and [dc]. *)
+
+val reduce : ?dc:Cover.t -> Cover.t -> Cover.t
+(** Espresso's REDUCE: shrink each cube to the supercube of the minterms
+    it alone covers (its essential part), opening room for the next
+    expansion to leave the local minimum. Falls back to the original cube
+    when the needed complement exceeds an internal bound. *)
+
+val simplify : ?dc:Cover.t -> Cover.t -> Cover.t
+(** Single-cube containment, then expand/irredundant/reduce rounds in the
+    espresso style, iterated to a fixpoint (bounded); never grows the
+    literal count. *)

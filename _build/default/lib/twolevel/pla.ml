@@ -1,0 +1,159 @@
+type t = {
+  input_labels : string list;
+  output_labels : string list;
+  covers : Cover.t array;
+}
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse text =
+  let n_in = ref None and n_out = ref None in
+  let ilb = ref None and ob = ref None in
+  let rows = ref [] (* (input pattern, output pattern), reversed *) in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let words =
+        List.filter (fun w -> w <> "")
+          (String.split_on_char ' '
+             (String.concat " " (String.split_on_char '\t' line)))
+      in
+      match words with
+      | [] -> ()
+      | ".i" :: [ n ] -> n_in := int_of_string_opt n
+      | ".o" :: [ n ] -> n_out := int_of_string_opt n
+      | ".ilb" :: labels -> ilb := Some labels
+      | ".ob" :: labels -> ob := Some labels
+      | ".p" :: _ | ".e" :: _ | ".end" :: _ -> ()
+      | ".type" :: [ "f" ] -> ()
+      | ".type" :: [ other ] -> fail "unsupported PLA type %s" other
+      | directive :: _ when String.length directive > 0 && directive.[0] = '.' ->
+        fail "unsupported PLA directive %s" directive
+      | [ input_part; output_part ] ->
+        rows := (input_part, output_part) :: !rows
+      | [ single ] -> (
+        (* Input and output parts may be juxtaposed without a space when
+           .i/.o are already known. *)
+        match (!n_in, !n_out) with
+        | Some i, Some o when String.length single = i + o ->
+          rows := (String.sub single 0 i, String.sub single i o) :: !rows
+        | _ -> fail "cannot split cube row %S" single)
+      | _ -> fail "malformed PLA line %S" line)
+    lines;
+  let n_in = match !n_in with Some n -> n | None -> fail "missing .i" in
+  let n_out = match !n_out with Some n -> n | None -> fail "missing .o" in
+  let cube_of_pattern pattern =
+    if String.length pattern <> n_in then
+      fail "input pattern %S does not match .i %d" pattern n_in;
+    let lits = ref [] in
+    String.iteri
+      (fun i ch ->
+        match ch with
+        | '1' -> lits := Literal.pos i :: !lits
+        | '0' -> lits := Literal.neg i :: !lits
+        | '-' | '~' -> ()
+        | _ -> fail "bad input character %C" ch)
+      pattern;
+    Cube.of_literals_exn !lits
+  in
+  let per_output = Array.make n_out [] in
+  List.iter
+    (fun (input_part, output_part) ->
+      if String.length output_part <> n_out then
+        fail "output pattern %S does not match .o %d" output_part n_out;
+      let cube = cube_of_pattern input_part in
+      String.iteri
+        (fun o ch ->
+          match ch with
+          | '1' | '4' -> per_output.(o) <- cube :: per_output.(o)
+          | '0' | '-' | '~' | '2' -> ()
+          | _ -> fail "bad output character %C" ch)
+        output_part)
+    (List.rev !rows);
+  let default prefix n = List.init n (fun i -> Printf.sprintf "%s%d" prefix i) in
+  let input_labels = Option.value !ilb ~default:(default "i" n_in) in
+  let output_labels = Option.value !ob ~default:(default "o" n_out) in
+  if List.length input_labels <> n_in then fail ".ilb arity mismatch";
+  if List.length output_labels <> n_out then fail ".ob arity mismatch";
+  {
+    input_labels;
+    output_labels;
+    covers = Array.map Cover.of_cubes (Array.map List.rev per_output);
+  }
+
+let to_string t =
+  let n_in = List.length t.input_labels in
+  let n_out = List.length t.output_labels in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (Printf.sprintf ".i %d\n.o %d\n" n_in n_out);
+  Buffer.add_string buffer
+    (Printf.sprintf ".ilb %s\n" (String.concat " " t.input_labels));
+  Buffer.add_string buffer
+    (Printf.sprintf ".ob %s\n" (String.concat " " t.output_labels));
+  (* Group rows by cube so shared cubes print once with a multi-bit output
+     column. *)
+  let rows = Hashtbl.create 32 in
+  let order = ref [] in
+  Array.iteri
+    (fun o cover ->
+      List.iter
+        (fun cube ->
+          (match Hashtbl.find_opt rows cube with
+          | None ->
+            Hashtbl.add rows cube (Bytes.make n_out '0');
+            order := cube :: !order
+          | Some _ -> ());
+          Bytes.set (Hashtbl.find rows cube) o '1')
+        (Cover.cubes cover))
+    t.covers;
+  Buffer.add_string buffer (Printf.sprintf ".p %d\n" (List.length !order));
+  List.iter
+    (fun cube ->
+      let row = Bytes.make n_in '-' in
+      List.iter
+        (fun lit ->
+          Bytes.set row (Literal.var lit)
+            (if Literal.is_pos lit then '1' else '0'))
+        (Cube.literals cube);
+      Buffer.add_string buffer
+        (Printf.sprintf "%s %s\n" (Bytes.to_string row)
+           (Bytes.to_string (Hashtbl.find rows cube))))
+    (List.rev !order);
+  Buffer.add_string buffer ".e\n";
+  Buffer.contents buffer
+
+let of_cover ?input_labels cover =
+  let n_in =
+    match input_labels with
+    | Some labels -> List.length labels
+    | None -> (
+      match List.rev (Cover.support cover) with
+      | [] -> 1
+      | v :: _ -> v + 1)
+  in
+  {
+    input_labels =
+      Option.value input_labels
+        ~default:(List.init n_in (fun i -> Printf.sprintf "i%d" i));
+    output_labels = [ "f" ];
+    covers = [| cover |];
+  }
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc

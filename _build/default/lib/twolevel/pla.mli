@@ -1,0 +1,29 @@
+(** Berkeley PLA (espresso) format for two-level covers.
+
+    Supports the common subset: [.i]/[.o], optional [.ilb]/[.ob] label
+    lines, optional [.p], cube rows with ['0' '1' '-'] input parts and
+    ['0' '1' '-' '~'] output parts, comments and [.e]. Multi-output PLAs
+    become one cover per output (type-f semantics: listed rows are the
+    on-set; ['-'/'~'] in an output column leaves that output's row out). *)
+
+type t = {
+  input_labels : string list;  (** .ilb, or generated [i0 i1 ...] *)
+  output_labels : string list;  (** .ob, or generated [o0 o1 ...] *)
+  covers : Cover.t array;  (** one cover per output, over inputs 0..i-1 *)
+}
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val to_string : t -> string
+(** Serialise; [parse (to_string t)] is structurally identical. *)
+
+val of_cover : ?input_labels:string list -> Cover.t -> t
+(** Single-output PLA of a cover (the variable universe is the cover's
+    support maximum + 1, or the label count when given). *)
+
+val read_file : string -> t
+
+val write_file : string -> t -> unit

@@ -1,0 +1,51 @@
+module Int_map = Map.Make (Int)
+
+(* Per-variable occurrence counts: (positive, negative). *)
+let occurrences cubes =
+  let add map lit =
+    let v = Literal.var lit in
+    let p, n = Option.value (Int_map.find_opt v map) ~default:(0, 0) in
+    let entry = if Literal.is_pos lit then (p + 1, n) else (p, n + 1) in
+    Int_map.add v entry map
+  in
+  List.fold_left
+    (fun map cube -> List.fold_left add map (Cube.literals cube))
+    Int_map.empty cubes
+
+let cofactor_cubes lit cubes = List.filter_map (Cube.cofactor lit) cubes
+
+(* A positively (resp. negatively) unate variable can be reduced: F is a
+   tautology iff the cofactor against the unate phase is, because setting the
+   variable to the unate phase only grows the function. *)
+let rec check cubes =
+  if List.exists Cube.is_top cubes then true
+  else
+    match cubes with
+    | [] -> false
+    | _ ->
+      let occ = occurrences cubes in
+      let unate =
+        Int_map.fold
+          (fun v (p, n) acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+              if p = 0 then Some (Literal.pos v)
+              else if n = 0 then Some (Literal.neg v)
+              else None)
+          occ None
+      in
+      begin
+        match unate with
+        | Some against -> check (cofactor_cubes against cubes)
+        | None ->
+          (* All variables binate here; split on the most frequent one. *)
+          let v, _ =
+            Int_map.fold
+              (fun v (p, n) (best_v, best_c) ->
+                if p + n > best_c then (v, p + n) else (best_v, best_c))
+              occ (-1, -1)
+          in
+          check (cofactor_cubes (Literal.pos v) cubes)
+          && check (cofactor_cubes (Literal.neg v) cubes)
+      end

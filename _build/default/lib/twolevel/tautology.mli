@@ -1,0 +1,10 @@
+(** Tautology checking for cube lists via the unate recursive paradigm.
+
+    Used pervasively: cover containment ([F] contains cube [c] iff the
+    cofactor of [F] by [c] is a tautology), irredundancy, expansion validity,
+    and equivalence of covers. *)
+
+val check : Cube.t list -> bool
+(** [check cubes] iff the disjunction of the cubes is the constant-1
+    function. Unate variables are reduced first; the remaining recursion
+    splits on a most-binate variable. *)

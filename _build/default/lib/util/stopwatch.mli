@@ -1,0 +1,8 @@
+(** Wall-clock timing for the CPU columns of the experiment tables. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock seconds. *)
+
+val seconds_to_string : float -> string
+(** Format seconds with two decimals, e.g. ["0.13"]. *)

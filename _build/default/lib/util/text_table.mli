@@ -1,0 +1,22 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Produces aligned, pipe-separated tables in the style of the paper's
+    Tables I-V so the harness output can be compared to the paper at a
+    glance. *)
+
+type align = Left | Right
+
+type t
+
+val create : (string * align) list -> t
+(** [create columns] starts an empty table with the given header cells. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row; the row must have exactly as many cells as there are
+    columns. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule (used before summary rows). *)
+
+val render : t -> string
+(** Render the table with every column padded to its widest cell. *)

@@ -1,0 +1,742 @@
+(* Tests for the implication engine, fault analysis, and RAR. *)
+
+open Twolevel
+module Network = Logic_network.Network
+module Builder = Logic_network.Builder
+module Lit_count = Logic_network.Lit_count
+module Equiv = Logic_sim.Equiv
+module Imply = Atpg.Imply
+module Fault = Atpg.Fault
+module Generator = Bench_suite.Generator
+
+(* ------------------------------------------------------------------ *)
+(* Implication engine                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_forward_implication () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ] ~nodes:[ ("g", "ab") ] ~outputs:[ "g" ]
+  in
+  let a = Builder.node net "a" and b = Builder.node net "b" in
+  let g = Builder.node net "g" in
+  let e = Imply.create net in
+  Imply.assign_node e a true;
+  Alcotest.(check (option bool)) "g unknown with one input" None
+    (Imply.node_value e g);
+  Imply.assign_node e b true;
+  Alcotest.(check (option bool)) "g follows AND" (Some true)
+    (Imply.node_value e g);
+  (* Controlling value dominates. *)
+  let e2 = Imply.create net in
+  Imply.assign_node e2 a false;
+  Alcotest.(check (option bool)) "a=0 kills AND" (Some false)
+    (Imply.node_value e2 g)
+
+let test_backward_implication () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ] ~nodes:[ ("g", "ab") ] ~outputs:[ "g" ]
+  in
+  let a = Builder.node net "a" and b = Builder.node net "b" in
+  let g = Builder.node net "g" in
+  let e = Imply.create net in
+  (* AND at 1 forces both inputs. *)
+  Imply.assign_node e g true;
+  Alcotest.(check (option bool)) "a forced" (Some true) (Imply.node_value e a);
+  Alcotest.(check (option bool)) "b forced" (Some true) (Imply.node_value e b);
+  (* AND at 0 with one input known true forces the other. *)
+  let e2 = Imply.create net in
+  Imply.assign_node e2 g false;
+  Imply.assign_node e2 a true;
+  Alcotest.(check (option bool)) "b forced low" (Some false)
+    (Imply.node_value e2 b)
+
+let test_or_backward () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ]
+      ~nodes:[ ("g", "a + b") ]
+      ~outputs:[ "g" ]
+  in
+  let a = Builder.node net "a" and b = Builder.node net "b" in
+  let g = Builder.node net "g" in
+  let e = Imply.create net in
+  Imply.assign_node e g true;
+  Imply.assign_node e a false;
+  Alcotest.(check (option bool)) "last live cube justified" (Some true)
+    (Imply.node_value e b)
+
+let test_conflict_detection () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ] ~nodes:[ ("g", "ab") ] ~outputs:[ "g" ]
+  in
+  let a = Builder.node net "a" and b = Builder.node net "b" in
+  let g = Builder.node net "g" in
+  let e = Imply.create net in
+  Imply.assign_node e a false;
+  Alcotest.(check bool) "conflict raised" true
+    (match Imply.assign_node e g true with
+    | () -> false
+    | exception Imply.Conflict _ -> true);
+  ignore b
+
+let test_implication_through_levels () =
+  (* x = ab; y = x c. Asserting y=1 must reach a and b. *)
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("x", "ab"); ("y", "xc") ]
+      ~outputs:[ "y" ]
+  in
+  let e = Imply.create net in
+  Imply.assign_node e (Builder.node net "y") true;
+  List.iter
+    (fun n ->
+      Alcotest.(check (option bool)) (n ^ " forced") (Some true)
+        (Imply.node_value e (Builder.node net n)))
+    [ "x"; "c"; "a"; "b" ]
+
+let test_region_restriction () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("x", "ab"); ("y", "xc") ]
+      ~outputs:[ "y" ]
+  in
+  let y = Builder.node net "y" and x = Builder.node net "x" in
+  let e = Imply.create ~region:(fun id -> id = y) net in
+  Imply.assign_node e y true;
+  (* x's value is recorded (backward from y) but not propagated further. *)
+  Alcotest.(check (option bool)) "x recorded" (Some true) (Imply.node_value e x);
+  Alcotest.(check (option bool)) "a not derived (out of region)" None
+    (Imply.node_value e (Builder.node net "a"))
+
+let test_frozen_node () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ] ~nodes:[ ("g", "ab") ] ~outputs:[ "g" ]
+  in
+  let g = Builder.node net "g" in
+  let e = Imply.create ~frozen:(fun id -> id = g) net in
+  Imply.assign_node e (Builder.node net "a") true;
+  Imply.assign_node e (Builder.node net "b") true;
+  Alcotest.(check (option bool)) "frozen node never valued" None
+    (Imply.node_value e g)
+
+let test_recursive_learning () =
+  (* f = ab + cb: both justifications of f=1 need b=1; plain implication
+     cannot see it, depth-1 learning must. *)
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("f", "ab + cb") ]
+      ~outputs:[ "f" ]
+  in
+  let f = Builder.node net "f" and b = Builder.node net "b" in
+  let e = Imply.create net in
+  Imply.assign_node e f true;
+  Alcotest.(check (option bool)) "direct implication misses b" None
+    (Imply.node_value e b);
+  Imply.learn ~depth:1 e;
+  Alcotest.(check (option bool)) "learning finds b" (Some true)
+    (Imply.node_value e b)
+
+let test_learning_conflict () =
+  (* f = ab + cb with b=0 makes f=1 unjustifiable. *)
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("f", "ab + cb") ]
+      ~outputs:[ "f" ]
+  in
+  let e = Imply.create net in
+  Imply.assign_node e (Builder.node net "b") false;
+  Alcotest.(check bool) "f=1 now conflicts" true
+    (match
+       Imply.assign_node e (Builder.node net "f") true;
+       Imply.learn ~depth:1 e
+     with
+    | () -> false
+    | exception Imply.Conflict _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Dominators and mandatory assignments                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_dominators_chain () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c"; "d" ]
+      ~nodes:[ ("x", "ab"); ("y", "xc"); ("z", "y + d") ]
+      ~outputs:[ "z" ]
+  in
+  let x = Builder.node net "x" in
+  let doms = Fault.dominators net x in
+  Alcotest.(check (list string)) "chain dominators" [ "y"; "z" ]
+    (List.map (Network.name net) doms)
+
+let test_dominators_reconvergence () =
+  (* x fans out to y1 and y2 which reconverge at z: only z dominates. *)
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("x", "ab"); ("y1", "xc"); ("y2", "x + c"); ("z", "y1 + y2") ]
+      ~outputs:[ "z" ]
+  in
+  let x = Builder.node net "x" in
+  Alcotest.(check (list string)) "reconvergent dominator" [ "z" ]
+    (List.map (Network.name net) (Fault.dominators net x))
+
+let test_propagation_assignments () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c"; "d" ]
+      ~nodes:[ ("x", "ab"); ("y", "xc"); ("z", "y + d") ]
+      ~outputs:[ "z" ]
+  in
+  let x = Builder.node net "x" in
+  let assignments = Fault.propagation_assignments net x in
+  let c = Builder.node net "c" and d = Builder.node net "d" in
+  Alcotest.(check bool) "c must be 1 (AND side input)" true
+    (List.mem (Fault.Node (c, true)) assignments);
+  (* z = y + d: the cube d has no D-input, so it must be 0. *)
+  let z = Builder.node net "z" in
+  let d_cube_zero =
+    List.exists
+      (function Fault.Cube (m, _, false) -> m = z | _ -> false)
+      assignments
+  in
+  Alcotest.(check bool) "d cube must be 0 (OR side input)" true d_cube_zero;
+  ignore d
+
+(* ------------------------------------------------------------------ *)
+(* Redundancy identification and removal                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_redundant_contained_cube () =
+  (* f = a + ab: cube ab is redundant. *)
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ]
+      ~nodes:[ ("f", "a + ab") ]
+      ~outputs:[ "f" ]
+  in
+  let f = Builder.node net "f" in
+  let wires = Fault.all_wires net f in
+  let redundant_wires = List.filter (Fault.redundant net) wires in
+  Alcotest.(check bool) "something redundant" true (redundant_wires <> []);
+  let before = Network.copy net in
+  let removed = Rewiring.Remove.run net in
+  Alcotest.(check bool) "wires removed" true (removed > 0);
+  Alcotest.(check bool) "equivalent after removal" true
+    (Equiv.equivalent before net);
+  Alcotest.(check int) "minimal result" 1
+    (Cover.literal_count (Network.cover net f))
+
+let test_redundant_literal_consensus () =
+  (* f = ab + a'b ≡ b: the a-literals are redundant. *)
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ]
+      ~nodes:[ ("f", "ab + a'b") ]
+      ~outputs:[ "f" ]
+  in
+  let before = Network.copy net in
+  ignore (Rewiring.Remove.run net);
+  Alcotest.(check bool) "equivalent" true (Equiv.equivalent before net);
+  Alcotest.(check int) "reduced to b" 1
+    (Cover.literal_count (Network.cover net (Builder.node net "f")))
+
+let test_redundant_cross_node () =
+  (* y = a x with x = ab: literal a in y is redundant (x=1 implies a=1). *)
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ]
+      ~nodes:[ ("x", "ab"); ("y", "ax") ]
+      ~outputs:[ "y"; "x" ]
+  in
+  let before = Network.copy net in
+  ignore (Rewiring.Remove.run net);
+  Alcotest.(check bool) "equivalent" true (Equiv.equivalent before net);
+  Alcotest.(check int) "y reduced to buffer of x" 1
+    (Cover.literal_count (Network.cover net (Builder.node net "y")))
+
+let test_irredundant_untouched () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("f", "ab + a'c") ]
+      ~outputs:[ "f" ]
+  in
+  let removed = Rewiring.Remove.run net in
+  Alcotest.(check int) "nothing to remove" 0 removed
+
+(* ------------------------------------------------------------------ *)
+(* RAR (addition and removal)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_try_add_redundant_wire () =
+  (* y = ax with x = ab: adding literal b to y's cube is redundant
+     (x ≤ b), adding c is not. *)
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("x", "ab"); ("y", "ax + c") ]
+      ~outputs:[ "y"; "x" ]
+  in
+  let before = Network.copy net in
+  let y = Builder.node net "y" in
+  let b = Builder.node net "b" in
+  let cube_of_x =
+    (* Find the cube of y containing x. *)
+    let fanins = Network.fanins net y in
+    let x = Builder.node net "x" in
+    let cubes = Cover.cubes (Network.cover net y) in
+    match
+      List.find_index
+        (fun cube ->
+          List.exists
+            (fun lit -> fanins.(Literal.var lit) = x)
+            (Cube.literals cube))
+        cubes
+    with
+    | Some i -> i
+    | None -> Alcotest.fail "cube with x not found"
+  in
+  Alcotest.(check bool) "redundant addition accepted" true
+    (Rewiring.Rar.try_add_wire net ~node:y ~cube:cube_of_x ~source:b ~phase:true);
+  Alcotest.(check bool) "still equivalent" true (Equiv.equivalent before net);
+  let c = Builder.node net "c" in
+  Alcotest.(check bool) "non-redundant addition rejected" false
+    (Rewiring.Rar.try_add_wire net ~node:y ~cube:cube_of_x ~source:c ~phase:true);
+  Alcotest.(check bool) "rejection left function intact" true
+    (Equiv.equivalent before net)
+
+let test_rar_optimize_preserves () =
+  let net =
+    Generator.planted ~seed:7
+      {
+        inputs = 6;
+        noise_nodes = 4;
+        algebraic_plants = 1;
+        gdc_plants = 0;
+        boolean_plants = 1;
+        outputs = 4;
+      }
+  in
+  let before = Network.copy net in
+  let stats = Rewiring.Rar.optimize ~max_sources_per_node:4 net in
+  Network.check net;
+  Alcotest.(check bool) "equivalent after RAR" true (Equiv.equivalent before net);
+  Alcotest.(check bool) "never negative savings" true (stats.literals_saved >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+
+(* ------------------------------------------------------------------ *)
+(* Additional engine edge cases                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_cube_assignment_api () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("g", "ab + c") ]
+      ~outputs:[ "g" ]
+  in
+  let g = Builder.node net "g" in
+  let e = Imply.create net in
+  (* Out-of-range cube indices are rejected. *)
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Imply.assign_cube: cube index") (fun () ->
+      Imply.assign_cube e g 5 true);
+  (* Assigning a cube to 1 forces its literals. *)
+  let ab_index =
+    let cubes = Cover.cubes (Network.cover net g) in
+    match List.find_index (fun c -> Cube.size c = 2) cubes with
+    | Some i -> i
+    | None -> Alcotest.fail "cube ab not found"
+  in
+  Imply.assign_cube e g ab_index true;
+  Alcotest.(check (option bool)) "a forced by cube" (Some true)
+    (Imply.node_value e (Builder.node net "a"));
+  Alcotest.(check (option bool)) "cube value readable" (Some true)
+    (Imply.cube_value e g ab_index);
+  Alcotest.(check (option bool)) "node follows cube" (Some true)
+    (Imply.node_value e g)
+
+let test_constant_node_propagation () =
+  (* A constant-0 node is derived immediately when touched. *)
+  let net = Network.create () in
+  let a = Network.add_input net "a" in
+  let zero = Network.add_logic net ~name:"zero" ~fanins:[||] Cover.zero in
+  let g =
+    Network.add_logic net ~name:"g" ~fanins:[| a; zero |]
+      (Parse.cover_default "a + b")
+  in
+  Network.add_output net "g" g;
+  let e = Imply.create net in
+  Imply.assign_node e g true;
+  (* g = a + zero and g = 1: with zero = 0 derived, a must be 1. *)
+  Alcotest.(check (option bool)) "zero derived" (Some false)
+    (Imply.node_value e zero);
+  Alcotest.(check (option bool)) "a justified" (Some true)
+    (Imply.node_value e a)
+
+let test_learn_respects_max_options () =
+  (* f = ab + cb + db: three justification options; with max_options 2 the
+     split is skipped and nothing is learnt. *)
+  let net =
+    Builder.of_spec
+      ~inputs:[ "a"; "b"; "c"; "d" ]
+      ~nodes:[ ("f", "ab + cb + db") ]
+      ~outputs:[ "f" ]
+  in
+  let f = Builder.node net "f" and b = Builder.node net "b" in
+  let e = Imply.create net in
+  Imply.assign_node e f true;
+  Imply.learn ~max_options:2 ~depth:1 e;
+  Alcotest.(check (option bool)) "skipped wide split" None (Imply.node_value e b);
+  Imply.learn ~max_options:3 ~depth:1 e;
+  Alcotest.(check (option bool)) "learnt with room" (Some true)
+    (Imply.node_value e b)
+
+let test_all_wires_count () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("g", "ab + c") ]
+      ~outputs:[ "g" ]
+  in
+  let g = Builder.node net "g" in
+  let wires = Fault.all_wires net g in
+  (* 2 cube wires + 3 literal wires. *)
+  Alcotest.(check int) "wire count" 5 (List.length wires);
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "printable" true
+        (String.length (Fault.wire_to_string net w) > 0))
+    wires
+
+let test_redundant_with_extra_assumptions () =
+  (* b in cube ab is not redundant on its own, but under the extra
+     assumption "node a = 1 whenever considered" it still is not: extra
+     assumptions that CONTRADICT activation make it trivially redundant. *)
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ] ~nodes:[ ("g", "ab") ] ~outputs:[ "g" ]
+  in
+  let g = Builder.node net "g" in
+  let b = Builder.node net "b" in
+  let wire =
+    Atpg.Fault.Literal_wire { node = g; cube = 0; lit = Literal.pos 1 }
+  in
+  Alcotest.(check bool) "not redundant alone" false (Fault.redundant net wire);
+  Alcotest.(check bool) "redundant under extra constraint" true
+    (Fault.redundant ~extra:[ Atpg.Fault.Node (b, true) ] net wire)
+
+let test_remove_with_region () =
+  (* Region-restricted removal still finds local redundancies. *)
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ]
+      ~nodes:[ ("f", "ab + a'b") ]
+      ~outputs:[ "f" ]
+  in
+  let f = Builder.node net "f" in
+  let region id = id = f || Network.is_input net id in
+  let removed = Rewiring.Remove.run ~region net in
+  Alcotest.(check bool) "removed locally" true (removed > 0);
+  Alcotest.(check int) "reduced to b" 1
+    (Cover.literal_count (Network.cover net f))
+
+let gen_net =
+  QCheck2.Gen.(
+    let* seed = int_range 1 1_000_000 in
+    let* n_nodes = int_range 3 10 in
+    return (Generator.random ~seed ~n_inputs:5 ~n_nodes ~n_outputs:2 ()))
+
+
+
+let test_find_test () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ] ~nodes:[ ("g", "ab") ] ~outputs:[ "g" ]
+  in
+  let g = Builder.node net "g" in
+  (* b stuck-at-1 in the irredundant AND is testable; the returned vector
+     must actually distinguish good and faulty circuits. *)
+  let wire = Fault.Literal_wire { node = g; cube = 0; lit = Literal.pos 1 } in
+  (match Fault.find_test net wire with
+  | None -> Alcotest.fail "testable fault should have a test"
+  | Some vector ->
+    let faulty = Fault.inject net wire in
+    let assign n id =
+      List.assoc (Network.name n id) vector
+    in
+    let good = Network.eval net (assign net) g in
+    let bad =
+      Network.eval faulty (assign faulty)
+        (Option.get (Network.find_by_name faulty "g"))
+    in
+    Alcotest.(check bool) "vector distinguishes" true (good <> bad));
+  (* A redundant wire has no test. *)
+  let net2 =
+    Builder.of_spec ~inputs:[ "a"; "b" ]
+      ~nodes:[ ("g", "a + ab") ]
+      ~outputs:[ "g" ]
+  in
+  let g2 = Builder.node net2 "g" in
+  Alcotest.(check bool) "redundant cube has no test" true
+    (Fault.find_test net2 (Fault.Cube_wire { node = g2; cube = 1 }) = None)
+
+let test_inject_semantics () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ]
+      ~nodes:[ ("g", "ab + a'") ]
+      ~outputs:[ "g" ]
+  in
+  let g = Builder.node net "g" in
+  (* Injecting s-a-1 on literal b turns cube ab into a: g = a + a' = 1. *)
+  let wire_b = Fault.Literal_wire { node = g; cube = 0; lit = Literal.pos 1 } in
+  let faulty = Fault.inject net wire_b in
+  Alcotest.(check bool) "fault changes the function" false
+    (Equiv.equivalent net faulty)
+
+let prop_redundant_is_sound =
+  (* THE soundness statement: whenever the implication engine declares a
+     wire redundant, the exact (exhaustive) testability check agrees. *)
+  QCheck2.Test.make ~name:"redundant => fault truly untestable" ~count:60
+    ~print:Network.to_string gen_net (fun net ->
+      List.for_all
+        (fun id ->
+          List.for_all
+            (fun wire ->
+              (not (Fault.redundant ~learn_depth:1 net wire))
+              || Equiv.equivalent net (Fault.inject net wire))
+            (Fault.all_wires net id))
+        (Network.logic_ids net))
+
+let coverage_of_redundancy_test net =
+  (* How many truly redundant wires the conservative test identifies. *)
+  let found = ref 0 and truly = ref 0 in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun wire ->
+          if Equiv.equivalent net (Fault.inject net wire) then begin
+            incr truly;
+            if Fault.redundant ~learn_depth:1 net wire then incr found
+          end)
+        (Fault.all_wires net id))
+    (Network.logic_ids net);
+  (!found, !truly)
+
+let test_redundancy_coverage () =
+  (* The conservative test should catch a decent share of true
+     redundancies on circuits that have them. *)
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("x", "ab"); ("f", "ax + a'bx + c") ]
+      ~outputs:[ "f"; "x" ]
+  in
+  let found, truly = coverage_of_redundancy_test net in
+  Alcotest.(check bool) "has true redundancies" true (truly > 0);
+  Alcotest.(check bool) "finds at least half of them" true
+    (2 * found >= truly)
+
+
+(* The engine's defining property: derived values are entailed, conflicts
+   prove unsatisfiability. Random small networks + random node-value
+   assumption sets, checked exhaustively over all input assignments. *)
+let prop_implication_soundness =
+  let gen =
+    QCheck2.Gen.(
+      let* seed = int_range 1 1_000_000 in
+      let* n_nodes = int_range 2 8 in
+      let* n_assumptions = int_range 1 3 in
+      let* picks = list_size (return n_assumptions) (pair (int_range 0 1000) bool) in
+      return (Generator.random ~seed ~n_inputs:5 ~n_nodes ~n_outputs:2 (), picks))
+  in
+  QCheck2.Test.make ~name:"implications are entailed; conflicts are unsat"
+    ~count:200
+    ~print:(fun (net, _) -> Network.to_string net)
+    gen
+    (fun (net, picks) ->
+      let nodes = Array.of_list (List.sort Int.compare (Network.node_ids net)) in
+      let assumptions =
+        List.map (fun (k, v) -> (nodes.(k mod Array.length nodes), v)) picks
+      in
+      let engine = Imply.create net in
+      let outcome =
+        match
+          List.iter (fun (id, v) -> Imply.assign_node engine id v) assumptions
+        with
+        | () -> `Ok
+        | exception Imply.Conflict _ -> `Conflict
+      in
+      (* All input vectors consistent with the assumptions. *)
+      let inputs = Network.inputs net in
+      let n = List.length inputs in
+      let consistent = ref [] in
+      for bits = 0 to (1 lsl n) - 1 do
+        let assign id =
+          match List.find_index (Int.equal id) inputs with
+          | Some i -> bits land (1 lsl i) <> 0
+          | None -> assert false
+        in
+        let values = Network.eval net assign in
+        if List.for_all (fun (id, v) -> values id = v) assumptions then
+          consistent := values :: !consistent
+      done;
+      match outcome with
+      | `Conflict ->
+        (* One-sided: a conflict must prove there is no consistent vector. *)
+        !consistent = []
+      | `Ok ->
+        (* Every derived node value must hold on every consistent vector. *)
+        List.for_all
+          (fun (id, v) ->
+            List.for_all (fun values -> values id = v) !consistent)
+          (Imply.assigned_nodes engine))
+
+
+(* ------------------------------------------------------------------ *)
+(* Circuit SAT and SAT-based test generation                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_satisfy_basic () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("g", "ab + c") ]
+      ~outputs:[ "g" ]
+  in
+  let g = Builder.node net "g" in
+  (match Atpg.Solve.satisfy net ~node:g ~value:true with
+  | None -> Alcotest.fail "satisfiable goal"
+  | Some model ->
+    let assign id = Option.value (List.assoc_opt id model) ~default:false in
+    Alcotest.(check bool) "model works" true (Network.eval net assign g));
+  (* An unsatisfiable goal: xor(a,a) = 1 via two nodes. *)
+  let net2 =
+    Builder.of_spec ~inputs:[ "a" ]
+      ~nodes:[ ("p", "a"); ("q", "pa' + p'a") ]
+      ~outputs:[ "q" ]
+  in
+  Alcotest.(check bool) "unsat detected" true
+    (Atpg.Solve.satisfy net2 ~node:(Builder.node net2 "q") ~value:true = None)
+
+let test_miter () =
+  let net1 = Builder.of_spec ~inputs:[ "a"; "b" ] ~nodes:[ ("f", "ab") ] ~outputs:[ "f" ] in
+  let net2 = Builder.of_spec ~inputs:[ "a"; "b" ] ~nodes:[ ("f", "a + b") ] ~outputs:[ "f" ] in
+  let m, out = Atpg.Solve.miter net1 net2 in
+  Network.check m;
+  (match Atpg.Solve.satisfy m ~node:out ~value:true with
+  | None -> Alcotest.fail "differing circuits must have a distinguishing input"
+  | Some _ -> ());
+  let m2, out2 = Atpg.Solve.miter net1 (Network.copy net1) in
+  Alcotest.(check bool) "identical circuits yield unsat miter" true
+    (Atpg.Solve.satisfy m2 ~node:out2 ~value:true = None)
+
+let prop_sat_test_generation_matches_exhaustive =
+  QCheck2.Test.make
+    ~name:"SAT-based test generation agrees with exhaustive injection"
+    ~count:25 ~print:Network.to_string gen_net (fun net ->
+      List.for_all
+        (fun id ->
+          List.for_all
+            (fun wire ->
+              let exhaustive = Equiv.equivalent net (Fault.inject net wire) in
+              let sat = Atpg.Solve.find_test net wire in
+              (* untestable <=> no test found *)
+              exhaustive = (sat = None)
+              &&
+              (* any returned vector must actually detect the fault *)
+              match sat with
+              | None -> true
+              | Some vector ->
+                let faulty = Fault.inject net wire in
+                let assign n nid =
+                  Option.value
+                    (List.assoc_opt (Network.name n nid) vector)
+                    ~default:false
+                in
+                List.exists
+                  (fun (po, good_id) ->
+                    let bad_id = List.assoc po (Network.outputs faulty) in
+                    Network.eval net (assign net) good_id
+                    <> Network.eval faulty (assign faulty) bad_id)
+                  (Network.outputs net))
+            (Fault.all_wires net id))
+        (Network.logic_ids net))
+
+let prop_remove_preserves =
+  QCheck2.Test.make ~name:"redundancy removal preserves function" ~count:80
+    ~print:Network.to_string gen_net (fun net ->
+      let before = Network.copy net in
+      ignore (Rewiring.Remove.run net);
+      Network.check net;
+      Equiv.equivalent before net)
+
+let prop_remove_with_learning_preserves =
+  QCheck2.Test.make
+    ~name:"redundancy removal with learning preserves function" ~count:40
+    ~print:Network.to_string gen_net (fun net ->
+      let before = Network.copy net in
+      ignore (Rewiring.Remove.run ~learn_depth:1 net);
+      Network.check net;
+      Equiv.equivalent before net)
+
+let prop_remove_never_grows =
+  QCheck2.Test.make ~name:"redundancy removal never grows literal count"
+    ~count:80 ~print:Network.to_string gen_net (fun net ->
+      let before = Lit_count.flat net in
+      ignore (Rewiring.Remove.run net);
+      Lit_count.flat net <= before)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_remove_preserves;
+      prop_remove_with_learning_preserves;
+      prop_remove_never_grows;
+      prop_redundant_is_sound;
+      prop_implication_soundness;
+      prop_sat_test_generation_matches_exhaustive;
+    ]
+
+let () =
+  Alcotest.run "atpg"
+    [
+      ( "implication",
+        [
+          Alcotest.test_case "forward" `Quick test_forward_implication;
+          Alcotest.test_case "backward" `Quick test_backward_implication;
+          Alcotest.test_case "or backward" `Quick test_or_backward;
+          Alcotest.test_case "conflict" `Quick test_conflict_detection;
+          Alcotest.test_case "multi-level" `Quick test_implication_through_levels;
+          Alcotest.test_case "region restriction" `Quick test_region_restriction;
+          Alcotest.test_case "frozen nodes" `Quick test_frozen_node;
+          Alcotest.test_case "recursive learning" `Quick test_recursive_learning;
+          Alcotest.test_case "learning conflict" `Quick test_learning_conflict;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "dominator chain" `Quick test_dominators_chain;
+          Alcotest.test_case "reconvergence" `Quick test_dominators_reconvergence;
+          Alcotest.test_case "propagation assignments" `Quick
+            test_propagation_assignments;
+        ] );
+      ( "redundancy",
+        [
+          Alcotest.test_case "contained cube" `Quick test_redundant_contained_cube;
+          Alcotest.test_case "consensus literal" `Quick
+            test_redundant_literal_consensus;
+          Alcotest.test_case "cross-node" `Quick test_redundant_cross_node;
+          Alcotest.test_case "irredundant untouched" `Quick
+            test_irredundant_untouched;
+        ] );
+      ( "engine-edge-cases",
+        [
+          Alcotest.test_case "cube assignment api" `Quick test_cube_assignment_api;
+          Alcotest.test_case "constant nodes" `Quick test_constant_node_propagation;
+          Alcotest.test_case "learn max options" `Quick test_learn_respects_max_options;
+          Alcotest.test_case "all wires" `Quick test_all_wires_count;
+          Alcotest.test_case "extra assumptions" `Quick
+            test_redundant_with_extra_assumptions;
+          Alcotest.test_case "region removal" `Quick test_remove_with_region;
+          Alcotest.test_case "fault injection" `Quick test_inject_semantics;
+          Alcotest.test_case "test generation" `Quick test_find_test;
+          Alcotest.test_case "circuit sat" `Quick test_satisfy_basic;
+          Alcotest.test_case "miter" `Quick test_miter;
+          Alcotest.test_case "redundancy coverage" `Quick test_redundancy_coverage;
+        ] );
+      ( "rar",
+        [
+          Alcotest.test_case "redundant addition" `Quick test_try_add_redundant_wire;
+          Alcotest.test_case "optimize preserves" `Quick test_rar_optimize_preserves;
+        ] );
+      ("properties", qcheck_cases);
+    ]

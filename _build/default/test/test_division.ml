@@ -1,0 +1,645 @@
+(* Tests for Boolean division: the cover-level API and the network-level
+   RAR-based algorithm. *)
+
+open Twolevel
+module Network = Logic_network.Network
+module Builder = Logic_network.Builder
+module Lit_count = Logic_network.Lit_count
+module Equiv = Logic_sim.Equiv
+module Division = Booldiv.Division
+module Basic_division = Booldiv.Basic_division
+module Net_cube = Booldiv.Net_cube
+module Generator = Bench_suite.Generator
+
+let cover = Parse.cover_default
+
+(* ------------------------------------------------------------------ *)
+(* Cover-level division                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_sop_xor_example () =
+  (* xor = ab' + a'b, d = a + b: Boolean quotient is a' + b'; algebraic
+     division finds nothing. *)
+  let f = cover "ab' + a'b" and d = cover "a + b" in
+  (match Division.basic_sop ~f ~d () with
+  | None -> Alcotest.fail "division should succeed"
+  | Some result ->
+    Alcotest.(check bool) "identity holds" true
+      (Division.verify_sop ~f ~d result);
+    Alcotest.(check bool) "quotient is a' + b'" true
+      (Cover.equivalent result.quotient (cover "a' + b'"));
+    Alcotest.(check bool) "no remainder" true (Cover.is_zero result.remainder));
+  let q_alg = Algebraic.quotient f d in
+  Alcotest.(check bool) "algebraic cannot divide" true (Cover.is_zero q_alg)
+
+let test_sop_with_remainder () =
+  (* f = ad + bd + a'b'c, d = a + b: q = d(the input var), r = a'b'c. *)
+  let f = cover "ad + bd + a'b'c" and d_div = cover "a + b" in
+  match Division.basic_sop ~f ~d:d_div () with
+  | None -> Alcotest.fail "division should succeed"
+  | Some result ->
+    Alcotest.(check bool) "identity" true
+      (Division.verify_sop ~f ~d:d_div result);
+    Alcotest.(check bool) "quotient is d" true
+      (Cover.equivalent result.quotient (cover "d"));
+    Alcotest.(check bool) "remainder" true
+      (Cover.equal result.remainder (cover "a'b'c"))
+
+let test_sop_no_division () =
+  (* No cube of f is contained in a cube of d. *)
+  Alcotest.(check bool) "quotient zero" true
+    (Division.basic_sop ~f:(cover "ab") ~d:(cover "c + d") () = None)
+
+let test_sop_with_dc () =
+  (* f = ab, d = a + b. Without dc, dividing gives q ≡ ab (no gain);
+     with dc = a'b' ∨ ... the quotient can grow. Here dc = ab' + a'b lets
+     f expand inside d: q can become 1-literal-free: f = d (mod dc). *)
+  let f = cover "ab" and d = cover "a + b" in
+  let dc = cover "ab' + a'b" in
+  match Division.basic_sop ~dc ~f ~d () with
+  | None -> Alcotest.fail "division should succeed"
+  | Some result ->
+    Alcotest.(check bool) "identity mod dc" true
+      (Division.verify_sop ~dc ~f ~d result);
+    Alcotest.(check bool) "dc shrinks quotient to 1" true
+      (Cover.is_one result.quotient)
+
+let test_pos_division () =
+  (* f = (a+b)(c+d) as SOP; divide by d = c + d in POS form:
+     f = (0 + (c+d)) · (a+b). *)
+  let f = cover "ac + ad + bc + bd" and d = cover "c + d" in
+  match Division.basic_pos ~f ~d () with
+  | None -> Alcotest.fail "pos division should succeed"
+  | Some result ->
+    Alcotest.(check bool) "identity" true (Division.verify_pos ~f ~d result);
+    Alcotest.(check bool) "factor is a + b" true
+      (Cover.equivalent result.pos_remainder (cover "a + b"))
+
+let test_pos_nontrivial_quotient () =
+  (* f = (a + b + e)(c + a), d = b + e: f = (q + d)(r) with a in q. *)
+  let f = Cover.product (cover "a + b + e") (cover "c + a") in
+  let d = cover "b + e" in
+  match Division.basic_pos ~f ~d () with
+  | None -> Alcotest.fail "pos division should succeed"
+  | Some result -> Alcotest.(check bool) "identity" true (Division.verify_pos ~f ~d result)
+
+(* ------------------------------------------------------------------ *)
+(* Net_cube                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_net_cube_containment () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("d", "a + b"); ("f", "ab' + a'b") ]
+      ~outputs:[ "f"; "d" ]
+  in
+  let f = Builder.node net "f" and d = Builder.node net "d" in
+  let fc0 = Net_cube.of_cube_index net f 0 in
+  let dc0 = Net_cube.of_cube_index net d 0 in
+  let dc1 = Net_cube.of_cube_index net d 1 in
+  (* Each f cube is contained in exactly one of d's single-literal cubes. *)
+  Alcotest.(check bool) "containment in one divisor cube" true
+    (Net_cube.contained_by fc0 dc0 <> Net_cube.contained_by fc0 dc1)
+
+(* ------------------------------------------------------------------ *)
+(* Network-level basic division                                        *)
+(* ------------------------------------------------------------------ *)
+
+let xor_net () =
+  Builder.of_spec ~inputs:[ "a"; "b" ]
+    ~nodes:[ ("d", "a + b"); ("f", "ab' + a'b") ]
+    ~outputs:[ "f"; "d" ]
+
+let test_basic_division_xor () =
+  let net = xor_net () in
+  let before = Network.copy net in
+  let f = Builder.node net "f" and d = Builder.node net "d" in
+  Alcotest.(check bool) "applicable" true (Basic_division.applicable net ~f ~d);
+  (match Basic_division.try_divide net ~f ~d with
+  | None -> Alcotest.fail "division should commit"
+  | Some outcome ->
+    Alcotest.(check bool) "positive gain" true (outcome.literal_gain > 0);
+    Alcotest.(check bool) "wires were removed" true (outcome.wires_removed > 0));
+  Network.check net;
+  Alcotest.(check bool) "equivalent" true (Equiv.equivalent before net);
+  (* f must now use d as a fanin. *)
+  let uses_d = Array.exists (Int.equal d) (Network.fanins net f) in
+  Alcotest.(check bool) "f uses d" true uses_d;
+  (* f = d(a' + b'): 3 factored literals, down from 4. *)
+  Alcotest.(check int) "final literal count" 3 (Lit_count.node_factored net f)
+
+let test_basic_division_paper_shape () =
+  (* The introduction's shape: 6 literals initially; algebraic
+     substitution reaches 5; Boolean reaches 4.
+     f = ad + bd + a'b'c = (a+b)d + (a+b)'c, divisor D = a + b. *)
+  let net =
+    Builder.of_spec
+      ~inputs:[ "a"; "b"; "c"; "d" ]
+      ~nodes:[ ("D", "a + b"); ("f", "ad + bd + a'b'c") ]
+      ~outputs:[ "f"; "D" ]
+  in
+  let before = Network.copy net in
+  let f = Builder.node net "f" and d = Builder.node net "D" in
+  Alcotest.(check int) "6 literals initially" 6 (Lit_count.node_factored net f);
+  (* Algebraic resubstitution would give D·d + a'b'c = 5 literals. *)
+  let q_alg = Algebraic.quotient (cover "ad + bd + a'b'c") (cover "a + b") in
+  Alcotest.(check bool) "algebraic quotient is d" true
+    (Cover.equivalent q_alg (cover "d"));
+  (match Basic_division.try_divide net ~f ~d with
+  | None -> Alcotest.fail "division should commit"
+  | Some _ -> ());
+  Alcotest.(check int) "positive phase reaches 5 (like algebraic)" 5
+    (Lit_count.node_factored net f);
+  (* The remaining a'b' factor is D': dividing by the complement finds it. *)
+  (match Basic_division.try_divide ~phase:false net ~f ~d with
+  | None -> Alcotest.fail "complement division should commit"
+  | Some _ -> ());
+  Network.check net;
+  Alcotest.(check bool) "equivalent" true (Equiv.equivalent before net);
+  Alcotest.(check int) "Boolean substitution reaches 4" 4
+    (Lit_count.node_factored net f)
+
+let test_basic_division_not_applicable () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("d", "c"); ("f", "ab") ]
+      ~outputs:[ "f"; "d" ]
+  in
+  let f = Builder.node net "f" and d = Builder.node net "d" in
+  Alcotest.(check bool) "not applicable" false
+    (Basic_division.applicable net ~f ~d);
+  Alcotest.(check bool) "divide returns None" true
+    (Basic_division.divide net ~f ~d = None)
+
+let test_basic_division_cycle_guard () =
+  (* d depends on f: division must refuse. *)
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ]
+      ~nodes:[ ("f", "ab' + a'b"); ("d", "f + a") ]
+      ~outputs:[ "d" ]
+  in
+  let f = Builder.node net "f" and d = Builder.node net "d" in
+  Alcotest.(check bool) "refused" false (Basic_division.applicable net ~f ~d)
+
+let test_basic_division_no_gain_reverts () =
+  (* Dividing ab by d = a + b: the quotient cannot shrink below ab, so the
+     rewrite costs a literal and must be rolled back. *)
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ]
+      ~nodes:[ ("d", "a + b"); ("f", "ab") ]
+      ~outputs:[ "f"; "d" ]
+  in
+  let f = Builder.node net "f" and d = Builder.node net "d" in
+  let before_cover = Network.cover net f in
+  Alcotest.(check bool) "no commit" true
+    (Basic_division.try_divide net ~f ~d = None);
+  Alcotest.(check bool) "cover untouched" true
+    (Cover.equal before_cover (Network.cover net f));
+  Network.check net
+
+let test_basic_division_gdc () =
+  (* The xor division must also work with global implications enabled. *)
+  let net = xor_net () in
+  let before = Network.copy net in
+  let f = Builder.node net "f" and d = Builder.node net "d" in
+  (match Basic_division.try_divide ~gdc:true ~learn_depth:1 net ~f ~d with
+  | None -> Alcotest.fail "gdc division should commit"
+  | Some outcome ->
+    Alcotest.(check bool) "positive gain" true (outcome.literal_gain > 0));
+  Network.check net;
+  Alcotest.(check bool) "equivalent" true (Equiv.equivalent before net);
+  (* A GDC plant: the literal a inside f's quotient cube is provably
+     redundant only through the chain x = y·e, y = a·b — two node levels
+     away, beyond the local region. *)
+  let gdc_net () =
+    Generator.planted ~seed:2
+      {
+        inputs = 10;
+        noise_nodes = 0;
+        algebraic_plants = 0;
+        boolean_plants = 0;
+        gdc_plants = 1;
+        outputs = 1;
+      }
+  in
+  let local = gdc_net () in
+  let global = gdc_net () in
+  ignore (Booldiv.Substitute.run ~config:Booldiv.Substitute.extended_config local);
+  ignore
+    (Booldiv.Substitute.run ~config:Booldiv.Substitute.extended_gdc_config global);
+  Alcotest.(check bool) "gdc config strictly stronger on the gdc plant" true
+    (Lit_count.factored global < Lit_count.factored local);
+  Alcotest.(check bool) "gdc result equivalent" true
+    (Equiv.equivalent global (gdc_net ()))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let nvars = 5
+
+let gen_cover =
+  QCheck2.Gen.(
+    let* cubes =
+      list_size (int_range 1 5)
+        (list_size (int_range 1 3)
+           (let* v = int_range 0 (nvars - 1) in
+            let* phase = bool in
+            return (Literal.make v phase)))
+    in
+    return (Cover.of_cubes (List.filter_map Cube.of_literals cubes)))
+
+let same_function f g =
+  let ok = ref true in
+  for bits = 0 to (1 lsl nvars) - 1 do
+    let assign v = bits land (1 lsl v) <> 0 in
+    if Cover.eval assign f <> Cover.eval assign g then ok := false
+  done;
+  !ok
+
+let prop_sop_identity =
+  QCheck2.Test.make ~name:"cover division identity f = qd + r" ~count:300
+    ~print:(fun (f, d) -> Cover.to_string f ^ " / " ^ Cover.to_string d)
+    QCheck2.Gen.(pair gen_cover gen_cover)
+    (fun (f, d) ->
+      match Division.basic_sop ~f ~d () with
+      | None -> true
+      | Some { quotient; remainder } ->
+        same_function f (Cover.union (Cover.product quotient d) remainder))
+
+let prop_pos_identity =
+  QCheck2.Test.make ~name:"cover POS division identity f = (q + d)r"
+    ~count:300
+    ~print:(fun (f, d) -> Cover.to_string f ^ " / " ^ Cover.to_string d)
+    QCheck2.Gen.(pair gen_cover gen_cover)
+    (fun (f, d) ->
+      match Division.basic_pos ~f ~d () with
+      | None -> true
+      | Some { pos_quotient; pos_remainder } ->
+        same_function f
+          (Cover.product (Cover.union pos_quotient d) pos_remainder))
+
+let gen_planted =
+  QCheck2.Gen.(
+    let* seed = int_range 1 100_000 in
+    return
+      (Generator.planted ~seed
+         {
+           inputs = 6;
+           noise_nodes = 3;
+           algebraic_plants = 1;
+        gdc_plants = 0;
+           boolean_plants = 1;
+           outputs = 3;
+         }))
+
+let try_all_divisions ?gdc net =
+  let nodes = Network.logic_ids net in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun d ->
+          if Network.mem net f && Network.mem net d && f <> d then
+            ignore (Basic_division.try_divide ?gdc net ~f ~d))
+        nodes)
+    nodes
+
+let prop_network_division_preserves =
+  QCheck2.Test.make ~name:"network division preserves function" ~count:40
+    ~print:Network.to_string gen_planted (fun net ->
+      let before = Network.copy net in
+      try_all_divisions net;
+      Network.check net;
+      Equiv.equivalent before net)
+
+let prop_network_division_gdc_preserves =
+  QCheck2.Test.make ~name:"network division (GDC) preserves function"
+    ~count:25 ~print:Network.to_string gen_planted (fun net ->
+      let before = Network.copy net in
+      try_all_divisions ~gdc:true net;
+      Network.check net;
+      Equiv.equivalent before net)
+
+let prop_division_never_grows =
+  QCheck2.Test.make ~name:"committed divisions only reduce literals"
+    ~count:40 ~print:Network.to_string gen_planted (fun net ->
+      let before = Lit_count.factored net in
+      try_all_divisions net;
+      Lit_count.factored net <= before)
+
+(* ------------------------------------------------------------------ *)
+(* Extended division and the substitution driver                       *)
+(* ------------------------------------------------------------------ *)
+
+(* D = ab + a'b' + c and f = (ab + a'b')(x + y) flattened: basic division
+   by the whole of D cannot shrink anything (the c cube never conflicts),
+   but extended division finds the core divisor {ab, a'b'}, decomposes
+   D = core + c, and substitutes the core. *)
+let ext_net () =
+  Builder.of_spec
+    ~inputs:[ "a"; "b"; "c"; "x"; "y" ]
+    ~nodes:
+      [
+        ("D", "ab + a'b' + c");
+        ("f", "abx + a'b'x + aby + a'b'y");
+      ]
+    ~outputs:[ "f"; "D" ]
+
+let test_votes_and_filter () =
+  let net = ext_net () in
+  let f = Builder.node net "f" and d = Builder.node net "D" in
+  let entries = Booldiv.Vote.collect net ~f ~pool:[ d ] in
+  (* 12 literal wires in f. *)
+  Alcotest.(check int) "one entry per literal wire" 12 (List.length entries);
+  let valid = Booldiv.Vote.valid_entries entries in
+  (* The 8 wires on a/b phases are valid; the 4 x/y wires vote for a cube
+     that does not contain theirs and are filtered out — the paper's
+     Table I(a) -> I(b) step. *)
+  Alcotest.(check int) "validity filter" 8 (List.length valid);
+  List.iter
+    (fun e ->
+      Alcotest.(check int) "each valid wire votes for both core cubes" 2
+        (List.length e.Booldiv.Vote.candidates))
+    valid;
+  (* Rendering shouldn't raise and mentions the divisor. *)
+  let rendered = Booldiv.Vote.table_to_string net entries in
+  Alcotest.(check bool) "table mentions D" true
+    (String.length rendered > 0)
+
+let test_clique_selection () =
+  (* Candidate sets: {1,2} {1,2} {1} {3}: best clique is the first two
+     wires with core {1,2}. *)
+  let candidates = [| [ 1; 2 ]; [ 1; 2 ]; [ 1 ]; [ 3 ] |] in
+  let serves _ core = core <> [] in
+  match Booldiv.Clique.best_core ~candidates ~serves with
+  | None -> Alcotest.fail "expected a choice"
+  | Some { members; core } ->
+    Alcotest.(check int) "three wires served" 3 (List.length members);
+    Alcotest.(check (list int)) "core is the intersection" [ 1 ] core
+
+let test_clique_exact_small () =
+  (* Triangle plus isolated vertex. *)
+  let adjacent a b = a <> b && a <= 2 && b <= 2 in
+  let cliques = Booldiv.Clique.maximal_cliques ~n:4 ~adjacent in
+  let sizes = List.sort Int.compare (List.map List.length cliques) in
+  Alcotest.(check (list int)) "triangle and singleton" [ 1; 3 ] sizes
+
+let test_extended_division_example () =
+  let net = ext_net () in
+  let before = Network.copy net in
+  let f = Builder.node net "f" and d = Builder.node net "D" in
+  (* Basic division by the full divisor must not find a profitable
+     rewrite. *)
+  Alcotest.(check bool) "basic division finds nothing" true
+    (Basic_division.try_divide net ~f ~d = None);
+  let total_before = Lit_count.factored net in
+  (match Booldiv.Extended_division.try_run net ~f ~pool:[ d ] with
+  | None -> Alcotest.fail "extended division should commit"
+  | Some outcome ->
+    Alcotest.(check bool) "divisor decomposed" true
+      outcome.decomposed_divisor;
+    Alcotest.(check int) "core has two cubes" 2 outcome.core_cubes;
+    Alcotest.(check bool) "positive gain" true (outcome.literal_gain > 0));
+  Network.check net;
+  Alcotest.(check bool) "equivalent" true (Equiv.equivalent before net);
+  Alcotest.(check bool) "literals reduced" true
+    (Lit_count.factored net < total_before)
+
+
+let test_extended_multi_source () =
+  (* The paper's end-of-Section-IV generalisation: the core divisor's
+     cubes come from two different nodes, each of which contains the whole
+     core and gets decomposed around the shared new node. *)
+  let fresh () =
+    Builder.of_spec
+      ~inputs:[ "a"; "b"; "c"; "e"; "x"; "y" ]
+      ~nodes:
+        [
+          ("d1", "ab + a'b' + c");
+          ("d2", "ab + a'b' + e");
+          ("f", "abx + a'b'x + aby + a'b'y");
+        ]
+      ~outputs:[ "f"; "d1"; "d2" ]
+  in
+  let net = fresh () in
+  let f = Builder.node net "f" in
+  let d1 = Builder.node net "d1" and d2 = Builder.node net "d2" in
+  let before_total = Lit_count.factored net in
+  (match Booldiv.Extended_division.try_run net ~f ~pool:[ d1; d2 ] with
+  | None -> Alcotest.fail "multi-source extended division should commit"
+  | Some outcome ->
+    Alcotest.(check int) "two source nodes" 2 outcome.core_sources;
+    Alcotest.(check bool) "sources decomposed around the core" true
+      outcome.decomposed_divisor;
+    Alcotest.(check bool) "substantial gain" true (outcome.literal_gain >= 4));
+  Network.check net;
+  Alcotest.(check bool) "equivalent" true (Equiv.equivalent net (fresh ()));
+  Alcotest.(check bool) "total literals reduced" true
+    (Lit_count.factored net < before_total)
+
+
+let test_pos_extended () =
+  (* The De Morgan dual of the worked extended-division example: in the
+     complement domain f' = (ab + a'b')(x + y) and D' = ab + a'b' + c,
+     so the real nodes are f = x'y' + ab' + a'b and D = ab'c' + a'bc'.
+     POS extended division must decompose D around the POS core. *)
+  let fresh () =
+    Builder.of_spec
+      ~inputs:[ "a"; "b"; "c"; "x"; "y" ]
+      ~nodes:[ ("D", "ab'c' + a'bc'"); ("f", "x'y' + ab' + a'b") ]
+      ~outputs:[ "f"; "D" ]
+  in
+  let net = fresh () in
+  let f = Builder.node net "f" and d = Builder.node net "D" in
+  let before_total = Lit_count.factored net in
+  (match Booldiv.Pos_extended.try_run net ~f ~pool:[ d ] with
+  | None -> Alcotest.fail "POS extended division should commit"
+  | Some outcome ->
+    Alcotest.(check int) "core has two sum terms" 2 outcome.core_sum_terms;
+    Alcotest.(check bool) "divisor decomposed" true outcome.decomposed_divisor;
+    Alcotest.(check bool) "positive gain" true (outcome.literal_gain > 0));
+  Network.check net;
+  Alcotest.(check bool) "equivalent" true (Equiv.equivalent net (fresh ()));
+  Alcotest.(check bool) "total reduced" true
+    (Lit_count.factored net < before_total)
+
+let prop_pos_extended_preserves =
+  QCheck2.Test.make ~name:"POS extended division preserves function"
+    ~count:15 ~print:Network.to_string gen_planted (fun net ->
+      let before = Network.copy net in
+      let nodes = Network.logic_ids net in
+      List.iter
+        (fun f ->
+          if Network.mem net f then
+            ignore
+              (Booldiv.Pos_extended.try_run net ~f
+                 ~pool:(List.filter (fun d -> d <> f) nodes)))
+        nodes;
+      Network.check net;
+      Equiv.equivalent before net)
+
+let test_pos_substitution () =
+  let net =
+    Builder.of_spec
+      ~inputs:[ "a"; "b"; "c"; "d" ]
+      ~nodes:[ ("D", "c + d"); ("f", "ac + ad + bc + bd") ]
+      ~outputs:[ "f"; "D" ]
+  in
+  let before = Network.copy net in
+  let f = Builder.node net "f" and d = Builder.node net "D" in
+  let lits_before = Lit_count.node_factored net f in
+  Alcotest.(check bool) "pos substitution commits" true
+    (Booldiv.Substitute.substitute_pos net ~f ~d);
+  Network.check net;
+  Alcotest.(check bool) "equivalent" true (Equiv.equivalent before net);
+  Alcotest.(check bool) "literals reduced" true
+    (Lit_count.node_factored net f < lits_before);
+  Alcotest.(check bool) "f uses D" true
+    (Array.exists (Int.equal d) (Network.fanins net f))
+
+let run_config config net =
+  let before = Network.copy net in
+  let stats = Booldiv.Substitute.run ~config net in
+  Network.check net;
+  Alcotest.(check bool) "equivalent after substitution pass" true
+    (Equiv.equivalent before net);
+  Alcotest.(check bool) "never grows" true
+    (stats.literals_after <= stats.literals_before);
+  stats
+
+let test_driver_configs () =
+  let fresh () =
+    Generator.planted ~seed:42
+      {
+        inputs = 7;
+        noise_nodes = 4;
+        algebraic_plants = 2;
+        gdc_plants = 0;
+        boolean_plants = 2;
+        outputs = 5;
+      }
+  in
+  let basic = run_config Booldiv.Substitute.basic_config (fresh ()) in
+  let ext = run_config Booldiv.Substitute.extended_config (fresh ()) in
+  let gdc = run_config Booldiv.Substitute.extended_gdc_config (fresh ()) in
+  Alcotest.(check bool) "basic finds substitutions" true
+    (basic.basic_substitutions + basic.pos_substitutions > 0);
+  Alcotest.(check bool) "ext at least as good as basic" true
+    (ext.literals_after <= basic.literals_after);
+  Alcotest.(check bool) "gdc at least as good as ext" true
+    (gdc.literals_after <= ext.literals_after)
+
+let prop_substitution_preserves =
+  QCheck2.Test.make ~name:"substitution driver preserves function" ~count:25
+    ~print:Network.to_string gen_planted (fun net ->
+      let before = Network.copy net in
+      ignore (Booldiv.Substitute.run net);
+      Network.check net;
+      Equiv.equivalent before net)
+
+let prop_extended_preserves =
+  QCheck2.Test.make ~name:"extended division preserves function" ~count:20
+    ~print:Network.to_string gen_planted (fun net ->
+      let before = Network.copy net in
+      let nodes = Network.logic_ids net in
+      List.iter
+        (fun f ->
+          if Network.mem net f then
+            ignore
+              (Booldiv.Extended_division.try_run net ~f
+                 ~pool:(List.filter (fun d -> d <> f) nodes)))
+        nodes;
+      Network.check net;
+      Equiv.equivalent before net)
+
+
+(* Random-graph clique laws. *)
+let prop_cliques_are_maximal_cliques =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 1 9 in
+      let* edges = list_size (int_range 0 20) (pair (int_range 0 8) (int_range 0 8)) in
+      return (n, edges))
+  in
+  QCheck2.Test.make ~name:"Bron-Kerbosch returns exactly the maximal cliques"
+    ~count:200
+    ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=%s" n
+        (String.concat ","
+           (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) edges)))
+    gen
+    (fun (n, edges) ->
+      let adjacent a b =
+        a <> b
+        && List.exists
+             (fun (x, y) ->
+               let x = x mod n and y = y mod n in
+               (x = a && y = b) || (x = b && y = a))
+             edges
+      in
+      let cliques = Booldiv.Clique.maximal_cliques ~n ~adjacent in
+      let is_clique c =
+        List.for_all (fun a -> List.for_all (fun b -> a = b || adjacent a b) c) c
+      in
+      let is_maximal c =
+        List.for_all
+          (fun v -> List.mem v c || not (List.for_all (adjacent v) c))
+          (List.init n Fun.id)
+      in
+      List.for_all (fun c -> is_clique c && is_maximal c) cliques
+      (* the greedy heuristic must also return a clique *)
+      && is_clique (Booldiv.Clique.greedy_clique ~n ~adjacent))
+
+let () =
+  Alcotest.run "division"
+    [
+      ( "cover-level",
+        [
+          Alcotest.test_case "xor example" `Quick test_sop_xor_example;
+          Alcotest.test_case "with remainder" `Quick test_sop_with_remainder;
+          Alcotest.test_case "no division" `Quick test_sop_no_division;
+          Alcotest.test_case "don't cares" `Quick test_sop_with_dc;
+          Alcotest.test_case "pos division" `Quick test_pos_division;
+          Alcotest.test_case "pos nontrivial" `Quick test_pos_nontrivial_quotient;
+        ] );
+      ( "net-cube",
+        [ Alcotest.test_case "containment" `Quick test_net_cube_containment ] );
+      ( "network-level",
+        [
+          Alcotest.test_case "xor" `Quick test_basic_division_xor;
+          Alcotest.test_case "paper 6-5-4 shape" `Quick
+            test_basic_division_paper_shape;
+          Alcotest.test_case "not applicable" `Quick
+            test_basic_division_not_applicable;
+          Alcotest.test_case "cycle guard" `Quick test_basic_division_cycle_guard;
+          Alcotest.test_case "no gain reverts" `Quick
+            test_basic_division_no_gain_reverts;
+          Alcotest.test_case "gdc mode" `Quick test_basic_division_gdc;
+        ] );
+      ( "extended",
+        [
+          Alcotest.test_case "votes and filter" `Quick test_votes_and_filter;
+          Alcotest.test_case "clique selection" `Quick test_clique_selection;
+          Alcotest.test_case "exact cliques" `Quick test_clique_exact_small;
+          Alcotest.test_case "worked example" `Quick
+            test_extended_division_example;
+          Alcotest.test_case "multi-source core" `Quick
+            test_extended_multi_source;
+          Alcotest.test_case "POS extended division" `Quick test_pos_extended;
+          Alcotest.test_case "pos substitution" `Quick test_pos_substitution;
+          Alcotest.test_case "driver configurations" `Slow test_driver_configs;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_sop_identity;
+            prop_pos_identity;
+            prop_network_division_preserves;
+            prop_network_division_gdc_preserves;
+            prop_division_never_grows;
+            prop_substitution_preserves;
+            prop_extended_preserves;
+            prop_pos_extended_preserves;
+            prop_cliques_are_maximal_cliques;
+          ] );
+    ]

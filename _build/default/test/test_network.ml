@@ -1,0 +1,565 @@
+(* Tests for the multilevel network substrate, simulation, BLIF and BDDs. *)
+
+open Twolevel
+module Network = Logic_network.Network
+module Builder = Logic_network.Builder
+module Sweep = Logic_network.Sweep
+module Collapse = Logic_network.Collapse
+module Lit_count = Logic_network.Lit_count
+module Blif = Logic_network.Blif
+module Equiv = Logic_sim.Equiv
+module Simulate = Logic_sim.Simulate
+module Generator = Bench_suite.Generator
+
+let mux_net () =
+  Builder.of_spec
+    ~inputs:[ "s"; "a"; "b" ]
+    ~nodes:[ ("f", "sa + s'b") ]
+    ~outputs:[ "f" ]
+
+let adder_net () =
+  Builder.of_spec
+    ~inputs:[ "a"; "b"; "c" ]
+    ~nodes:
+      [
+        ("sum", "ab'c' + a'bc' + a'b'c + abc");
+        ("carry", "ab + ac + bc");
+      ]
+    ~outputs:[ "sum"; "carry" ]
+
+(* ------------------------------------------------------------------ *)
+(* Construction and structural queries                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder_basics () =
+  let net = mux_net () in
+  Alcotest.(check int) "node count" 4 (Network.node_count net);
+  Alcotest.(check int) "inputs" 3 (List.length (Network.inputs net));
+  let f = Builder.node net "f" in
+  Alcotest.(check int) "f fanins" 3 (Array.length (Network.fanins net f));
+  Alcotest.(check bool) "f is output" true (Network.is_output net f);
+  Alcotest.(check int) "flat literals" 4 (Lit_count.flat net);
+  Network.check net
+
+let test_eval () =
+  let net = mux_net () in
+  let s = Builder.node net "s" and a = Builder.node net "a" and b = Builder.node net "b" in
+  let f = Builder.node net "f" in
+  let run sv av bv =
+    let assign id = (id = s && sv) || (id = a && av) || (id = b && bv) in
+    Network.eval net assign f
+  in
+  Alcotest.(check bool) "s=1 selects a" true (run true true false);
+  Alcotest.(check bool) "s=1 selects a (a=0)" false (run true false true);
+  Alcotest.(check bool) "s=0 selects b" true (run false false true);
+  Alcotest.(check bool) "s=0 selects b (b=0)" false (run false true false)
+
+let test_fanout_tracking () =
+  let net = adder_net () in
+  let a = Builder.node net "a" in
+  Alcotest.(check int) "a feeds two nodes" 2 (List.length (Network.fanouts net a));
+  let sum = Builder.node net "sum" in
+  Alcotest.(check (list string)) "sum drives output" [ "sum" ]
+    (Network.output_names net sum)
+
+let test_set_function_cycle_guard () =
+  let net =
+    Builder.of_spec ~inputs:[ "a" ]
+      ~nodes:[ ("g", "a"); ("h", "g") ]
+      ~outputs:[ "h" ]
+  in
+  let g = Builder.node net "g" and h = Builder.node net "h" in
+  Alcotest.check_raises "cycle rejected"
+    (Network.Cyclic (Printf.sprintf "fanin %d depends on node %d" h g))
+    (fun () ->
+      Network.set_function net g
+        ~fanins:[| h |]
+        (Parse.cover_default "a"))
+
+let test_duplicate_fanin_merge () =
+  let net = Network.create () in
+  let a = Network.add_input net "a" in
+  (* Cover v0·v1 with both slots pointing at [a] collapses to a buffer. *)
+  let g =
+    Network.add_logic net ~name:"g" ~fanins:[| a; a |] (Parse.cover_default "ab")
+  in
+  Alcotest.(check int) "fanins merged" 1 (Array.length (Network.fanins net g));
+  Alcotest.(check int) "one literal" 1 (Cover.literal_count (Network.cover net g))
+
+let test_topological () =
+  let net = adder_net () in
+  let order = Network.topological net in
+  let position id =
+    match List.find_index (Int.equal id) order with
+    | Some i -> i
+    | None -> Alcotest.fail "node missing from topological order"
+  in
+  List.iter
+    (fun id ->
+      Array.iter
+        (fun fanin ->
+          Alcotest.(check bool) "fanin before fanout" true
+            (position fanin < position id))
+        (Network.fanins net id))
+    (Network.node_ids net)
+
+let test_copy_and_overwrite () =
+  let net = adder_net () in
+  let snapshot = Network.copy net in
+  let sum = Builder.node net "sum" in
+  Network.set_function net sum ~fanins:(Network.fanins net sum)
+    (Parse.cover_default "a");
+  Alcotest.(check bool) "diverged" false (Equiv.equivalent net snapshot);
+  Network.overwrite net snapshot;
+  Alcotest.(check bool) "restored" true (Equiv.equivalent net snapshot);
+  Network.check net
+
+(* ------------------------------------------------------------------ *)
+(* Sweep / collapse / eliminate                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_constants () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ]
+      ~nodes:[ ("z0", "0"); ("g", "a + z0 b"); ("f", "g b") ]
+      ~outputs:[ "f" ]
+  in
+  let before = Network.copy net in
+  let removed = Sweep.run net in
+  Alcotest.(check bool) "swept something" true (removed > 0);
+  Alcotest.(check bool) "function preserved" true (Equiv.equivalent net before);
+  Alcotest.(check bool) "constant gone" true
+    (Network.find_by_name net "z0" = None);
+  Network.check net
+
+let test_sweep_buffers () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ]
+      ~nodes:[ ("p1", "a"); ("q1", "b'"); ("f", "p1 q1 + p1'") ]
+      ~outputs:[ "f" ]
+  in
+  let before = Network.copy net in
+  ignore (Sweep.run net);
+  Alcotest.(check bool) "function preserved" true (Equiv.equivalent net before);
+  Alcotest.(check bool) "buffer inlined" true (Network.find_by_name net "p1" = None);
+  Alcotest.(check bool) "inverter inlined" true (Network.find_by_name net "q1" = None);
+  Network.check net
+
+let test_collapse () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("g", "a + b"); ("f", "gc + g'a") ]
+      ~outputs:[ "f" ]
+  in
+  let before = Network.copy net in
+  let g = Builder.node net "g" in
+  Alcotest.(check bool) "collapsed" true (Collapse.collapse_into_fanouts net g);
+  Alcotest.(check bool) "function preserved" true (Equiv.equivalent net before);
+  Alcotest.(check bool) "g gone" true (Network.find_by_name net "g" = None);
+  Network.check net
+
+let test_eliminate () =
+  let net =
+    Builder.of_spec
+      ~inputs:[ "a"; "b"; "c"; "d" ]
+      ~nodes:[ ("g", "ab"); ("f", "g + cd") ]
+      ~outputs:[ "f" ]
+  in
+  let before = Network.copy net in
+  let n = Collapse.eliminate ~threshold:0 net in
+  Alcotest.(check bool) "eliminated the cheap node" true (n >= 1);
+  Alcotest.(check bool) "function preserved" true (Equiv.equivalent net before);
+  Network.check net
+
+let test_eliminate_keeps_valuable () =
+  (* g has two fanouts: collapsing duplicates ab, increasing literals, so
+     eliminate 0 must keep it. *)
+  let net =
+    Builder.of_spec
+      ~inputs:[ "a"; "b"; "c"; "d"; "e" ]
+      ~nodes:[ ("g", "ab + cd"); ("f1", "ge"); ("f2", "gd + e") ]
+      ~outputs:[ "f1"; "f2" ]
+  in
+  ignore (Collapse.eliminate ~threshold:0 net);
+  Alcotest.(check bool) "shared node kept" true
+    (Network.find_by_name net "g" <> None)
+
+
+let test_share_common_nodes () =
+  (* Two structurally identical nodes (with different fanin order) merge;
+     fanouts and outputs are redirected. *)
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("g1", "ab + c"); ("g2", "ba + c"); ("f", "g1 g2'") ]
+      ~outputs:[ "f"; "g2" ]
+  in
+  let before = Network.copy net in
+  let merged = Sweep.share_common_nodes net in
+  Network.check net;
+  Alcotest.(check int) "one merge" 1 merged;
+  Alcotest.(check bool) "function preserved" true (Equiv.equivalent net before);
+  (* f = g g' after the merge is the constant 0 — a real sharing effect. *)
+  let survivors =
+    List.filter
+      (fun id -> List.mem (Network.name net id) [ "g1"; "g2" ])
+      (Network.logic_ids net)
+  in
+  Alcotest.(check int) "single survivor" 1 (List.length survivors)
+
+let test_retarget_outputs () =
+  let net =
+    Builder.of_spec ~inputs:[ "a" ]
+      ~nodes:[ ("g", "a"); ("h", "a'") ]
+      ~outputs:[ "g"; "h" ]
+  in
+  let g = Builder.node net "g" and h = Builder.node net "h" in
+  Network.retarget_outputs net ~from_node:g ~to_node:h;
+  Alcotest.(check bool) "g no longer an output" false (Network.is_output net g);
+  Alcotest.(check int) "h drives both" 2
+    (List.length (Network.output_names net h))
+
+
+let test_collapse_value_and_substitute () =
+  let net =
+    Builder.of_spec
+      ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("g", "ab"); ("f", "g + c") ]
+      ~outputs:[ "f" ]
+  in
+  let g = Builder.node net "g" and f = Builder.node net "f" in
+  (* Collapsing g into its single fanout saves the g->f wire: value < 0. *)
+  (match Collapse.value net g with
+  | Some v -> Alcotest.(check bool) "negative value" true (v <= 0)
+  | None -> Alcotest.fail "value should be defined");
+  Alcotest.(check (option int)) "outputs have no value" None
+    (Collapse.value net f);
+  let before = Network.copy net in
+  Alcotest.(check bool) "substitute_fanin" true
+    (Collapse.substitute_fanin net ~node:f ~fanin:g);
+  Alcotest.(check bool) "function preserved" true (Equiv.equivalent net before);
+  Alcotest.(check bool) "f no longer references g" false
+    (Array.exists (Int.equal g) (Network.fanins net f))
+
+let test_blif_file_io () =
+  let net = adder_net () in
+  let path = Filename.temp_file "rarsub" ".blif" in
+  Blif.write_file path net;
+  let reread = Blif.read_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "file roundtrip" true (Equiv.equivalent net reread)
+
+(* ------------------------------------------------------------------ *)
+(* Literal counts                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_lit_count () =
+  let net =
+    Builder.of_spec
+      ~inputs:[ "a"; "b"; "c"; "d"; "e" ]
+      ~nodes:[ ("f", "ac + ad + bc + bd + e") ]
+      ~outputs:[ "f" ]
+  in
+  let f = Builder.node net "f" in
+  Alcotest.(check int) "flat" 9 (Lit_count.node_flat net f);
+  Alcotest.(check int) "factored" 5 (Lit_count.node_factored net f);
+  Alcotest.(check int) "network factored" 5 (Lit_count.factored net)
+
+(* ------------------------------------------------------------------ *)
+(* BLIF                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_blif_roundtrip () =
+  let net = adder_net () in
+  let text = Blif.to_string net in
+  let reread = Blif.parse text in
+  Alcotest.(check bool) "roundtrip equivalence" true (Equiv.equivalent net reread)
+
+let test_blif_parse_features () =
+  let text =
+    {|# full adder with continuation and off-set table
+.model adder
+.inputs a b \
+ c
+.outputs s cout
+.names a b c s
+110 0
+000 0
+101 0
+011 0
+.names a b c cout
+11- 1
+1-1 1
+-11 1
+.end|}
+  in
+  let net = Blif.parse text in
+  let reference =
+    Builder.of_spec
+      ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:
+        [
+          ("s", "ab'c' + a'bc' + a'b'c + abc");
+          ("cout", "ab + ac + bc");
+        ]
+      ~outputs:[ "s"; "cout" ]
+  in
+  Alcotest.(check bool) "off-set rows complemented" true
+    (Equiv.equivalent net reference)
+
+let test_blif_rejects () =
+  Alcotest.(check bool) "latch rejected" true
+    (match Blif.parse ".model x\n.latch a b\n.end" with
+    | exception Blif.Parse_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "undefined output rejected" true
+    (match Blif.parse ".model x\n.inputs a\n.outputs zz\n.end" with
+    | exception Blif.Parse_error _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Simulation and equivalence                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_exhaustive_patterns () =
+  let net = mux_net () in
+  let inputs = Simulate.exhaustive_inputs net in
+  let s = Builder.node net "s" in
+  (* Input 0 must alternate every assignment. *)
+  Alcotest.(check int64) "alternating pattern"
+    0xAAAAAAAAAAAAAAAAL (inputs s).(0)
+
+let test_equiv_detects_difference () =
+  let net1 = mux_net () in
+  let net2 =
+    Builder.of_spec
+      ~inputs:[ "s"; "a"; "b" ]
+      ~nodes:[ ("f", "sa + s'b'") ]
+      ~outputs:[ "f" ]
+  in
+  (match Equiv.exhaustive net1 net2 with
+  | Equiv.Counterexample cex ->
+    (* The counterexample must actually distinguish the two networks. *)
+    let assign net =
+      let by_name = Hashtbl.create 4 in
+      List.iter (fun (n, v) -> Hashtbl.replace by_name n v) cex;
+      fun id -> Hashtbl.find by_name (Network.name net id)
+    in
+    let v1 = Network.eval net1 (assign net1) (Builder.node net1 "f") in
+    let v2 = Network.eval net2 (assign net2) (Builder.node net2 "f") in
+    Alcotest.(check bool) "counterexample distinguishes" true (v1 <> v2)
+  | Equiv.Equivalent -> Alcotest.fail "should differ");
+  Alcotest.(check bool) "bdd agrees" false (Robdd.Of_network.equivalent net1 net2)
+
+let test_bdd_equiv () =
+  let net1 = adder_net () in
+  let net2 = Network.copy net1 in
+  Alcotest.(check bool) "bdd equivalence" true
+    (Robdd.Of_network.equivalent net1 net2)
+
+(* ------------------------------------------------------------------ *)
+(* BDD core                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_bdd_basics () =
+  let man = Robdd.Bdd.create () in
+  let open Robdd.Bdd in
+  let a = var man 0 and b = var man 1 in
+  Alcotest.(check bool) "a∧a' = 0" true
+    (is_false man (band man a (not_ man a)));
+  Alcotest.(check bool) "a∨a' = 1" true (is_true man (bor man a (not_ man a)));
+  Alcotest.(check bool) "xor self-inverse" true
+    (equal (bxor man (bxor man a b) b) a);
+  Alcotest.(check bool) "demorgan" true
+    (equal (not_ man (band man a b)) (bor man (not_ man a) (not_ man b)));
+  Alcotest.(check (list int)) "support" [ 0; 1 ] (support man (band man a b))
+
+let test_bdd_constrain () =
+  let man = Robdd.Bdd.create () in
+  let open Robdd.Bdd in
+  let a = var man 0 and b = var man 1 and c = var man 2 in
+  let f = bor man (band man a b) c in
+  let care = band man a b in
+  let g = constrain man f care in
+  (* The defining property: f ∧ c = (f ↓ c) ∧ c. *)
+  Alcotest.(check bool) "gcf identity" true
+    (equal (band man f care) (band man g care));
+  (* Under care = ab, f is identically 1. *)
+  Alcotest.(check bool) "constrained to 1" true (is_true man g)
+
+let test_bdd_cover_roundtrip () =
+  let man = Robdd.Bdd.create () in
+  let f = Parse.cover_default "ab + a'c + bc'" in
+  let bdd = Robdd.Bdd.of_cover man f in
+  let back = Robdd.Bdd.to_cover man bdd in
+  Alcotest.(check bool) "roundtrip equivalent" true (Cover.equivalent f back)
+
+(* ------------------------------------------------------------------ *)
+(* Properties on random networks                                       *)
+(* ------------------------------------------------------------------ *)
+
+let gen_net =
+  QCheck2.Gen.(
+    let* seed = int_range 1 1_000_000 in
+    let* n_nodes = int_range 3 12 in
+    return (Generator.random ~seed ~n_inputs:5 ~n_nodes ~n_outputs:2 ()))
+
+let print_net = Network.to_string
+
+let prop_sweep_preserves =
+  QCheck2.Test.make ~name:"sweep preserves function" ~count:100 ~print:print_net
+    gen_net (fun net ->
+      let before = Network.copy net in
+      ignore (Sweep.run net);
+      Network.check net;
+      Equiv.equivalent before net)
+
+let prop_eliminate_preserves =
+  QCheck2.Test.make ~name:"eliminate preserves function" ~count:60
+    ~print:print_net gen_net (fun net ->
+      let before = Network.copy net in
+      ignore (Collapse.eliminate ~threshold:0 net);
+      Network.check net;
+      Equiv.equivalent before net)
+
+let prop_blif_roundtrip =
+  QCheck2.Test.make ~name:"BLIF round-trip is equivalence-preserving"
+    ~count:100 ~print:print_net gen_net (fun net ->
+      let reread = Blif.parse (Blif.to_string net) in
+      Equiv.equivalent net reread)
+
+let prop_sim_matches_bdd =
+  QCheck2.Test.make ~name:"exhaustive simulation agrees with BDDs" ~count:60
+    ~print:print_net gen_net (fun net ->
+      let copy = Network.copy net in
+      Equiv.equivalent net copy = Robdd.Of_network.equivalent net copy
+      && Robdd.Of_network.equivalent net copy)
+
+let prop_factored_leq_flat =
+  QCheck2.Test.make ~name:"factored count never exceeds flat count" ~count:100
+    ~print:print_net gen_net (fun net ->
+      Lit_count.factored net <= Lit_count.flat net)
+
+
+(* ------------------------------------------------------------------ *)
+(* BDD laws on random covers                                           *)
+(* ------------------------------------------------------------------ *)
+
+let nvars_bdd = 5
+
+let gen_bdd_cover =
+  QCheck2.Gen.(
+    let* cubes =
+      list_size (int_range 0 6)
+        (list_size (int_range 1 3)
+           (let* v = int_range 0 (nvars_bdd - 1) in
+            let* phase = bool in
+            return (Literal.make v phase)))
+    in
+    return (Cover.of_cubes (List.filter_map Cube.of_literals cubes)))
+
+let prop_bdd_eval_matches_cover =
+  QCheck2.Test.make ~name:"BDD of a cover evaluates like the cover"
+    ~count:300 ~print:Cover.to_string gen_bdd_cover (fun f ->
+      let man = Robdd.Bdd.create () in
+      let bdd = Robdd.Bdd.of_cover man f in
+      let ok = ref true in
+      for bits = 0 to (1 lsl nvars_bdd) - 1 do
+        let assign v = bits land (1 lsl v) <> 0 in
+        if Cover.eval assign f <> Robdd.Bdd.eval man bdd assign then ok := false
+      done;
+      !ok)
+
+let prop_bdd_constrain_identity =
+  QCheck2.Test.make ~name:"generalized cofactor identity f∧c = (f↓c)∧c"
+    ~count:300
+    ~print:(fun (f, c) -> Cover.to_string f ^ " / " ^ Cover.to_string c)
+    QCheck2.Gen.(pair gen_bdd_cover gen_bdd_cover)
+    (fun (f, c) ->
+      let man = Robdd.Bdd.create () in
+      let fb = Robdd.Bdd.of_cover man f in
+      let cb = Robdd.Bdd.of_cover man c in
+      QCheck2.assume (not (Robdd.Bdd.is_false man cb));
+      let g = Robdd.Bdd.constrain man fb cb in
+      Robdd.Bdd.equal (Robdd.Bdd.band man fb cb) (Robdd.Bdd.band man g cb))
+
+let prop_bdd_exists =
+  QCheck2.Test.make ~name:"existential quantification law" ~count:200
+    ~print:Cover.to_string gen_bdd_cover (fun f ->
+      let man = Robdd.Bdd.create () in
+      let fb = Robdd.Bdd.of_cover man f in
+      let ex = Robdd.Bdd.exists man [ 0 ] fb in
+      (* ∃x0.f = f|x0=0 ∨ f|x0=1 *)
+      let lo = Robdd.Bdd.cofactor man fb ~var:0 ~phase:false in
+      let hi = Robdd.Bdd.cofactor man fb ~var:0 ~phase:true in
+      Robdd.Bdd.equal ex (Robdd.Bdd.bor man lo hi))
+
+let prop_bdd_to_cover_roundtrip =
+  QCheck2.Test.make ~name:"BDD to_cover roundtrip" ~count:200
+    ~print:Cover.to_string gen_bdd_cover (fun f ->
+      let man = Robdd.Bdd.create () in
+      let bdd = Robdd.Bdd.of_cover man f in
+      let back = Robdd.Bdd.to_cover man bdd in
+      Robdd.Bdd.equal bdd (Robdd.Bdd.of_cover man back))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_sweep_preserves;
+      prop_eliminate_preserves;
+      prop_blif_roundtrip;
+      prop_sim_matches_bdd;
+      prop_factored_leq_flat;
+      prop_bdd_eval_matches_cover;
+      prop_bdd_constrain_identity;
+      prop_bdd_exists;
+      prop_bdd_to_cover_roundtrip;
+    ]
+
+let () =
+  Alcotest.run "network"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "builder basics" `Quick test_builder_basics;
+          Alcotest.test_case "evaluation" `Quick test_eval;
+          Alcotest.test_case "fanout tracking" `Quick test_fanout_tracking;
+          Alcotest.test_case "cycle guard" `Quick test_set_function_cycle_guard;
+          Alcotest.test_case "duplicate fanin merge" `Quick test_duplicate_fanin_merge;
+          Alcotest.test_case "topological order" `Quick test_topological;
+          Alcotest.test_case "copy and overwrite" `Quick test_copy_and_overwrite;
+        ] );
+      ( "transforms",
+        [
+          Alcotest.test_case "sweep constants" `Quick test_sweep_constants;
+          Alcotest.test_case "sweep buffers" `Quick test_sweep_buffers;
+          Alcotest.test_case "collapse" `Quick test_collapse;
+          Alcotest.test_case "eliminate" `Quick test_eliminate;
+          Alcotest.test_case "eliminate keeps valuable" `Quick
+            test_eliminate_keeps_valuable;
+          Alcotest.test_case "literal counts" `Quick test_lit_count;
+          Alcotest.test_case "share common nodes" `Quick test_share_common_nodes;
+          Alcotest.test_case "retarget outputs" `Quick test_retarget_outputs;
+          Alcotest.test_case "collapse value + substitute" `Quick
+            test_collapse_value_and_substitute;
+        ] );
+      ( "blif",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_blif_roundtrip;
+          Alcotest.test_case "parse features" `Quick test_blif_parse_features;
+          Alcotest.test_case "rejects unsupported" `Quick test_blif_rejects;
+          Alcotest.test_case "file io" `Quick test_blif_file_io;
+        ] );
+      ( "sim-equiv",
+        [
+          Alcotest.test_case "exhaustive patterns" `Quick test_exhaustive_patterns;
+          Alcotest.test_case "difference detection" `Quick test_equiv_detects_difference;
+          Alcotest.test_case "bdd equivalence" `Quick test_bdd_equiv;
+        ] );
+      ( "bdd",
+        [
+          Alcotest.test_case "basics" `Quick test_bdd_basics;
+          Alcotest.test_case "constrain" `Quick test_bdd_constrain;
+          Alcotest.test_case "cover roundtrip" `Quick test_bdd_cover_roundtrip;
+        ] );
+      ("properties", qcheck_cases);
+    ]

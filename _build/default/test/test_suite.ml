@@ -1,0 +1,319 @@
+(* Tests for the benchmark suite: embedded circuits compute the functions
+   they claim, generators are deterministic and well-formed. *)
+
+module Network = Logic_network.Network
+module Circuits = Bench_suite.Circuits
+module Generator = Bench_suite.Generator
+module Suite = Bench_suite.Suite
+module Equiv = Logic_sim.Equiv
+
+(* Evaluate a network on an integer-encoded input assignment using input
+   declaration order. *)
+let eval_with net bits =
+  let order = Network.inputs net in
+  let assign id =
+    match List.find_index (Int.equal id) order with
+    | Some i -> bits land (1 lsl i) <> 0
+    | None -> assert false
+  in
+  fun po_name ->
+    let id =
+      match List.assoc_opt po_name (Network.outputs net) with
+      | Some id -> id
+      | None -> Alcotest.failf "missing output %s" po_name
+    in
+    Network.eval net assign id
+
+(* ------------------------------------------------------------------ *)
+(* Embedded circuits compute the right functions                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_ripple_adder () =
+  let n = 3 in
+  let net = Circuits.ripple_adder n in
+  (* Input order: a0..a2, b0..b2, cin. *)
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      for cin = 0 to 1 do
+        let bits = a lor (b lsl n) lor (cin lsl (2 * n)) in
+        let eval = eval_with net bits in
+        let expected = a + b + cin in
+        let got =
+          List.fold_left
+            (fun acc i ->
+              acc lor ((if eval (Printf.sprintf "sum%d" i) then 1 else 0) lsl i))
+            (if eval "cout" then 1 lsl n else 0)
+            (List.init n Fun.id)
+        in
+        Alcotest.(check int) (Printf.sprintf "%d+%d+%d" a b cin) expected got
+      done
+    done
+  done
+
+let test_mux () =
+  let k = 2 in
+  let net = Circuits.mux k in
+  (* Inputs: s0..s1, d0..d3. *)
+  for sel = 0 to 3 do
+    for data = 0 to 15 do
+      let bits = sel lor (data lsl k) in
+      let eval = eval_with net bits in
+      Alcotest.(check bool)
+        (Printf.sprintf "sel=%d data=%d" sel data)
+        (data land (1 lsl sel) <> 0)
+        (eval "out")
+    done
+  done
+
+let test_decoder () =
+  let net = Circuits.decoder 2 in
+  for sel = 0 to 3 do
+    let eval = eval_with net sel in
+    for line = 0 to 3 do
+      Alcotest.(check bool)
+        (Printf.sprintf "sel=%d line=%d" sel line)
+        (line = sel)
+        (eval (Printf.sprintf "y%d" line))
+    done
+  done
+
+let test_majority () =
+  let net = Circuits.majority 5 in
+  for bits = 0 to 31 do
+    let eval = eval_with net bits in
+    let ones =
+      List.fold_left
+        (fun acc i -> if bits land (1 lsl i) <> 0 then acc + 1 else acc)
+        0
+        (List.init 5 Fun.id)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "bits=%d" bits)
+      (ones >= 3) (eval "maj")
+  done
+
+let test_parity () =
+  let net = Circuits.parity 5 in
+  for bits = 0 to 31 do
+    let eval = eval_with net bits in
+    let ones =
+      List.fold_left
+        (fun acc i -> if bits land (1 lsl i) <> 0 then acc + 1 else acc)
+        0
+        (List.init 5 Fun.id)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "bits=%d" bits)
+      (ones mod 2 = 1)
+      (eval "parity")
+  done
+
+let test_comparator () =
+  let n = 2 in
+  let net = Circuits.comparator n in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      let bits = a lor (b lsl n) in
+      let eval = eval_with net bits in
+      Alcotest.(check bool) (Printf.sprintf "%d>%d" a b) (a > b) (eval "gt");
+      Alcotest.(check bool) (Printf.sprintf "%d<%d" a b) (a < b) (eval "lt");
+      Alcotest.(check bool) (Printf.sprintf "%d=%d" a b) (a = b) (eval "eq")
+    done
+  done
+
+let test_c17 () =
+  let net = Circuits.c17 () in
+  (* Reference: direct NAND equations of the ISCAS-85 netlist. *)
+  let nand x y = not (x && y) in
+  for bits = 0 to 31 do
+    let inputs = Array.init 5 (fun i -> bits land (1 lsl i) <> 0) in
+    let g1 = inputs.(0) and g2 = inputs.(1) and g3 = inputs.(2) in
+    let g6 = inputs.(3) and g7 = inputs.(4) in
+    let g10 = nand g1 g3 and g11 = nand g3 g6 in
+    let g16 = nand g2 g11 and g19 = nand g11 g7 in
+    let g22 = nand g10 g16 and g23 = nand g16 g19 in
+    let eval = eval_with net bits in
+    Alcotest.(check bool) (Printf.sprintf "g22 @%d" bits) g22 (eval "g22");
+    Alcotest.(check bool) (Printf.sprintf "g23 @%d" bits) g23 (eval "g23")
+  done
+
+
+let test_multiplier () =
+  let n = 2 in
+  let net = Circuits.multiplier n in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      let bits = a lor (b lsl n) in
+      let eval = eval_with net bits in
+      let got =
+        List.fold_left
+          (fun acc i ->
+            acc lor ((if eval (Printf.sprintf "p%d" i) then 1 else 0) lsl i))
+          0
+          (List.init (2 * n) Fun.id)
+      in
+      Alcotest.(check int) (Printf.sprintf "%d*%d" a b) (a * b) got
+    done
+  done
+
+let test_bcd_to_7seg () =
+  let net = Circuits.bcd_to_7seg () in
+  (* Digit 8 lights all segments; digit 1 lights only b and c. *)
+  let eval8 = eval_with net 8 and eval1 = eval_with net 1 in
+  String.iter
+    (fun seg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "8 lights %c" seg)
+        true
+        (eval8 (Printf.sprintf "seg_%c" seg)))
+    "abcdefg";
+  Alcotest.(check bool) "1 lights b" true (eval1 "seg_b");
+  Alcotest.(check bool) "1 lights c" true (eval1 "seg_c");
+  Alcotest.(check bool) "1 does not light a" false (eval1 "seg_a");
+  (* Blank above 9. *)
+  let eval12 = eval_with net 12 in
+  String.iter
+    (fun seg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "12 blanks %c" seg)
+        false
+        (eval12 (Printf.sprintf "seg_%c" seg)))
+    "abcdefg"
+
+let test_priority_encoder () =
+  let n = 4 in
+  let net = Circuits.priority_encoder n in
+  for bits = 0 to (1 lsl n) - 1 do
+    let eval = eval_with net bits in
+    let expected =
+      let rec go i = if i < 0 then None else if bits land (1 lsl i) <> 0 then Some i else go (i - 1) in
+      go (n - 1)
+    in
+    (match expected with
+    | None -> Alcotest.(check bool) "invalid when empty" false (eval "valid")
+    | Some idx ->
+      Alcotest.(check bool) "valid" true (eval "valid");
+      let got =
+        List.fold_left
+          (fun acc i ->
+            acc lor ((if eval (Printf.sprintf "y%d" i) then 1 else 0) lsl i))
+          0 (List.init 2 Fun.id)
+      in
+      Alcotest.(check int) (Printf.sprintf "bits=%d" bits) idx got)
+  done
+
+let test_all_embedded_well_formed () =
+  List.iter
+    (fun (name, builder) ->
+      let net = builder () in
+      (try Network.check net
+       with Failure msg -> Alcotest.failf "%s: %s" name msg);
+      Alcotest.(check bool)
+        (name ^ " has outputs")
+        true
+        (Network.outputs net <> []))
+    Circuits.all
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_generator_deterministic () =
+  let build () =
+    Generator.planted ~seed:12345
+      {
+        inputs = 12;
+        noise_nodes = 8;
+        algebraic_plants = 2;
+        boolean_plants = 2;
+        gdc_plants = 1;
+        outputs = 5;
+      }
+  in
+  Alcotest.(check string) "same seed, same network"
+    (Network.to_string (build ()))
+    (Network.to_string (build ()))
+
+let test_generator_seeds_differ () =
+  let build seed = Generator.random ~seed ~n_inputs:6 ~n_nodes:8 () in
+  Alcotest.(check bool) "different seeds differ" true
+    (Network.to_string (build 1) <> Network.to_string (build 2))
+
+let test_planted_contains_opportunities () =
+  let net =
+    Generator.planted ~seed:5
+      {
+        inputs = 14;
+        noise_nodes = 4;
+        algebraic_plants = 2;
+        boolean_plants = 2;
+        gdc_plants = 0;
+        outputs = 4;
+      }
+  in
+  Synth.Script.run net Synth.Script.script_a;
+  let before = Logic_network.Lit_count.factored net in
+  let stats = Booldiv.Substitute.run net in
+  Alcotest.(check bool) "substitutions found" true
+    (stats.basic_substitutions + stats.extended_substitutions
+     + stats.pos_substitutions
+    > 0);
+  Alcotest.(check bool) "literals reduced" true
+    (Logic_network.Lit_count.factored net < before)
+
+(* ------------------------------------------------------------------ *)
+(* Suite rows                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_rows_build () =
+  List.iter
+    (fun row ->
+      let net = Suite.build row in
+      try Network.check net
+      with Failure msg -> Alcotest.failf "%s: %s" row.Suite.name msg)
+    Suite.rows
+
+let test_quick_rows_subset () =
+  List.iter
+    (fun row ->
+      Alcotest.(check bool)
+        (row.Suite.name ^ " in rows")
+        true
+        (Suite.find row.Suite.name <> None))
+    Suite.quick_rows
+
+let test_find () =
+  Alcotest.(check bool) "find known" true (Suite.find "C2670" <> None);
+  Alcotest.(check bool) "find unknown" true (Suite.find "nonesuch" = None)
+
+let () =
+  Alcotest.run "suite"
+    [
+      ( "embedded",
+        [
+          Alcotest.test_case "ripple adder adds" `Quick test_ripple_adder;
+          Alcotest.test_case "mux selects" `Quick test_mux;
+          Alcotest.test_case "decoder one-hot" `Quick test_decoder;
+          Alcotest.test_case "majority thresholds" `Quick test_majority;
+          Alcotest.test_case "parity xors" `Quick test_parity;
+          Alcotest.test_case "comparator compares" `Quick test_comparator;
+          Alcotest.test_case "c17 matches NAND netlist" `Quick test_c17;
+          Alcotest.test_case "multiplier multiplies" `Quick test_multiplier;
+          Alcotest.test_case "bcd to 7-segment" `Quick test_bcd_to_7seg;
+          Alcotest.test_case "priority encoder" `Quick test_priority_encoder;
+          Alcotest.test_case "all well-formed" `Quick test_all_embedded_well_formed;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_generator_seeds_differ;
+          Alcotest.test_case "plants are discoverable" `Quick
+            test_planted_contains_opportunities;
+        ] );
+      ( "rows",
+        [
+          Alcotest.test_case "all rows build" `Slow test_rows_build;
+          Alcotest.test_case "quick rows subset" `Quick test_quick_rows_subset;
+          Alcotest.test_case "find" `Quick test_find;
+        ] );
+    ]

@@ -1,0 +1,541 @@
+(* Unit and property tests for the two-level cube algebra. *)
+
+open Twolevel
+
+let cover = Parse.cover_default
+
+let cover_testable =
+  Alcotest.testable
+    (fun fmt c -> Format.pp_print_string fmt (Cover.to_string c))
+    Cover.equal
+
+let check_cover = Alcotest.check cover_testable
+
+let check_equiv name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s ≡ %s" name (Cover.to_string expected)
+       (Cover.to_string actual))
+    true
+    (Cover.equivalent expected actual)
+
+(* ------------------------------------------------------------------ *)
+(* Literals and cubes                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_literal_encoding () =
+  let a = Literal.pos 0 and a' = Literal.neg 0 in
+  Alcotest.(check bool) "pos is pos" true (Literal.is_pos a);
+  Alcotest.(check bool) "neg is not pos" false (Literal.is_pos a');
+  Alcotest.(check int) "same var" (Literal.var a) (Literal.var a');
+  Alcotest.(check bool) "negate" true (Literal.equal (Literal.negate a) a');
+  Alcotest.(check bool) "double negate" true
+    (Literal.equal (Literal.negate (Literal.negate a)) a);
+  Alcotest.(check string) "print pos" "a" (Literal.to_string a);
+  Alcotest.(check string) "print neg" "a'" (Literal.to_string a');
+  Alcotest.(check string) "print big var" "x30" (Literal.to_string (Literal.pos 30))
+
+let test_cube_normalise () =
+  let symtab = Symtab.create () in
+  let c = Parse.cube symtab "ab'a" in
+  Alcotest.(check int) "duplicate literal collapses" 2 (Cube.size c);
+  Alcotest.(check bool) "contradiction rejected" true
+    (Cube.of_literals [ Literal.pos 0; Literal.neg 0 ] = None);
+  Alcotest.(check bool) "top cube" true (Cube.is_top Cube.top);
+  Alcotest.(check string) "top prints as 1" "1" (Cube.to_string Cube.top)
+
+let test_cube_containment () =
+  let symtab = Symtab.create () in
+  let ab = Parse.cube symtab "ab" in
+  let abc = Parse.cube symtab "abc" in
+  let ab'c = Parse.cube symtab "ab'c" in
+  (* onset(abc) ⊆ onset(ab): abc contained by ab. *)
+  Alcotest.(check bool) "abc ⊆ ab" true (Cube.contained_by abc ab);
+  Alcotest.(check bool) "ab ⊄ abc" false (Cube.contained_by ab abc);
+  Alcotest.(check bool) "ab'c ⊄ ab" false (Cube.contained_by ab'c ab);
+  Alcotest.(check bool) "everything ⊆ top" true (Cube.contained_by ab Cube.top);
+  Alcotest.(check bool) "self containment" true (Cube.contained_by ab ab)
+
+let test_cube_ops () =
+  let symtab = Symtab.create () in
+  let ab = Parse.cube symtab "ab" in
+  let bc = Parse.cube symtab "bc" in
+  let b'c = Parse.cube symtab "b'c" in
+  (match Cube.intersect ab bc with
+  | Some c -> Alcotest.(check string) "ab ∩ bc" "abc" (Cube.to_string c)
+  | None -> Alcotest.fail "ab ∩ bc should exist");
+  Alcotest.(check bool) "ab ∩ b'c conflicts" true (Cube.intersect ab b'c = None);
+  Alcotest.(check int) "distance ab b'c" 1 (Cube.distance ab b'c);
+  Alcotest.(check int) "distance ab bc" 0 (Cube.distance ab bc);
+  (match Cube.algebraic_div (Parse.cube symtab "abc") ab with
+  | Some q -> Alcotest.(check string) "abc/ab" "c" (Cube.to_string q)
+  | None -> Alcotest.fail "abc/ab should divide");
+  Alcotest.(check bool) "ab/c undefined" true
+    (Cube.algebraic_div ab (Parse.cube symtab "c") = None);
+  Alcotest.(check string) "common(abc,abd)" "ab"
+    (Cube.to_string (Cube.common (Parse.cube symtab "abc") (Parse.cube symtab "abd")))
+
+let test_cube_cofactor () =
+  let symtab = Symtab.create () in
+  let ab' = Parse.cube symtab "ab'" in
+  let a = Literal.pos (Symtab.intern symtab "a") in
+  let b = Literal.pos (Symtab.intern symtab "b") in
+  (match Cube.cofactor a ab' with
+  | Some c -> Alcotest.(check string) "(ab')_a" "b'" (Cube.to_string c)
+  | None -> Alcotest.fail "cofactor by a should exist");
+  Alcotest.(check bool) "(ab')_b = 0" true (Cube.cofactor b ab' = None)
+
+(* ------------------------------------------------------------------ *)
+(* Covers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_cover_basics () =
+  let f = cover "ab + cd" in
+  Alcotest.(check int) "cube count" 2 (Cover.cube_count f);
+  Alcotest.(check int) "literal count" 4 (Cover.literal_count f);
+  Alcotest.(check (list int)) "support" [ 0; 1; 2; 3 ] (Cover.support f);
+  Alcotest.(check bool) "zero" true (Cover.is_zero Cover.zero);
+  Alcotest.(check bool) "one" true (Cover.is_one Cover.one);
+  Alcotest.(check string) "print zero" "0" (Cover.to_string Cover.zero)
+
+let test_cover_containment () =
+  let f = cover "ab + a'c" in
+  let symtab = Symtab.create () in
+  Alcotest.(check bool) "f ⊇ abc" true
+    (Cover.contains_cube f (Parse.cube symtab "abc"));
+  (* bc ⊆ ab + a'c by consensus even though no single cube contains it. *)
+  Alcotest.(check bool) "f ⊇ bc (consensus)" true
+    (Cover.contains_cube f (Parse.cube symtab "bc"));
+  Alcotest.(check bool) "f ⊉ ab'" false
+    (Cover.contains_cube f (Parse.cube symtab "ab'"));
+  Alcotest.(check bool) "contains itself" true (Cover.contains f f)
+
+let test_cover_equivalence () =
+  check_equiv "consensus absorption" (cover "ab + a'c") (cover "ab + a'c + bc");
+  check_equiv "xor forms" (cover "ab' + a'b") (cover "a'b + b'a");
+  Alcotest.(check bool) "xor ≠ xnor" false
+    (Cover.equivalent (cover "ab' + a'b") (cover "ab + a'b'"))
+
+let test_cover_product () =
+  check_equiv "distribution"
+    (cover "ac + ad + bc + bd")
+    (Cover.product (cover "a + b") (cover "c + d"));
+  check_equiv "annihilation" Cover.zero (Cover.product (cover "a") (cover "a'"));
+  check_equiv "idempotence (boolean, not algebraic)" (cover "a")
+    (Cover.product (cover "a") (cover "a"))
+
+let test_cover_sos () =
+  (* SOS: every cube of s contained by some cube of g. *)
+  let g = cover "ab + cd" in
+  Alcotest.(check bool) "abe + cdf SOS of ab+cd" true
+    (Cover.sos_of (cover "abe + cdf") g);
+  Alcotest.(check bool) "ab SOS of ab+cd" true (Cover.sos_of (cover "ab") g);
+  Alcotest.(check bool) "ae not SOS" false (Cover.sos_of (cover "ae") g);
+  (* Lemma 1: s SOS of g implies s·g = s. *)
+  let s = cover "abe + cdf" in
+  check_equiv "lemma 1" s (Cover.product s g)
+
+let test_tautology () =
+  Alcotest.(check bool) "a + a'" true (Cover.is_tautology (cover "a + a'"));
+  Alcotest.(check bool) "ab+ab'+a'b+a'b'" true
+    (Cover.is_tautology (cover "ab + ab' + a'b + a'b'"));
+  Alcotest.(check bool) "a + b not taut" false (Cover.is_tautology (cover "a + b"));
+  Alcotest.(check bool) "1 is taut" true (Cover.is_tautology Cover.one);
+  Alcotest.(check bool) "0 not taut" false (Cover.is_tautology Cover.zero);
+  Alcotest.(check bool) "a + a'b + b' taut" true
+    (Cover.is_tautology (cover "a + a'b + b'"))
+
+let test_scc () =
+  let f = cover "ab + abc + a" in
+  Alcotest.(check int) "scc keeps only a" 1
+    (Cover.cube_count (Cover.single_cube_containment f));
+  check_cover "scc result" (cover "a") (Cover.single_cube_containment f)
+
+let test_minterm_count () =
+  Alcotest.(check int) "a over 2 vars" 2
+    (Cover.minterm_count ~nvars:2 (cover "a"));
+  Alcotest.(check int) "a+b over 2 vars" 3
+    (Cover.minterm_count ~nvars:2 (cover "a + b"));
+  Alcotest.(check int) "tautology over 3" 8
+    (Cover.minterm_count ~nvars:3 Cover.one)
+
+(* ------------------------------------------------------------------ *)
+(* Complement / minimize                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_complement () =
+  let check_compl name f =
+    let fc = Complement.cover f in
+    Alcotest.(check bool)
+      (name ^ ": f ∧ f' = 0")
+      true
+      (Cover.is_zero (Cover.product f fc));
+    Alcotest.(check bool)
+      (name ^ ": f ∨ f' = 1")
+      true
+      (Cover.is_tautology (Cover.union f fc))
+  in
+  check_compl "simple" (cover "ab + cd");
+  check_compl "xor" (cover "ab' + a'b");
+  check_compl "unate" (cover "a + bc");
+  check_compl "zero" Cover.zero;
+  check_compl "one" Cover.one;
+  Alcotest.(check bool) "limited complement bails" true
+    (Complement.cover_limited ~limit:1
+       (cover "ab + cd + ef + gh + ij + kl + mn")
+    = None)
+
+let test_minimize () =
+  let f = cover "ab + ab' + a'b" in
+  let m = Minimize.simplify f in
+  check_equiv "function preserved" f m;
+  Alcotest.(check bool) "literal count reduced" true
+    (Cover.literal_count m < Cover.literal_count f);
+  (* a + b is the minimum: 2 literals. *)
+  Alcotest.(check int) "minimal size" 2 (Cover.literal_count m);
+  (* Don't cares: f = ab, dc = ab' lets f expand to a. *)
+  let m2 = Minimize.simplify ~dc:(cover "ab'") (cover "ab") in
+  check_cover "dc expansion" (cover "a") m2
+
+let test_minimize_irredundant () =
+  let f = cover "ab + a'c + bc" in
+  let m = Minimize.irredundant f in
+  check_equiv "irredundant preserves" f m;
+  Alcotest.(check int) "consensus cube removed" 2 (Cover.cube_count m)
+
+(* ------------------------------------------------------------------ *)
+(* Algebraic division, kernels, factoring                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_algebraic_divide () =
+  (* Classic example: (ac + ad + bc + bd + e) / (a + b) = c + d, rem e. *)
+  let f = cover "ac + ad + bc + bd + e" in
+  let d = cover "a + b" in
+  let q, r = Algebraic.divide f d in
+  check_cover "quotient" (cover "c + d") q;
+  check_cover "remainder" (cover "e") r;
+  (* Verify the defining identity f = qd + r. *)
+  check_equiv "identity" f (Cover.union (Cover.product q d) r)
+
+let test_algebraic_weakness () =
+  (* Algebraic division cannot use a'a = 0 etc.: (a + b)/(a' + b) = 0. *)
+  let q = Algebraic.quotient (cover "a + b") (cover "a' + b") in
+  Alcotest.(check bool) "boolean-only division fails" true (Cover.is_zero q);
+  (* Divisor sharing support with quotient is invisible algebraically:
+     f = ab + a'c has quotient 0 w.r.t. divisor a + c. *)
+  let q2 = Algebraic.quotient (cover "ab + a'c") (cover "a + c") in
+  Alcotest.(check bool) "shared support fails" true (Cover.is_zero q2)
+
+let test_kernels () =
+  let f = cover "ace + bce + de + g" in
+  let kernels = Kernel.distinct_kernels f in
+  let mem k = List.exists (Cover.equal (cover k)) kernels in
+  Alcotest.(check bool) "a+b kernel" true (mem "a + b");
+  Alcotest.(check bool) "ac+bc+d kernel" true (mem "ac + bc + d");
+  Alcotest.(check bool) "f itself kernel (cube free)" true
+    (mem "ace + bce + de + g");
+  (* Every kernel must be cube-free. *)
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "kernel %s cube-free" (Cover.to_string k))
+        true (Kernel.is_cube_free k))
+    kernels
+
+let test_make_cube_free () =
+  let c, g = Kernel.make_cube_free (cover "abc + abd") in
+  Alcotest.(check string) "common cube" "ab" (Cube.to_string c);
+  check_cover "stripped" (cover "c + d") g
+
+let test_factor () =
+  let f = cover "ac + ad + bc + bd + e" in
+  let fact = Factor.of_cover f in
+  (* (a + b)(c + d) + e: 5 literals vs 9 flat. *)
+  Alcotest.(check int) "factored literal count" 5 (Factor.literal_count fact);
+  Alcotest.(check int) "count api" 5 (Factor.count f);
+  Alcotest.(check bool) "never worse than flat" true
+    (Factor.count f <= Cover.literal_count f)
+
+let test_factor_eval () =
+  let f = cover "ab + ac + d" in
+  let fact = Factor.of_cover f in
+  (* Exhaustive agreement between the factored form and the cover. *)
+  for bits = 0 to 15 do
+    let assign v = bits land (1 lsl v) <> 0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "assignment %d" bits)
+      (Cover.eval assign f) (Factor.eval assign fact)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse () =
+  let symtab = Symtab.create () in
+  let f = Parse.cover symtab "ab' + c" in
+  Alcotest.(check int) "two cubes" 2 (Cover.cube_count f);
+  Alcotest.(check string) "roundtrip" "ab' + c"
+    (Cover.to_string ~names:(Symtab.names symtab) f);
+  check_cover "constant 1" Cover.one (cover "1");
+  check_cover "constant 0" Cover.zero (cover "0");
+  check_cover "contradiction is 0" Cover.zero (cover "aa'");
+  let multi = cover "x1 x2" in
+  Alcotest.(check int) "multichar idents: one cube" 1 (Cover.cube_count multi);
+  Alcotest.(check int) "multichar idents: two literals" 2
+    (Cover.literal_count multi);
+  Alcotest.check_raises "garbage rejected" (Parse.Syntax_error "unexpected character '?' at offset 0")
+    (fun () -> ignore (cover "?"))
+
+let test_parse_spaces_and_ops () =
+  check_cover "star as and" (cover "ab") (cover "a * b");
+  check_cover "bang as not" (cover "a'") (cover "!a" |> fun c -> c);
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests                                                *)
+(* ------------------------------------------------------------------ *)
+
+let nvars = 5
+
+let gen_cube =
+  QCheck2.Gen.(
+    let* lits =
+      list_size (int_range 0 4)
+        (let* v = int_range 0 (nvars - 1) in
+         let* phase = bool in
+         return (Literal.make v phase))
+    in
+    return (Cube.of_literals lits))
+
+let gen_cover =
+  QCheck2.Gen.(
+    let* cubes = list_size (int_range 0 6) gen_cube in
+    return (Cover.of_cubes (List.filter_map Fun.id cubes)))
+
+let print_cover = Cover.to_string
+
+let same_function f g =
+  let ok = ref true in
+  for bits = 0 to (1 lsl nvars) - 1 do
+    let assign v = bits land (1 lsl v) <> 0 in
+    if Cover.eval assign f <> Cover.eval assign g then ok := false
+  done;
+  !ok
+
+let prop_complement =
+  QCheck2.Test.make ~name:"complement is pointwise negation" ~count:300
+    ~print:print_cover gen_cover (fun f ->
+      let fc = Complement.cover f in
+      let ok = ref true in
+      for bits = 0 to (1 lsl nvars) - 1 do
+        let assign v = bits land (1 lsl v) <> 0 in
+        if Cover.eval assign f = Cover.eval assign fc then ok := false
+      done;
+      !ok)
+
+let prop_minimize_preserves =
+  QCheck2.Test.make ~name:"simplify preserves the function" ~count:300
+    ~print:print_cover gen_cover (fun f ->
+      let m = Minimize.simplify f in
+      same_function f m && Cover.literal_count m <= Cover.literal_count f)
+
+let prop_factor_preserves =
+  QCheck2.Test.make ~name:"factoring preserves the function" ~count:300
+    ~print:print_cover gen_cover (fun f ->
+      let fact = Factor.of_cover f in
+      let ok = ref true in
+      for bits = 0 to (1 lsl nvars) - 1 do
+        let assign v = bits land (1 lsl v) <> 0 in
+        if Cover.eval assign f <> Factor.eval assign fact then ok := false
+      done;
+      !ok && Factor.literal_count fact <= Cover.literal_count f)
+
+let prop_algebraic_identity =
+  QCheck2.Test.make ~name:"algebraic division identity f = qd + r" ~count:300
+    ~print:(fun (f, d) -> print_cover f ^ " / " ^ print_cover d)
+    QCheck2.Gen.(pair gen_cover gen_cover)
+    (fun (f, d) ->
+      let q, r = Algebraic.divide f d in
+      same_function f (Cover.union (Cover.product q d) r))
+
+let prop_tautology_matches_eval =
+  QCheck2.Test.make ~name:"tautology check agrees with evaluation" ~count:300
+    ~print:print_cover gen_cover (fun f ->
+      let taut = Cover.is_tautology f in
+      let all_true = ref true in
+      for bits = 0 to (1 lsl nvars) - 1 do
+        let assign v = bits land (1 lsl v) <> 0 in
+        if not (Cover.eval assign f) then all_true := false
+      done;
+      taut = !all_true)
+
+let prop_containment_matches_eval =
+  QCheck2.Test.make ~name:"cover containment agrees with evaluation"
+    ~count:300
+    ~print:(fun (f, g) -> print_cover f ^ " ⊇? " ^ print_cover g)
+    QCheck2.Gen.(pair gen_cover gen_cover)
+    (fun (f, g) ->
+      let contains = Cover.contains f g in
+      let pointwise = ref true in
+      for bits = 0 to (1 lsl nvars) - 1 do
+        let assign v = bits land (1 lsl v) <> 0 in
+        if Cover.eval assign g && not (Cover.eval assign f) then
+          pointwise := false
+      done;
+      contains = !pointwise)
+
+let prop_sos_lemma1 =
+  QCheck2.Test.make ~name:"Lemma 1: s SOS of g ⇒ s·g = s" ~count:300
+    ~print:(fun (s, g) -> print_cover s ^ " sos of " ^ print_cover g)
+    QCheck2.Gen.(pair gen_cover gen_cover)
+    (fun (s, g) ->
+      QCheck2.assume (Cover.sos_of s g);
+      same_function s (Cover.product s g))
+
+let prop_kernels_divide =
+  QCheck2.Test.make ~name:"co-kernel × kernel stays inside f" ~count:200
+    ~print:print_cover gen_cover (fun f ->
+      List.for_all
+        (fun (ck, k) ->
+          (* Each cube of ck·k must be a cube of f. *)
+          List.for_all
+            (fun kc ->
+              match Cube.intersect ck kc with
+              | None -> false
+              | Some c -> List.exists (Cube.equal c) (Cover.cubes f))
+            (Cover.cubes k))
+        (Kernel.all f))
+
+
+(* ------------------------------------------------------------------ *)
+(* PLA format                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pla_roundtrip () =
+  let pla = Pla.of_cover ~input_labels:[ "a"; "b"; "c" ] (cover "ab + c'") in
+  let text = Pla.to_string pla in
+  let back = Pla.parse text in
+  Alcotest.(check (list string)) "labels" [ "a"; "b"; "c" ] back.Pla.input_labels;
+  Alcotest.(check bool) "cover preserved" true
+    (Cover.equivalent back.Pla.covers.(0) (cover "ab + c'"))
+
+let test_pla_multi_output () =
+  let text =
+    ".i 2\n.o 2\n.ilb a b\n.ob f g\n11 10\n0- 01\n-1 11\n.e\n"
+  in
+  let pla = Pla.parse text in
+  Alcotest.(check int) "two outputs" 2 (Array.length pla.Pla.covers);
+  Alcotest.(check bool) "f = ab + b" true
+    (Cover.equivalent pla.Pla.covers.(0) (cover "ab + b"));
+  Alcotest.(check bool) "g = a' + b" true
+    (Cover.equivalent pla.Pla.covers.(1) (cover "a' + b"))
+
+let test_pla_rejects () =
+  let rejects s =
+    match Pla.parse s with
+    | exception Pla.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "missing .i" true (rejects ".o 1\n1 1\n");
+  Alcotest.(check bool) "bad char" true (rejects ".i 1\n.o 1\nx 1\n");
+  Alcotest.(check bool) "bad type" true (rejects ".i 1\n.o 1\n.type fd\n1 1\n")
+
+
+let test_pla_file_io () =
+  let pla = Pla.of_cover ~input_labels:[ "a"; "b" ] (cover "ab + a'b'") in
+  let path = Filename.temp_file "rarsub" ".pla" in
+  Pla.write_file path pla;
+  let reread = Pla.read_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "file roundtrip" true
+    (Cover.equivalent reread.Pla.covers.(0) (cover "ab + a'b'"))
+
+(* ------------------------------------------------------------------ *)
+(* Reduce                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_reduce () =
+  (* In ab + b', reducing b' against ab changes nothing essential, but in
+     a + ab' the cube a reduces while staying a cover. *)
+  let f = cover "ab + a'b + ab'" in
+  let reduced = Minimize.reduce f in
+  check_equiv "reduce preserves" f reduced;
+  (* Each reduced cube is contained in its original. *)
+  List.iter2
+    (fun r o ->
+      Alcotest.(check bool) "shrunk within original" true (Cube.contained_by r o))
+    (List.sort Cube.compare (Cover.cubes reduced))
+    (List.sort Cube.compare (Cover.cubes f))
+
+let prop_reduce_preserves =
+  QCheck2.Test.make ~name:"reduce preserves the function" ~count:300
+    ~print:print_cover gen_cover (fun f ->
+      same_function f (Minimize.reduce f))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_complement;
+      prop_minimize_preserves;
+      prop_factor_preserves;
+      prop_algebraic_identity;
+      prop_tautology_matches_eval;
+      prop_containment_matches_eval;
+      prop_sos_lemma1;
+      prop_kernels_divide;
+      prop_reduce_preserves;
+    ]
+
+let () =
+  Alcotest.run "twolevel"
+    [
+      ( "literal-cube",
+        [
+          Alcotest.test_case "literal encoding" `Quick test_literal_encoding;
+          Alcotest.test_case "cube normalisation" `Quick test_cube_normalise;
+          Alcotest.test_case "cube containment" `Quick test_cube_containment;
+          Alcotest.test_case "cube operations" `Quick test_cube_ops;
+          Alcotest.test_case "cube cofactor" `Quick test_cube_cofactor;
+        ] );
+      ( "cover",
+        [
+          Alcotest.test_case "basics" `Quick test_cover_basics;
+          Alcotest.test_case "containment" `Quick test_cover_containment;
+          Alcotest.test_case "equivalence" `Quick test_cover_equivalence;
+          Alcotest.test_case "product" `Quick test_cover_product;
+          Alcotest.test_case "sos and lemma 1" `Quick test_cover_sos;
+          Alcotest.test_case "tautology" `Quick test_tautology;
+          Alcotest.test_case "single cube containment" `Quick test_scc;
+          Alcotest.test_case "minterm count" `Quick test_minterm_count;
+        ] );
+      ( "complement-minimize",
+        [
+          Alcotest.test_case "complement" `Quick test_complement;
+          Alcotest.test_case "simplify" `Quick test_minimize;
+          Alcotest.test_case "irredundant" `Quick test_minimize_irredundant;
+        ] );
+      ( "algebraic",
+        [
+          Alcotest.test_case "weak division" `Quick test_algebraic_divide;
+          Alcotest.test_case "algebraic weakness" `Quick test_algebraic_weakness;
+          Alcotest.test_case "kernels" `Quick test_kernels;
+          Alcotest.test_case "make cube free" `Quick test_make_cube_free;
+          Alcotest.test_case "factoring" `Quick test_factor;
+          Alcotest.test_case "factored evaluation" `Quick test_factor_eval;
+        ] );
+      ( "pla",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pla_roundtrip;
+          Alcotest.test_case "multi output" `Quick test_pla_multi_output;
+          Alcotest.test_case "rejects" `Quick test_pla_rejects;
+          Alcotest.test_case "file io" `Quick test_pla_file_io;
+        ] );
+      ( "reduce",
+        [ Alcotest.test_case "reduce" `Quick test_reduce ] );
+      ( "parse",
+        [
+          Alcotest.test_case "parser" `Quick test_parse;
+          Alcotest.test_case "operators" `Quick test_parse_spaces_and_ops;
+        ] );
+      ("properties", qcheck_cases);
+    ]

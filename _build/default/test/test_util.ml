@@ -1,0 +1,121 @@
+(* Tests for the utility library: RNG determinism and distribution
+   sanity, table rendering, stopwatch. *)
+
+module Rng = Rar_util.Rng
+module Text_table = Rar_util.Text_table
+
+let test_rng_deterministic () =
+  let stream seed = List.init 16 (fun _ -> Rng.int64 (Rng.create seed)) in
+  (* Fresh generators with the same seed agree... *)
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for i = 0 to 63 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d" i)
+      (Rng.int64 a) (Rng.int64 b)
+  done;
+  (* ... and different seeds diverge. *)
+  Alcotest.(check bool) "seeds differ" true (stream 1 <> stream 2)
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_distribution () =
+  (* Coarse uniformity: every bucket of [0,8) hit a reasonable number of
+     times over 8000 draws. *)
+  let rng = Rng.create 11 in
+  let counts = Array.make 8 0 in
+  for _ = 1 to 8000 do
+    let v = Rng.int rng 8 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d balanced (%d)" i c)
+        true
+        (c > 700 && c < 1300))
+    counts
+
+let test_rng_copy_and_split () =
+  let rng = Rng.create 3 in
+  ignore (Rng.int64 rng);
+  let copy = Rng.copy rng in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 rng)
+    (Rng.int64 copy);
+  let split = Rng.split rng in
+  Alcotest.(check bool) "split diverges" true (Rng.int64 rng <> Rng.int64 split)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 5 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_table_render () =
+  let t =
+    Text_table.create
+      [ ("name", Text_table.Left); ("value", Text_table.Right) ]
+  in
+  Text_table.add_row t [ "alpha"; "1" ];
+  Text_table.add_separator t;
+  Text_table.add_row t [ "b"; "22" ];
+  let rendered = Text_table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  (* Header + rule + 3 rows + trailing empty line. *)
+  Alcotest.(check int) "line count" 6 (List.length lines);
+  (* All non-empty lines are equally wide. *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths);
+  Alcotest.(check bool) "right alignment pads left" true
+    (let last = List.nth lines 4 in
+     String.length last > 0
+     &&
+     (* value column of "b"/"22" row ends with "22 |" *)
+     String.sub last (String.length last - 4) 4 = "22 |")
+
+let test_table_arity_check () =
+  let t = Text_table.create [ ("a", Text_table.Left) ] in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Text_table.add_row: wrong number of cells") (fun () ->
+      Text_table.add_row t [ "x"; "y" ])
+
+let test_stopwatch () =
+  let result, elapsed = Rar_util.Stopwatch.time (fun () -> 21 * 2) in
+  Alcotest.(check int) "result" 42 result;
+  Alcotest.(check bool) "non-negative time" true (elapsed >= 0.0);
+  Alcotest.(check string) "format" "0.13"
+    (Rar_util.Stopwatch.seconds_to_string 0.129)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "distribution" `Quick test_rng_distribution;
+          Alcotest.test_case "copy and split" `Quick test_rng_copy_and_split;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity_check;
+        ] );
+      ("stopwatch", [ Alcotest.test_case "time" `Quick test_stopwatch ]);
+    ]
