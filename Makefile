@@ -1,10 +1,17 @@
-.PHONY: all test bench doc clean
+.PHONY: all test bench ci doc clean
 
 all:
 	dune build @all
 
 test:
 	dune runtest
+
+# Full local CI: build, tests, and the quick machine-readable perf
+# snapshot (writes BENCH_resub.json for cross-PR trajectory tracking).
+ci:
+	dune build @all
+	dune runtest
+	dune exec bench/main.exe -- bench quick
 
 bench:
 	dune exec bench/main.exe

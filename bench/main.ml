@@ -6,8 +6,9 @@
      main.exe                 run everything (figures, tables, benches)
      main.exe table2 table5   run selected sections
      main.exe quick           tables on the small row subset only
+     main.exe bench quick     write the BENCH_resub.json perf snapshot
    Sections: fig1 fig2 table1 fig4 table2 table3 table4 table5 ablation
-   bech *)
+   bech bench *)
 
 open Twolevel
 module Network = Logic_network.Network
@@ -405,6 +406,101 @@ let ablations () =
      contribution on a 5-circuit subset."
 
 (* ------------------------------------------------------------------ *)
+(* bench - machine-readable perf snapshot (BENCH_resub.json)           *)
+(* ------------------------------------------------------------------ *)
+
+(* Emits one JSON record per (circuit, method) cell plus per-method
+   totals: factored literals, CPU seconds, verification status, and the
+   divisor-filter counters, so successive PRs can diff resub wall-clock
+   and filtered-pair counts mechanically. *)
+let bench_json ?(path = "BENCH_resub.json") rows =
+  section "bench - machine-readable resub snapshot";
+  let cells =
+    List.map
+      (fun row ->
+        let net = Suite.build row in
+        Synth.Script.run net Synth.Script.script_a;
+        let init = Lit_count.factored net in
+        let per_method =
+          List.map
+            (fun (name, meth) ->
+              let scratch = Network.copy net in
+              let counters = Rar_util.Counters.create () in
+              let (), cpu =
+                Rar_util.Stopwatch.time (fun () ->
+                    Synth.Script.resub_command ~counters meth scratch)
+              in
+              let lits = Lit_count.factored scratch in
+              let ok = Equiv.equivalent scratch net in
+              Printf.printf "  %-12s %-8s %4d lits  %.2fs  %s\n"
+                row.Suite.name name lits cpu
+                (if ok then "ok" else "FAIL");
+              (name, lits, cpu, ok, counters))
+            Synth.Script.resub_methods
+        in
+        (row.Suite.name, init, per_method))
+      rows
+  in
+  let method_names = List.map fst Synth.Script.resub_methods in
+  let totals =
+    List.map
+      (fun name ->
+        let lits = ref 0 and cpu = ref 0.0 and ok = ref true in
+        let counters = Rar_util.Counters.create () in
+        List.iter
+          (fun (_, _, per_method) ->
+            List.iter
+              (fun (n, l, c, o, k) ->
+                if n = name then begin
+                  lits := !lits + l;
+                  cpu := !cpu +. c;
+                  if not o then ok := false;
+                  Rar_util.Counters.accumulate counters k
+                end)
+              per_method)
+          cells;
+        (name, !lits, !cpu, !ok, counters))
+      method_names
+  in
+  let buffer = Buffer.create 4096 in
+  let cell_json (name, lits, cpu, ok, counters) =
+    Printf.sprintf
+      "{\"method\": %S, \"literals\": %d, \"cpu_seconds\": %.6f, \
+       \"verified\": %b, \"counters\": %s}"
+      name lits cpu ok
+      (Rar_util.Counters.to_json counters)
+  in
+  Buffer.add_string buffer "{\n  \"circuits\": [\n";
+  List.iteri
+    (fun i (circuit, init, per_method) ->
+      Buffer.add_string buffer
+        (Printf.sprintf
+           "    {\"circuit\": %S, \"initial_literals\": %d, \"methods\": [%s]}%s\n"
+           circuit init
+           (String.concat ", " (List.map cell_json per_method))
+           (if i < List.length cells - 1 then "," else "")))
+    cells;
+  Buffer.add_string buffer "  ],\n  \"totals\": [\n";
+  List.iteri
+    (fun i total ->
+      Buffer.add_string buffer
+        (Printf.sprintf "    %s%s\n" (cell_json total)
+           (if i < List.length totals - 1 then "," else "")))
+    totals;
+  Buffer.add_string buffer "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buffer);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d circuits x %d methods)\n" path
+    (List.length cells) (List.length method_names);
+  List.iter
+    (fun (name, lits, cpu, ok, counters) ->
+      Printf.printf "  %-8s %5d lits  %6.2fs  %s  [%s]\n" name lits cpu
+        (if ok then "ok" else "FAIL")
+        (Rar_util.Counters.to_string counters))
+    totals
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel benches - one per table                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -493,4 +589,7 @@ let () =
       ~script:Synth.Script.script_c rows;
   if selected "table5" then table_v rows;
   if selected "ablation" then ablations ();
-  if selected "bech" then bechamel ()
+  if selected "bech" then bechamel ();
+  (* JSON snapshot only on explicit request: it is a CI artifact, not part
+     of the default figure/table regeneration. *)
+  if List.mem "bench" explicit then bench_json rows

@@ -112,18 +112,19 @@ let scripts =
     ("algebraic", Synth.Script.script_algebraic);
   ]
 
+(* Method table: every entry takes the filter toggle and a counters
+   record so optimize can report how much work the signature filter
+   skipped. The "none" and "rar" methods have no divisor filtering. *)
 let resubs =
-  [
-    ("none", fun (_ : Network.t) -> ());
-    ("resub", Synth.Script.resub_algebraic);
-    ("basic", Synth.Script.resub_basic);
-    ("ext", Synth.Script.resub_ext);
-    ("ext-gdc", Synth.Script.resub_ext_gdc);
-    ("rar", fun net -> ignore (Rewiring.Rar.optimize net));
-  ]
+  [ ("none", `Other (fun (_ : Network.t) -> ())) ]
+  @ List.map
+      (fun (name, meth) ->
+        ((if name = "sis" then "resub" else name), `Method meth))
+      Synth.Script.resub_methods
+  @ [ ("rar", `Other (fun net -> ignore (Rewiring.Rar.optimize net))) ]
 
 let optimize_cmd =
-  let run circuit file script method_name output verify verbose =
+  let run circuit file script method_name no_filter output verify verbose =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
@@ -135,7 +136,14 @@ let optimize_cmd =
     | Ok net -> (
       let original = Network.copy net in
       let steps = List.assoc script scripts in
-      let resub = List.assoc method_name resubs in
+      let counters = Rar_util.Counters.create () in
+      let resub =
+        match List.assoc method_name resubs with
+        | `Other command -> command
+        | `Method meth ->
+          Synth.Script.resub_command ~use_filter:(not no_filter) ~counters
+            meth
+      in
       Printf.printf "initial: %d factored literals\n" (Lit_count.factored net);
       let (), script_time =
         Rar_util.Stopwatch.time (fun () -> Synth.Script.run net steps)
@@ -146,6 +154,10 @@ let optimize_cmd =
       let (), resub_time = Rar_util.Stopwatch.time (fun () -> resub net) in
       Printf.printf "after %s: %d literals (%.2fs)\n" method_name
         (Lit_count.factored net) resub_time;
+      if counters.Rar_util.Counters.pairs_considered > 0 then
+        Printf.printf "divisor filter (%s): %s\n"
+          (if no_filter then "off" else "on")
+          (Rar_util.Counters.to_string counters);
       if verify then begin
         let ok = Logic_sim.Equiv.equivalent net original in
         Printf.printf "equivalence check: %s\n" (if ok then "pass" else "FAIL");
@@ -174,6 +186,14 @@ let optimize_cmd =
           ~doc:"Resubstitution method: $(b,none), $(b,resub) (algebraic), \
                 $(b,basic), $(b,ext), $(b,ext-gdc) or $(b,rar).")
   in
+  let no_filter_flag =
+    Arg.(
+      value & flag
+      & info [ "no-filter" ]
+          ~doc:
+            "Disable the simulation-signature divisor filter (seed-style \
+             exhaustive candidate ranking) for A/B comparisons.")
+  in
   let output_arg =
     Arg.(
       value
@@ -193,8 +213,8 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimise a circuit with a script and a method.")
     Term.(
-      const run $ circuit_arg $ file_arg $ script_arg $ method_arg $ output_arg
-      $ verify_flag $ verbose_flag)
+      const run $ circuit_arg $ file_arg $ script_arg $ method_arg
+      $ no_filter_flag $ output_arg $ verify_flag $ verbose_flag)
 
 let () =
   let info =

@@ -1,6 +1,9 @@
 open Twolevel
 module Network = Logic_network.Network
+module Fanin_cache = Logic_network.Fanin_cache
 module Lit_count = Logic_network.Lit_count
+module Signature = Logic_sim.Signature
+module Counters = Rar_util.Counters
 
 let log_src = Logs.Src.create "booldiv.substitute" ~doc:"Substitution driver"
 
@@ -14,6 +17,7 @@ type config = {
   learn_depth : int;
   use_complement : bool;
   try_pos : bool;
+  use_filter : bool;
   max_divisors : int;
   max_pool : int;
   max_passes : int;
@@ -26,6 +30,7 @@ let basic_config =
     learn_depth = 0;
     use_complement = true;
     try_pos = true;
+    use_filter = true;
     max_divisors = 20;
     max_pool = 6;
     max_passes = 4;
@@ -42,22 +47,46 @@ type stats = {
   pos_substitutions : int;
   literals_before : int;
   literals_after : int;
+  counters : Counters.t;
 }
 
-(* Candidate divisors for a node, ranked by transitive-fanin overlap. *)
-let rank_divisors net f ~limit =
-  let f_support = Network.transitive_fanin net [ f ] in
+(* Candidate divisors for a node. With a signature engine, candidates are
+   gated on fanin-cone overlap plus signature compatibility and ranked by
+   onset-overlap popcount; without one (the A/B baseline) the seed policy
+   — rank by transitive-fanin intersection cardinality — is kept, served
+   from the memoized cache. *)
+let rank_divisors ~counters ~cache ?sigs net f ~use_complement ~limit =
+  Counters.timed counters `Filter @@ fun () ->
+  let f_support = Fanin_cache.transitive_fanin cache f in
   let scored =
     List.filter_map
       (fun d ->
-        if d = f || Network.depends_on net d f then None
+        if d = f then None
         else begin
-          let overlap =
-            Network.Node_set.cardinal
-              (Network.Node_set.inter f_support
-                 (Network.transitive_fanin net [ d ]))
+          counters.Counters.pairs_considered <-
+            counters.Counters.pairs_considered + 1;
+          let reject () =
+            counters.Counters.pairs_filtered <-
+              counters.Counters.pairs_filtered + 1;
+            None
           in
-          if overlap = 0 then None else Some (d, overlap)
+          if Fanin_cache.depends_on cache d ~on:f then reject ()
+          else
+            match sigs with
+            | Some s ->
+              if
+                Network.Node_set.disjoint f_support
+                  (Fanin_cache.transitive_fanin cache d)
+                || not (Signature.compatible s ~use_complement ~f ~d)
+              then reject ()
+              else Some (d, Signature.score s ~use_complement ~f ~d)
+            | None ->
+              let overlap =
+                Network.Node_set.cardinal
+                  (Network.Node_set.inter f_support
+                     (Fanin_cache.transitive_fanin cache d))
+              in
+              if overlap = 0 then reject () else Some (d, overlap)
         end)
       (Network.logic_ids net)
   in
@@ -122,17 +151,42 @@ let substitute_pos net ~f ~d =
       end
   end
 
-let run ?(config = extended_config) net =
+let run ?(config = extended_config) ?counters net =
+  let counters =
+    match counters with Some c -> c | None -> Counters.create ()
+  in
+  let cache = Fanin_cache.create net in
+  let sigs = if config.use_filter then Some (Signature.create net) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Signature.detach sigs)
+  @@ fun () ->
   let literals_before = Lit_count.factored net in
   let basic_count = ref 0 and ext_count = ref 0 and pos_count = ref 0 in
   let gdc = config.gdc and learn_depth = config.learn_depth in
+  let committed counter =
+    incr counter;
+    counters.Counters.substitutions <- counters.Counters.substitutions + 1
+  in
+  (* Per-phase signature gate: dividing f by d needs their onsets to
+     meet; dividing by d' needs f's onset to meet d's offset. Checked
+     lazily (signatures may have moved since ranking if an earlier
+     attempt committed). *)
+  let phase_possible f d phase =
+    match sigs with
+    | None -> true
+    | Some s -> Signature.phase_compatible s ~phase ~f ~d
+  in
   let attempt_basic f d =
+    Counters.timed counters `Division @@ fun () ->
+    counters.Counters.divisions_attempted <-
+      counters.Counters.divisions_attempted + 1;
     let commit phase =
+      phase_possible f d phase
+      &&
       match
         Basic_division.try_divide ~phase ~gdc ~learn_depth net ~f ~d
       with
       | Some outcome ->
-        incr basic_count;
+        committed basic_count;
         Log.debug (fun m ->
             m "basic division: %s / %s%s (+%d literals)" (Network.name net f)
               (Network.name net d)
@@ -145,6 +199,8 @@ let run ?(config = extended_config) net =
        gain-neutral while the pair is profitable (both phases share the
        single literal cost of d). *)
     let commit_both () =
+      phase_possible f d true && phase_possible f d false
+      &&
       let scratch = Network.copy net in
       let gain_before = Lit_count.factored scratch in
       let first = Basic_division.divide ~gdc ~learn_depth scratch ~f ~d in
@@ -156,30 +212,38 @@ let run ?(config = extended_config) net =
         && Lit_count.factored scratch < gain_before
       then begin
         Network.overwrite net scratch;
-        incr basic_count;
+        committed basic_count;
         true
       end
       else false
     in
-    let committed = commit true in
-    let committed_c =
+    let direct = commit true in
+    let complemented =
       if config.use_complement then commit false else false
     in
-    if committed || committed_c then true
+    if direct || complemented then true
     else if config.use_complement then commit_both ()
     else false
   in
   let attempt_pos f d =
-    if config.try_pos && substitute_pos net ~f ~d then begin
-      incr pos_count;
-      true
-    end
-    else false
+    if not config.try_pos then false
+    else
+      Counters.timed counters `Division @@ fun () ->
+      counters.Counters.divisions_attempted <-
+        counters.Counters.divisions_attempted + 1;
+      if substitute_pos net ~f ~d then begin
+        committed pos_count;
+        true
+      end
+      else false
   in
   let attempt_extended f pool =
+    Counters.timed counters `Division @@ fun () ->
+    counters.Counters.divisions_attempted <-
+      counters.Counters.divisions_attempted + 1;
     match Extended_division.try_run ~gdc ~learn_depth net ~f ~pool with
     | Some outcome ->
-      incr ext_count;
+      committed ext_count;
       Log.debug (fun m ->
           m "extended division on %s: core of %d cube(s), gain %d"
             (Network.name net f) outcome.Extended_division.core_cubes
@@ -189,7 +253,7 @@ let run ?(config = extended_config) net =
       if config.try_pos then begin
         match Pos_extended.try_run net ~f ~pool with
         | Some _ ->
-          incr pos_count;
+          committed pos_count;
           true
         | None -> false
       end
@@ -201,7 +265,11 @@ let run ?(config = extended_config) net =
     List.iter
       (fun f ->
         if Network.mem net f then begin
-          let divisors = rank_divisors net f ~limit:config.max_divisors in
+          let divisors =
+            rank_divisors ~counters ~cache ?sigs net f
+              ~use_complement:config.use_complement
+              ~limit:config.max_divisors
+          in
           (match config.mode with
           | Extended ->
             let pool =
@@ -228,4 +296,5 @@ let run ?(config = extended_config) net =
     pos_substitutions = !pos_count;
     literals_before;
     literals_after = Lit_count.factored net;
+    counters;
   }

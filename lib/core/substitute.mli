@@ -3,10 +3,19 @@
     Implements the paper's three experimental configurations
     ({!basic_config}, {!extended_config}, {!extended_gdc_config}) plus the
     POS-form substitution the algorithm supports natively. For every node
-    it ranks candidate divisors by support overlap, attempts divisions in
-    order, and — matching the paper's locally greedy policy — commits the
-    first rewrite with a positive factored-literal gain. Passes repeat
-    until a fixpoint (bounded by [max_passes]). *)
+    it ranks candidate divisors, attempts divisions in order, and —
+    matching the paper's locally greedy policy — commits the first rewrite
+    with a positive factored-literal gain. Passes repeat until a fixpoint
+    (bounded by [max_passes]).
+
+    Divisor candidates are selected through a simulation-signature filter
+    ({!Logic_sim.Signature}): pairs whose signatures prove no usable
+    overlap are skipped before any division runs, and survivors are
+    ranked by signature-overlap popcount. The filter is conservative-only
+    — it can skip opportunities, never corrupt results, since every
+    commit still goes through the literal-gain + rollback path. Set
+    [use_filter] to [false] to recover the seed behaviour (per-pair
+    transitive-fanin ranking) for A/B comparisons. *)
 
 type mode = Basic | Extended
 
@@ -16,6 +25,9 @@ type config = {
   learn_depth : int;  (** recursive-learning depth (0 = none) *)
   use_complement : bool;  (** also divide by divisor complements *)
   try_pos : bool;  (** also try product-of-sum-form substitution *)
+  use_filter : bool;
+      (** signature-guided divisor filtering and ranking (on in every
+          stock configuration; off = seed-style fanin-overlap ranking) *)
   max_divisors : int;  (** basic-division candidates per node *)
   max_pool : int;  (** divisor pool size for extended division *)
   max_passes : int;
@@ -37,11 +49,20 @@ type stats = {
   pos_substitutions : int;
   literals_before : int;
   literals_after : int;
+  counters : Rar_util.Counters.t;
+      (** pair/filter/division tallies and the wall-clock split between
+          candidate filtering and division work *)
 }
 
-val run : ?config:config -> Logic_network.Network.t -> stats
+val run :
+  ?config:config ->
+  ?counters:Rar_util.Counters.t ->
+  Logic_network.Network.t ->
+  stats
 (** Optimise the network in place (default {!extended_config}). Literal
-    figures are factored-form counts. *)
+    figures are factored-form counts. When [counters] is supplied the
+    run's tallies accumulate into it (and it is returned in
+    {!stats.counters}); otherwise a fresh record is used. *)
 
 val substitute_pos :
   Logic_network.Network.t ->

@@ -1,0 +1,38 @@
+type t = {
+  net : Network.t;
+  mutable seen : int;
+  memo : (Network.node_id, Network.Node_set.t) Hashtbl.t;
+}
+
+let create net =
+  { net; seen = Network.revision net; memo = Hashtbl.create 64 }
+
+let sync t =
+  let now = Network.revision t.net in
+  if now <> t.seen then begin
+    Hashtbl.reset t.memo;
+    t.seen <- now
+  end
+
+let transitive_fanin t id =
+  sync t;
+  let rec go id =
+    match Hashtbl.find_opt t.memo id with
+    | Some s -> s
+    | None ->
+      let s =
+        Array.fold_left
+          (fun acc f -> Network.Node_set.union acc (go f))
+          (Network.Node_set.singleton id)
+          (Network.fanins t.net id)
+      in
+      Hashtbl.add t.memo id s;
+      s
+  in
+  go id
+
+let depends_on t n ~on = Network.Node_set.mem on (transitive_fanin t n)
+
+let overlaps t a b =
+  not
+    (Network.Node_set.disjoint (transitive_fanin t a) (transitive_fanin t b))

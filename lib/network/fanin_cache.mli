@@ -1,0 +1,25 @@
+(** Memoized transitive-fanin sets, keyed on the network revision.
+
+    {!Network.transitive_fanin} runs a fresh DFS per query; the
+    substitution drivers ask for the fanin cone of every (dividend,
+    divisor) pair, which made divisor ranking quadratic in practice. This
+    cache computes each node's cone at most once per network revision —
+    cones of shared fanins are reused through persistent-set unions — and
+    flushes itself automatically when {!Network.revision} moves. *)
+
+type t
+
+val create : Network.t -> t
+(** A cache bound to the network. Creation is O(1); cones are computed on
+    demand. *)
+
+val transitive_fanin : t -> Network.node_id -> Network.Node_set.t
+(** Same result as [Network.transitive_fanin net [id]] (the seed node is
+    included), memoized until the next mutation. *)
+
+val depends_on : t -> Network.node_id -> on:Network.node_id -> bool
+(** [depends_on t n ~on:m] iff [m] is in the transitive fanin of [n]. *)
+
+val overlaps : t -> Network.node_id -> Network.node_id -> bool
+(** Whether the two fanin cones share any node (a necessary condition for
+    algebraic or Boolean division to find common structure). *)

@@ -18,11 +18,22 @@ type node = {
   mutable fanout : int Node_map.t; (* fanout node id -> reference count *)
 }
 
+type mutation =
+  | Node_added of node_id
+  | Function_changed of node_id
+  | Node_removed of node_id
+  | Rebuilt
+
+type observer_id = int
+
 type t = {
   nodes : (node_id, node) Hashtbl.t;
   mutable next_id : int;
   mutable input_order : node_id list; (* reversed *)
   mutable output_order : (string * node_id) list; (* reversed *)
+  mutable revision : int;
+  mutable next_observer : observer_id;
+  mutable observers : (observer_id * (mutation -> unit)) list;
 }
 
 let create () =
@@ -31,7 +42,25 @@ let create () =
     next_id = 0;
     input_order = [];
     output_order = [];
+    revision = 0;
+    next_observer = 0;
+    observers = [];
   }
+
+let revision t = t.revision
+
+let on_mutation t f =
+  let id = t.next_observer in
+  t.next_observer <- id + 1;
+  t.observers <- (id, f) :: t.observers;
+  id
+
+let remove_observer t id =
+  t.observers <- List.filter (fun (i, _) -> i <> id) t.observers
+
+let notify t m =
+  t.revision <- t.revision + 1;
+  List.iter (fun (_, f) -> f m) t.observers
 
 let mem t id = Hashtbl.mem t.nodes id
 
@@ -50,6 +79,7 @@ let add_input t input_name =
   Hashtbl.add t.nodes id
     { id; node_name = input_name; kind = Input; fanout = Node_map.empty };
   t.input_order <- id :: t.input_order;
+  notify t (Node_added id);
   id
 
 (* Merge duplicate fanins and drop fanins not in the cover's support,
@@ -98,6 +128,7 @@ let add_logic t ?name ~fanins cover =
   Hashtbl.add t.nodes id
     { id; node_name; kind = Logic { fanins; cover }; fanout = Node_map.empty };
   Array.iter (fun f -> incr_fanout t ~from:id ~target:f) fanins;
+  notify t (Node_added id);
   id
 
 let add_output t po_name id =
@@ -207,7 +238,8 @@ let set_function t id ~fanins:new_fanins cover =
     Array.iter (fun f -> decr_fanout t ~from:id ~target:f) l.fanins;
     l.fanins <- new_fanins;
     l.cover <- new_cover;
-    Array.iter (fun f -> incr_fanout t ~from:id ~target:f) new_fanins
+    Array.iter (fun f -> incr_fanout t ~from:id ~target:f) new_fanins;
+    notify t (Function_changed id)
 
 let remove_node t id =
   let n = node t id in
@@ -219,7 +251,8 @@ let remove_node t id =
     | Input -> t.input_order <- List.filter (fun i -> i <> id) t.input_order
     | Logic l -> Array.iter (fun f -> decr_fanout t ~from:id ~target:f) l.fanins
   end;
-  Hashtbl.remove t.nodes id
+  Hashtbl.remove t.nodes id;
+  notify t (Node_removed id)
 
 let copy t =
   let fresh = create () in
@@ -244,7 +277,8 @@ let overwrite dst src =
   Hashtbl.iter (fun id n -> Hashtbl.add dst.nodes id n) fresh.nodes;
   dst.next_id <- fresh.next_id;
   dst.input_order <- fresh.input_order;
-  dst.output_order <- fresh.output_order
+  dst.output_order <- fresh.output_order;
+  notify dst Rebuilt
 
 let eval t input_assignment =
   let values = Hashtbl.create (node_count t) in

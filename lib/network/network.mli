@@ -22,6 +22,36 @@ module Node_set : Set.S with type elt = node_id
 exception Cyclic of string
 (** Raised by {!check} and {!topological} when the DAG invariant breaks. *)
 
+(** {1 Mutation tracking}
+
+    Incremental analyses (simulation signatures, transitive-fanin caches,
+    ...) key their invalidation on the network's revision counter or
+    subscribe to fine-grained mutation events. Every structural mutation —
+    node addition, function replacement, node removal, or a wholesale
+    {!overwrite} — bumps the revision and notifies the observers.
+    {!retarget_outputs} changes neither node functions nor the DAG, so it
+    is deliberately not a tracked mutation. *)
+
+type mutation =
+  | Node_added of node_id
+  | Function_changed of node_id  (** fanins and/or cover replaced *)
+  | Node_removed of node_id
+  | Rebuilt  (** the whole network was replaced by {!overwrite} *)
+
+type observer_id
+
+val revision : t -> int
+(** Monotonically increasing mutation counter (0 for a fresh network).
+    Copies made with {!copy} restart at 0 and have no observers. *)
+
+val on_mutation : t -> (mutation -> unit) -> observer_id
+(** Subscribe to mutation events; the callback runs synchronously after
+    the mutation is applied. Keep callbacks cheap (set a dirty bit, do the
+    real work lazily). *)
+
+val remove_observer : t -> observer_id -> unit
+(** Unsubscribe; unknown ids are ignored. *)
+
 (** {1 Construction} *)
 
 val create : unit -> t

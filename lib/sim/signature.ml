@@ -1,0 +1,170 @@
+module Network = Logic_network.Network
+module Node_set = Network.Node_set
+
+type t = {
+  net : Network.t;
+  words : int;
+  seed : int;
+  values : (Network.node_id, int64 array) Hashtbl.t;
+  patterns : (Network.node_id, int64 array) Hashtbl.t;
+  mutable observer : Network.observer_id option;
+  mutable dirty : Node_set.t;
+  mutable stale : bool;
+  mutable refreshes : int;
+  mutable nodes_resimulated : int;
+}
+
+let default_words = 8
+
+let words t = t.words
+
+(* Each input's stimulus is derived from (seed, id) alone, so signatures
+   are reproducible regardless of the order inputs are first queried in —
+   an incremental engine and a fresh one built after the same mutations
+   agree bit for bit. *)
+let pattern t id =
+  match Hashtbl.find_opt t.patterns id with
+  | Some v -> v
+  | None ->
+    let rng = Rar_util.Rng.create (t.seed lxor ((id + 1) * 0x9e3779b9)) in
+    let v = Array.init t.words (fun _ -> Rar_util.Rng.int64 rng) in
+    Hashtbl.add t.patterns id v;
+    v
+
+let resimulate t id =
+  let value =
+    if Network.is_input t.net id then pattern t id
+    else begin
+      let fanin_values =
+        Array.map (Hashtbl.find t.values) (Network.fanins t.net id)
+      in
+      Simulate.eval_cover ~words:t.words (Network.cover t.net id) ~fanin_values
+    end
+  in
+  Hashtbl.replace t.values id value;
+  t.nodes_resimulated <- t.nodes_resimulated + 1
+
+let refresh t =
+  if t.stale then begin
+    Hashtbl.reset t.values;
+    List.iter (resimulate t) (Network.topological t.net);
+    t.stale <- false;
+    t.dirty <- Node_set.empty;
+    t.refreshes <- t.refreshes + 1
+  end
+  else if not (Node_set.is_empty t.dirty) then begin
+    let seeds =
+      Node_set.filter (Network.mem t.net) t.dirty |> Node_set.elements
+    in
+    let affected = Network.transitive_fanout t.net seeds in
+    List.iter
+      (fun id -> if Node_set.mem id affected then resimulate t id)
+      (Network.topological t.net);
+    t.dirty <- Node_set.empty;
+    t.refreshes <- t.refreshes + 1
+  end
+
+let create ?(seed = 0x516e41) ?(words = default_words) net =
+  if words <= 0 then invalid_arg "Signature.create: words must be positive";
+  let t =
+    {
+      net;
+      words;
+      seed;
+      values = Hashtbl.create 64;
+      patterns = Hashtbl.create 16;
+      observer = None;
+      dirty = Node_set.empty;
+      stale = true;
+      refreshes = 0;
+      nodes_resimulated = 0;
+    }
+  in
+  t.observer <-
+    Some
+      (Network.on_mutation net (fun m ->
+           match m with
+           | Network.Node_added id | Network.Function_changed id ->
+             t.dirty <- Node_set.add id t.dirty
+           | Network.Node_removed id ->
+             Hashtbl.remove t.values id;
+             t.dirty <- Node_set.remove id t.dirty
+           | Network.Rebuilt -> t.stale <- true));
+  refresh t;
+  t
+
+let detach t =
+  match t.observer with
+  | Some id ->
+    Network.remove_observer t.net id;
+    t.observer <- None
+  | None -> ()
+
+let signature t id =
+  refresh t;
+  match Hashtbl.find_opt t.values id with
+  | Some v -> v
+  | None ->
+    (* A node created while no refresh ran (defensive; observers normally
+       catch every addition). *)
+    t.dirty <- Node_set.add id t.dirty;
+    refresh t;
+    Hashtbl.find t.values id
+
+let popcount64 (x : int64) =
+  let open Int64 in
+  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x =
+    add
+      (logand x 0x3333333333333333L)
+      (logand (shift_right_logical x 2) 0x3333333333333333L)
+  in
+  let x = logand (add x (shift_right_logical x 4)) 0x0f0f0f0f0f0f0f0fL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
+let popcount v = Array.fold_left (fun acc w -> acc + popcount64 w) 0 v
+
+let overlap a b =
+  let acc = ref 0 in
+  for w = 0 to Array.length a - 1 do
+    acc := !acc + popcount64 (Int64.logand a.(w) b.(w))
+  done;
+  !acc
+
+let overlap_not a b =
+  let acc = ref 0 in
+  for w = 0 to Array.length a - 1 do
+    acc := !acc + popcount64 (Int64.logand a.(w) (Int64.lognot b.(w)))
+  done;
+  !acc
+
+let intersects a b =
+  let n = Array.length a in
+  let rec scan w =
+    w < n && (Int64.logand a.(w) b.(w) <> 0L || scan (w + 1))
+  in
+  scan 0
+
+let intersects_not a b =
+  let n = Array.length a in
+  let rec scan w =
+    w < n && (Int64.logand a.(w) (Int64.lognot b.(w)) <> 0L || scan (w + 1))
+  in
+  scan 0
+
+let phase_compatible t ~phase ~f ~d =
+  let sf = signature t f and sd = signature t d in
+  if phase then intersects sf sd else intersects_not sf sd
+
+let compatible t ~use_complement ~f ~d =
+  let sf = signature t f and sd = signature t d in
+  intersects sf sd || (use_complement && intersects_not sf sd)
+
+let score t ~use_complement ~f ~d =
+  let sf = signature t f and sd = signature t d in
+  let direct = overlap sf sd in
+  if use_complement then max direct (overlap_not sf sd) else direct
+
+let refresh_count t = t.refreshes
+
+let resimulated_count t = t.nodes_resimulated

@@ -1,0 +1,100 @@
+(** Per-node random simulation signatures with incremental invalidation.
+
+    A signature engine attaches to a network and assigns every node a
+    [64*words]-bit signature: the node's value under that many shared
+    random input patterns, computed bit-parallel in one topological pass
+    (the {!Simulate.run} kernel). The engine subscribes to
+    {!Logic_network.Network.on_mutation}, so after a node edit only the
+    transitive fanout of the edited nodes is re-simulated — not the whole
+    network — and refreshes run lazily at the next query.
+
+    The substitution drivers use signatures as a {e conservative-only}
+    divisor filter: a divisor is discarded when its signature proves no
+    division of the dividend could use it on the sampled patterns
+    ({!compatible}), and surviving candidates are ranked by onset-overlap
+    popcount ({!score}). Filtering can only skip work, never accept a bad
+    rewrite: every substitution still goes through the usual
+    literal-gain-with-rollback commit and the harness's equivalence
+    checks. *)
+
+type t
+
+val default_words : int
+(** 8 words = 512 random patterns. *)
+
+val create : ?seed:int -> ?words:int -> Logic_network.Network.t -> t
+(** Build the engine and simulate the whole network once. The engine
+    stays subscribed to the network's mutations until {!detach}. Each
+    input's stimulus is a deterministic function of [(seed, node id)]
+    alone, so two engines with equal seeds assign equal signatures — even
+    when one was kept up to date incrementally and the other was built
+    from scratch after the same mutations. *)
+
+val detach : t -> unit
+(** Unsubscribe from the network (idempotent). Call when the engine's
+    lifetime ends before the network's. *)
+
+val words : t -> int
+
+val signature : t -> Logic_network.Network.node_id -> int64 array
+(** The node's current signature; triggers a (lazy, incremental) refresh
+    if mutations happened since the last query. Do not mutate the
+    returned array. *)
+
+val pattern : t -> Logic_network.Network.node_id -> int64 array
+(** The stimulus assigned to a primary input (memoised; also usable as
+    [input_values] for {!Simulate.run} to reproduce the engine's
+    valuation). *)
+
+val refresh : t -> unit
+(** Force the pending re-simulation now (normally implicit). *)
+
+(** {1 Signature algebra} *)
+
+val popcount : int64 array -> int
+
+val overlap : int64 array -> int64 array -> int
+(** Popcount of the conjunction. *)
+
+val intersects : int64 array -> int64 array -> bool
+
+val phase_compatible :
+  t ->
+  phase:bool ->
+  f:Logic_network.Network.node_id ->
+  d:Logic_network.Network.node_id ->
+  bool
+(** Phase-specific necessary condition: dividing [f] by [d] ([phase] =
+    [true]) needs [f]'s onset to meet [d]'s onset; dividing by the
+    complement [d'] needs [f]'s onset to meet [d]'s offset. *)
+
+val compatible :
+  t ->
+  use_complement:bool ->
+  f:Logic_network.Network.node_id ->
+  d:Logic_network.Network.node_id ->
+  bool
+(** Necessary condition (on the sampled patterns) for a division of [f]
+    by [d] to have a non-trivial quotient: the onset of [f] must meet the
+    onset of [d] — or the offset of [d] when complement-phase division is
+    allowed. Rejections are sound only as an optimisation: a rejected
+    pair is skipped, never mis-evaluated. *)
+
+val score :
+  t ->
+  use_complement:bool ->
+  f:Logic_network.Network.node_id ->
+  d:Logic_network.Network.node_id ->
+  int
+(** Ranking score: how much of [f]'s sampled onset the divisor covers
+    (best of the two phases when [use_complement]). Replaces the
+    per-pair transitive-fanin intersection cardinality of the seed
+    implementation. *)
+
+(** {1 Introspection} *)
+
+val refresh_count : t -> int
+(** Number of refresh passes run (full or incremental). *)
+
+val resimulated_count : t -> int
+(** Total node re-simulations, including the initial full pass. *)

@@ -3,9 +3,28 @@ module Network = Logic_network.Network
 
 type valuation = (Network.node_id, int64 array) Hashtbl.t
 
+(* Bit-parallel evaluation of one SOP cover. The literal list of each cube
+   is converted to an array once, outside the word loop. *)
+let eval_cover ~words cover ~fanin_values =
+  let out = Array.make words 0L in
+  List.iter
+    (fun cube ->
+      let lits = Array.of_list (Cube.literals cube) in
+      for w = 0 to words - 1 do
+        let acc = ref Int64.minus_one in
+        Array.iter
+          (fun lit ->
+            let fv = fanin_values.(Literal.var lit).(w) in
+            let fv = if Literal.is_pos lit then fv else Int64.lognot fv in
+            acc := Int64.logand !acc fv)
+          lits;
+        out.(w) <- Int64.logor out.(w) !acc
+      done)
+    (Cover.cubes cover);
+  out
+
 let run net ~words ~input_values =
   let values : valuation = Hashtbl.create 64 in
-  let full = Int64.minus_one in
   List.iter
     (fun id ->
       let value =
@@ -17,22 +36,7 @@ let run net ~words ~input_values =
         else begin
           let fanins = Network.fanins net id in
           let fanin_values = Array.map (Hashtbl.find values) fanins in
-          let out = Array.make words 0L in
-          List.iter
-            (fun cube ->
-              let cube_word w =
-                List.fold_left
-                  (fun acc lit ->
-                    let fv = fanin_values.(Literal.var lit).(w) in
-                    let fv = if Literal.is_pos lit then fv else Int64.lognot fv in
-                    Int64.logand acc fv)
-                  full (Cube.literals cube)
-              in
-              for w = 0 to words - 1 do
-                out.(w) <- Int64.logor out.(w) (cube_word w)
-              done)
-            (Cover.cubes (Network.cover net id));
-          out
+          eval_cover ~words (Network.cover net id) ~fanin_values
         end
       in
       Hashtbl.replace values id value)
@@ -58,13 +62,15 @@ let exhaustive_inputs net =
   let order = Network.inputs net in
   let n = List.length order in
   let words = exhaustive_words n in
+  let index_of = Hashtbl.create 16 in
+  List.iteri (fun i id -> Hashtbl.replace index_of id i) order;
   let memo = Hashtbl.create 16 in
   fun id ->
     match Hashtbl.find_opt memo id with
     | Some v -> v
     | None ->
       let index =
-        match List.find_index (Int.equal id) order with
+        match Hashtbl.find_opt index_of id with
         | Some i -> i
         | None -> invalid_arg "Simulate.exhaustive_inputs: not an input"
       in

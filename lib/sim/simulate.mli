@@ -4,6 +4,12 @@ type valuation = (Logic_network.Network.node_id, int64 array) Hashtbl.t
 (** One machine word array per node; bit [b] of word [w] is the node value
     under pattern [64*w + b]. *)
 
+val eval_cover :
+  words:int -> Twolevel.Cover.t -> fanin_values:int64 array array -> int64 array
+(** Evaluate one SOP cover bit-parallel; [fanin_values.(v)] is the word
+    array of the cover's variable [v]. Shared by {!run} and the
+    incremental {!Signature} engine. *)
+
 val run :
   Logic_network.Network.t ->
   words:int ->

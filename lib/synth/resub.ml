@@ -1,8 +1,13 @@
 open Twolevel
 module Network = Logic_network.Network
+module Fanin_cache = Logic_network.Fanin_cache
 module Lit_count = Logic_network.Lit_count
+module Signature = Logic_sim.Signature
+module Counters = Rar_util.Counters
 
 let complement_limit = 64
+
+let default_max_candidates = 32
 
 (* One algebraic division attempt of f by the given lifted divisor cover,
    substituting the literal [d_lit] for it on success. *)
@@ -26,12 +31,17 @@ let attempt net ~f ~d_cover ~d_lit =
       end
   end
 
-let try_substitute ?(use_complement = true) net ~f ~d =
+let try_substitute ?(use_complement = true) ?cache net ~f ~d =
+  let depends_on d f =
+    match cache with
+    | Some c -> Fanin_cache.depends_on c d ~on:f
+    | None -> Network.depends_on net d f
+  in
   if
     f = d
     || Network.is_input net f
     || Network.is_input net d
-    || Network.depends_on net d f
+    || depends_on d f
   then false
   else begin
     let d_cover = Lift.cover net d in
@@ -47,23 +57,77 @@ let try_substitute ?(use_complement = true) net ~f ~d =
     else false
   end
 
-let run ?use_complement ?(max_passes = 4) net =
+(* Candidate divisors for one dividend. Unfiltered (the seed behaviour)
+   every logic node is tried in id order; with the signature engine,
+   incompatible pairs are dropped and the survivors are ranked by
+   signature overlap, keeping the top [max_candidates]. *)
+let candidates ~counters ~cache ?sigs ~use_complement ~max_candidates net
+    ~f ~nodes =
+  match sigs with
+  | None -> nodes
+  | Some s ->
+    Counters.timed counters `Filter @@ fun () ->
+    let scored =
+      List.filter_map
+        (fun d ->
+          if d = f || not (Network.mem net d) then None
+          else begin
+            counters.Counters.pairs_considered <-
+              counters.Counters.pairs_considered + 1;
+            if
+              Fanin_cache.depends_on cache d ~on:f
+              || not (Signature.compatible s ~use_complement ~f ~d)
+            then begin
+              counters.Counters.pairs_filtered <-
+                counters.Counters.pairs_filtered + 1;
+              None
+            end
+            else Some (d, Signature.score s ~use_complement ~f ~d)
+          end)
+        nodes
+    in
+    let sorted = List.sort (fun (_, a) (_, b) -> Int.compare b a) scored in
+    List.filteri (fun i _ -> i < max_candidates) (List.map fst sorted)
+
+let run ?(use_complement = true) ?(use_filter = true)
+    ?(max_candidates = default_max_candidates) ?(max_passes = 4) ?counters
+    net =
+  let counters =
+    match counters with Some c -> c | None -> Counters.create ()
+  in
+  let cache = Fanin_cache.create net in
+  let sigs = if use_filter then Some (Signature.create net) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Signature.detach sigs)
+  @@ fun () ->
   let substitutions = ref 0 in
   let pass () =
     let changed = ref false in
     let nodes = List.sort Int.compare (Network.logic_ids net) in
     List.iter
       (fun f ->
-        List.iter
-          (fun d ->
-            if
-              Network.mem net f && Network.mem net d
-              && try_substitute ?use_complement net ~f ~d
-            then begin
-              incr substitutions;
-              changed := true
-            end)
-          nodes)
+        if Network.mem net f then begin
+          let divisors =
+            candidates ~counters ~cache ?sigs ~use_complement
+              ~max_candidates net ~f ~nodes
+          in
+          List.iter
+            (fun d ->
+              if Network.mem net f && Network.mem net d then begin
+                let ok =
+                  Counters.timed counters `Division @@ fun () ->
+                  counters.Counters.divisions_attempted <-
+                    counters.Counters.divisions_attempted + 1;
+                  try_substitute ~use_complement ~cache net ~f ~d
+                in
+                if ok then begin
+                  incr substitutions;
+                  counters.Counters.substitutions <-
+                    counters.Counters.substitutions + 1;
+                  changed := true
+                end
+              end)
+            divisors
+        end)
       nodes;
     !changed
   in

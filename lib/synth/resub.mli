@@ -1,19 +1,40 @@
 (** Algebraic resubstitution: the SIS [resub -d] baseline of the paper.
 
-    For every node [f] and every other node [d] (and, with
+    For every node [f] and candidate divisor [d] (and, with
     [use_complement], its complement — the [-d] flag), compute the
     algebraic (weak) quotient of [f] by [d] in the shared variable space;
     when it is non-zero, rewrite [f = q·d + r] and keep the rewrite if it
     lowers the factored literal count. Purely algebraic: none of the
-    Boolean identities or don't cares of the main algorithm are used. *)
+    Boolean identities or don't cares of the main algorithm are used.
+
+    By default divisor candidates are pruned with the simulation-signature
+    filter ({!Logic_sim.Signature}): per dividend, incompatible divisors
+    are skipped and the rest are ranked by signature overlap, keeping the
+    best [max_candidates] instead of attempting division against every
+    node pair. [use_filter:false] restores the seed's exhaustive
+    pair scan for A/B runs. *)
 
 val try_substitute :
   ?use_complement:bool ->
+  ?cache:Logic_network.Fanin_cache.t ->
   Logic_network.Network.t ->
   f:Logic_network.Network.node_id ->
   d:Logic_network.Network.node_id ->
   bool
+(** One division attempt, committed on positive factored gain. An
+    optional {!Logic_network.Fanin_cache} serves the cycle check. *)
 
-val run : ?use_complement:bool -> ?max_passes:int -> Logic_network.Network.t -> int
+val default_max_candidates : int
+
+val run :
+  ?use_complement:bool ->
+  ?use_filter:bool ->
+  ?max_candidates:int ->
+  ?max_passes:int ->
+  ?counters:Rar_util.Counters.t ->
+  Logic_network.Network.t ->
+  int
 (** Returns the number of substitutions committed. [use_complement]
-    defaults to [true] (i.e., [resub -d]). *)
+    defaults to [true] (i.e., [resub -d]); [use_filter] to [true];
+    [max_candidates] (filtered runs only) to {!default_max_candidates}.
+    Pair/division tallies accumulate into [counters] when given. *)

@@ -50,14 +50,29 @@ let run ?resub net steps =
         match resub with Some command -> command net | None -> ()))
     steps
 
-let resub_algebraic net = ignore (Resub.run ~use_complement:true net)
+type resub_method = Algebraic | Basic | Ext | Ext_gdc
 
-let resub_basic net =
-  ignore (Booldiv.Substitute.run ~config:Booldiv.Substitute.basic_config net)
+let resub_methods =
+  [ ("sis", Algebraic); ("basic", Basic); ("ext", Ext); ("ext-gdc", Ext_gdc) ]
 
-let resub_ext net =
-  ignore (Booldiv.Substitute.run ~config:Booldiv.Substitute.extended_config net)
+let resub_command ?(use_filter = true) ?counters meth net =
+  match meth with
+  | Algebraic ->
+    ignore (Resub.run ~use_complement:true ~use_filter ?counters net)
+  | Basic | Ext | Ext_gdc ->
+    let base =
+      match meth with
+      | Basic -> Booldiv.Substitute.basic_config
+      | Ext -> Booldiv.Substitute.extended_config
+      | Ext_gdc | Algebraic -> Booldiv.Substitute.extended_gdc_config
+    in
+    let config = { base with Booldiv.Substitute.use_filter } in
+    ignore (Booldiv.Substitute.run ~config ?counters net)
 
-let resub_ext_gdc net =
-  ignore
-    (Booldiv.Substitute.run ~config:Booldiv.Substitute.extended_gdc_config net)
+let resub_algebraic net = resub_command Algebraic net
+
+let resub_basic net = resub_command Basic net
+
+let resub_ext net = resub_command Ext net
+
+let resub_ext_gdc net = resub_command Ext_gdc net

@@ -41,6 +41,22 @@ val run : ?resub:resub_command -> Logic_network.Network.t -> step list -> unit
 (** Execute a script in place. [Resub] steps do nothing unless [resub] is
     provided. *)
 
+type resub_method = Algebraic | Basic | Ext | Ext_gdc
+
+val resub_methods : (string * resub_method) list
+(** CLI spellings of the four methods ([sis], [basic], [ext],
+    [ext-gdc]). *)
+
+val resub_command :
+  ?use_filter:bool ->
+  ?counters:Rar_util.Counters.t ->
+  resub_method ->
+  resub_command
+(** Build a resubstitution command. [use_filter] toggles the
+    simulation-signature divisor filter (default on); [counters]
+    accumulates pair/division tallies across the run for reporting. The
+    four constants below are [resub_command] with the defaults. *)
+
 val resub_algebraic : resub_command
 (** SIS [resub -d]: the baseline. *)
 

@@ -1,0 +1,50 @@
+type t = {
+  mutable pairs_considered : int;
+  mutable pairs_filtered : int;
+  mutable divisions_attempted : int;
+  mutable substitutions : int;
+  mutable filter_seconds : float;
+  mutable division_seconds : float;
+}
+
+let create () =
+  {
+    pairs_considered = 0;
+    pairs_filtered = 0;
+    divisions_attempted = 0;
+    substitutions = 0;
+    filter_seconds = 0.0;
+    division_seconds = 0.0;
+  }
+
+let accumulate dst src =
+  dst.pairs_considered <- dst.pairs_considered + src.pairs_considered;
+  dst.pairs_filtered <- dst.pairs_filtered + src.pairs_filtered;
+  dst.divisions_attempted <- dst.divisions_attempted + src.divisions_attempted;
+  dst.substitutions <- dst.substitutions + src.substitutions;
+  dst.filter_seconds <- dst.filter_seconds +. src.filter_seconds;
+  dst.division_seconds <- dst.division_seconds +. src.division_seconds
+
+let timed t field f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  let elapsed = Unix.gettimeofday () -. start in
+  (match field with
+  | `Filter -> t.filter_seconds <- t.filter_seconds +. elapsed
+  | `Division -> t.division_seconds <- t.division_seconds +. elapsed);
+  result
+
+let to_string t =
+  Printf.sprintf
+    "pairs %d (filtered %d), divisions %d, substitutions %d, filter %.2fs, \
+     division %.2fs"
+    t.pairs_considered t.pairs_filtered t.divisions_attempted t.substitutions
+    t.filter_seconds t.division_seconds
+
+let to_json t =
+  Printf.sprintf
+    "{\"pairs_considered\": %d, \"pairs_filtered\": %d, \
+     \"divisions_attempted\": %d, \"substitutions\": %d, \
+     \"filter_seconds\": %.6f, \"division_seconds\": %.6f}"
+    t.pairs_considered t.pairs_filtered t.divisions_attempted t.substitutions
+    t.filter_seconds t.division_seconds

@@ -1,0 +1,33 @@
+(** Shared performance counters for the substitution pipelines.
+
+    One mutable record threaded through a resubstitution run so the cost
+    of divisor filtering is observable: how many (dividend, divisor) pairs
+    were examined, how many the signature/structural filter rejected
+    before any division ran, how many divisions were actually attempted
+    and committed, and the wall-clock split between filtering and
+    division. *)
+
+type t = {
+  mutable pairs_considered : int;
+  mutable pairs_filtered : int;  (** rejected before any division *)
+  mutable divisions_attempted : int;
+  mutable substitutions : int;  (** committed rewrites *)
+  mutable filter_seconds : float;
+  mutable division_seconds : float;
+}
+
+val create : unit -> t
+(** All-zero counters. *)
+
+val accumulate : t -> t -> unit
+(** [accumulate dst src] adds [src]'s tallies into [dst]. *)
+
+val timed : t -> [ `Filter | `Division ] -> (unit -> 'a) -> 'a
+(** Run a thunk and add its elapsed wall-clock time to the chosen
+    bucket. *)
+
+val to_string : t -> string
+(** One-line human-readable summary. *)
+
+val to_json : t -> string
+(** JSON object with the six fields (for the bench harness). *)
