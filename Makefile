@@ -6,11 +6,15 @@ all:
 test:
 	dune runtest
 
-# Full local CI: build, tests, and the quick machine-readable perf
-# snapshot (writes BENCH_resub.json for cross-PR trajectory tracking).
+# Full local CI: build, tests, the jobs=1 vs jobs=max determinism gate
+# (literal totals must be identical), and the quick machine-readable
+# perf snapshot (writes BENCH_resub.json for cross-PR trajectory
+# tracking; fails if total cpu_seconds regresses >20% vs the previous
+# snapshot at jobs=1).
 ci:
 	dune build @all
 	dune runtest
+	dune exec bench/main.exe -- jobscheck quick
 	dune exec bench/main.exe -- bench quick
 
 bench:

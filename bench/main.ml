@@ -7,8 +7,12 @@
      main.exe table2 table5   run selected sections
      main.exe quick           tables on the small row subset only
      main.exe bench quick     write the BENCH_resub.json perf snapshot
+     main.exe jobscheck quick parallel-vs-sequential determinism gate
    Sections: fig1 fig2 table1 fig4 table2 table3 table4 table5 ablation
-   bech bench *)
+   bech bench jobscheck
+   Options (key=value): jobs=N (bench parallelism, default 1; snapshots at
+   jobs=1 are also gated >20%% CPU-regression against the previous file),
+   sim-seed=N (signature-filter seed). *)
 
 open Twolevel
 module Network = Logic_network.Network
@@ -409,12 +413,70 @@ let ablations () =
 (* bench - machine-readable perf snapshot (BENCH_resub.json)           *)
 (* ------------------------------------------------------------------ *)
 
+(* The previous snapshot's per-method total cpu_seconds, for the
+   regression gate. Parsed by hand (no JSON dependency): every
+   "cpu_seconds" occurrence after the "totals" marker belongs to a
+   per-method total record. *)
+let previous_total_cpu path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let content =
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let totals_at =
+      let marker = "\"totals\"" in
+      let rec find i =
+        if i + String.length marker > String.length content then None
+        else if String.sub content i (String.length marker) = marker then
+          Some i
+        else find (i + 1)
+      in
+      find 0
+    in
+    (match totals_at with
+    | None -> None
+    | Some start ->
+      let key = "\"cpu_seconds\": " in
+      let sum = ref 0.0 and found = ref false in
+      let rec scan i =
+        if i + String.length key > String.length content then ()
+        else if String.sub content i (String.length key) = key then begin
+          let j = ref (i + String.length key) in
+          let k = ref !j in
+          while
+            !k < String.length content
+            && (match content.[!k] with
+               | '0' .. '9' | '.' | '-' | 'e' | '+' -> true
+               | _ -> false)
+          do
+            incr k
+          done;
+          (match float_of_string_opt (String.sub content !j (!k - !j)) with
+          | Some v ->
+            sum := !sum +. v;
+            found := true
+          | None -> ());
+          scan !k
+        end
+        else scan (i + 1)
+      in
+      scan start;
+      if !found then Some !sum else None)
+
+let cpu_regression_limit = 1.20
+
 (* Emits one JSON record per (circuit, method) cell plus per-method
    totals: factored literals, CPU seconds, verification status, and the
    divisor-filter counters, so successive PRs can diff resub wall-clock
-   and filtered-pair counts mechanically. *)
-let bench_json ?(path = "BENCH_resub.json") rows =
+   and filtered-pair counts mechanically. At [jobs = 1] the run is also
+   gated against the previous snapshot: >20% total-CPU regression fails. *)
+let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed rows =
   section "bench - machine-readable resub snapshot";
+  let baseline_cpu = if jobs = 1 then previous_total_cpu path else None in
   let cells =
     List.map
       (fun row ->
@@ -428,7 +490,8 @@ let bench_json ?(path = "BENCH_resub.json") rows =
               let counters = Rar_util.Counters.create () in
               let (), cpu =
                 Rar_util.Stopwatch.time (fun () ->
-                    Synth.Script.resub_command ~counters meth scratch)
+                    Synth.Script.resub_command ~jobs ?sim_seed ~counters meth
+                      scratch)
               in
               let lits = Lit_count.factored scratch in
               let ok = Equiv.equivalent scratch net in
@@ -470,7 +533,7 @@ let bench_json ?(path = "BENCH_resub.json") rows =
       name lits cpu ok
       (Rar_util.Counters.to_json counters)
   in
-  Buffer.add_string buffer "{\n  \"circuits\": [\n";
+  Buffer.add_string buffer (Printf.sprintf "{\n  \"jobs\": %d,\n  \"circuits\": [\n" jobs);
   List.iteri
     (fun i (circuit, init, per_method) ->
       Buffer.add_string buffer
@@ -491,14 +554,83 @@ let bench_json ?(path = "BENCH_resub.json") rows =
   let oc = open_out path in
   output_string oc (Buffer.contents buffer);
   close_out oc;
-  Printf.printf "\nwrote %s (%d circuits x %d methods)\n" path
-    (List.length cells) (List.length method_names);
+  Printf.printf "\nwrote %s (%d circuits x %d methods, jobs=%d)\n" path
+    (List.length cells) (List.length method_names) jobs;
   List.iter
     (fun (name, lits, cpu, ok, counters) ->
       Printf.printf "  %-8s %5d lits  %6.2fs  %s  [%s]\n" name lits cpu
         (if ok then "ok" else "FAIL")
         (Rar_util.Counters.to_string counters))
-    totals
+    totals;
+  let new_cpu =
+    List.fold_left (fun acc (_, _, cpu, _, _) -> acc +. cpu) 0.0 totals
+  in
+  match baseline_cpu with
+  | None -> ()
+  | Some old_cpu ->
+    Printf.printf "total cpu: %.2fs (previous snapshot: %.2fs)\n" new_cpu
+      old_cpu;
+    if old_cpu > 0.0 && new_cpu > old_cpu *. cpu_regression_limit then begin
+      Printf.printf
+        "PERF REGRESSION: total cpu_seconds grew by more than %.0f%%\n"
+        ((cpu_regression_limit -. 1.0) *. 100.0);
+      exit 3
+    end
+
+(* ------------------------------------------------------------------ *)
+(* jobscheck - parallel runs must be bit-identical to sequential ones   *)
+(* ------------------------------------------------------------------ *)
+
+let jobs_check rows =
+  let jmax = max 4 (Rar_util.Pool.default_jobs ()) in
+  section
+    (Printf.sprintf "jobscheck - jobs=1 vs jobs=%d determinism gate" jmax);
+  let failures = ref 0 in
+  let totals_seq = ref 0 and totals_par = ref 0 in
+  List.iter
+    (fun row ->
+      let net = Suite.build row in
+      Synth.Script.run net Synth.Script.script_a;
+      List.iter
+        (fun (name, meth) ->
+          let seq = Network.copy net and par = Network.copy net in
+          let (), cpu_seq =
+            Rar_util.Stopwatch.time (fun () ->
+                Synth.Script.resub_command ~jobs:1 meth seq)
+          in
+          let (), cpu_par =
+            Rar_util.Stopwatch.time (fun () ->
+                Synth.Script.resub_command ~jobs:jmax meth par)
+          in
+          let lits_seq = Lit_count.factored seq in
+          let lits_par = Lit_count.factored par in
+          let identical =
+            lits_seq = lits_par
+            && Network.to_string seq = Network.to_string par
+          in
+          let ok = Equiv.equivalent par net in
+          totals_seq := !totals_seq + lits_seq;
+          totals_par := !totals_par + lits_par;
+          if not (identical && ok) then incr failures;
+          Printf.printf
+            "  %-12s %-8s seq %4d lits %6.2fs | par %4d lits %6.2fs  %s\n"
+            row.Suite.name name lits_seq cpu_seq lits_par cpu_par
+            (if identical && ok then "identical"
+             else if not identical then "DIFFERS"
+             else "NOT EQUIVALENT");
+          ignore cpu_seq)
+        Synth.Script.resub_methods)
+    rows;
+  Printf.printf "literal totals: jobs=1 %d, jobs=%d %d\n" !totals_seq jmax
+    !totals_par;
+  if !failures > 0 then begin
+    Printf.printf "jobscheck: %d cell(s) FAILED the determinism gate\n"
+      !failures;
+    exit 4
+  end
+  else
+    Printf.printf
+      "jobscheck: all cells bit-identical and equivalence-checked\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel benches - one per table                                    *)
@@ -568,6 +700,32 @@ let bechamel () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* key=value tokens steer the bench snapshot; plain words select
+     sections. *)
+  let kv key tok =
+    let prefix = key ^ "=" in
+    if String.starts_with ~prefix tok then
+      int_of_string_opt
+        (String.sub tok (String.length prefix)
+           (String.length tok - String.length prefix))
+    else None
+  in
+  let jobs =
+    List.fold_left
+      (fun acc tok -> match kv "jobs" tok with Some n -> max 1 n | None -> acc)
+      1 args
+  in
+  let sim_seed =
+    List.fold_left
+      (fun acc tok ->
+        match kv "sim-seed" tok with Some n -> Some n | None -> acc)
+      None args
+  in
+  let args =
+    List.filter
+      (fun tok -> kv "jobs" tok = None && kv "sim-seed" tok = None)
+      args
+  in
   let quick = List.mem "quick" args in
   let rows = if quick then Suite.quick_rows else Suite.rows in
   let explicit = List.filter (fun a -> a <> "quick") args in
@@ -590,6 +748,7 @@ let () =
   if selected "table5" then table_v rows;
   if selected "ablation" then ablations ();
   if selected "bech" then bechamel ();
+  if List.mem "jobscheck" explicit then jobs_check rows;
   (* JSON snapshot only on explicit request: it is a CI artifact, not part
      of the default figure/table regeneration. *)
-  if List.mem "bench" explicit then bench_json rows
+  if List.mem "bench" explicit then bench_json ~jobs ?sim_seed rows

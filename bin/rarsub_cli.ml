@@ -124,7 +124,8 @@ let resubs =
   @ [ ("rar", `Other (fun net -> ignore (Rewiring.Rar.optimize net))) ]
 
 let optimize_cmd =
-  let run circuit file script method_name no_filter output verify verbose =
+  let run circuit file script method_name no_filter jobs sim_seed output
+      verify verbose =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
@@ -137,12 +138,17 @@ let optimize_cmd =
       let original = Network.copy net in
       let steps = List.assoc script scripts in
       let counters = Rar_util.Counters.create () in
+      let jobs =
+        match jobs with
+        | Some n -> max 1 n
+        | None -> 1
+      in
       let resub =
         match List.assoc method_name resubs with
         | `Other command -> command
         | `Method meth ->
-          Synth.Script.resub_command ~use_filter:(not no_filter) ~counters
-            meth
+          Synth.Script.resub_command ~use_filter:(not no_filter) ~jobs
+            ~sim_seed ~counters meth
       in
       Printf.printf "initial: %d factored literals\n" (Lit_count.factored net);
       let (), script_time =
@@ -194,6 +200,23 @@ let optimize_cmd =
             "Disable the simulation-signature divisor filter (seed-style \
              exhaustive candidate ranking) for A/B comparisons.")
   in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Evaluate ranked divisor candidates speculatively on $(docv) \
+             domains (default 1). Results are bit-identical for any value; \
+             use 0 or a negative value for 1.")
+  in
+  let sim_seed_arg =
+    Arg.(
+      value
+      & opt int Logic_sim.Signature.default_seed
+      & info [ "sim-seed" ] ~docv:"SEED"
+          ~doc:"RNG seed for the simulation-signature divisor filter.")
+  in
   let output_arg =
     Arg.(
       value
@@ -214,7 +237,8 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Optimise a circuit with a script and a method.")
     Term.(
       const run $ circuit_arg $ file_arg $ script_arg $ method_arg
-      $ no_filter_flag $ output_arg $ verify_flag $ verbose_flag)
+      $ no_filter_flag $ jobs_arg $ sim_seed_arg $ output_arg $ verify_flag
+      $ verbose_flag)
 
 let () =
   let info =

@@ -159,14 +159,20 @@ let find_test net wire =
   | Logic_sim.Equiv.Equivalent -> None
   | Logic_sim.Equiv.Counterexample assignment -> Some assignment
 
-let redundant ?(use_dominators = true) ?(learn_depth = 0) ?region ?(extra = [])
-    net wire =
+let redundant ?(use_dominators = true) ?(learn_depth = 0) ?region ?engine
+    ?counters ?(extra = []) net wire =
   let faulty_node =
     match wire with Literal_wire { node; _ } | Cube_wire { node; _ } -> node
   in
   let tfo = Network.transitive_fanout net [ faulty_node ] in
   let frozen n = Node_set.mem n tfo in
-  let engine = Imply.create ?region ~frozen net in
+  let engine =
+    match engine with
+    | Some e when Imply.network e == net ->
+      Imply.reset ~frozen e;
+      e
+    | Some _ | None -> Imply.create ?region ~frozen ?counters net
+  in
   let assignments =
     activation_assignments net wire
     @ (if use_dominators then propagation_assignments net faulty_node else [])

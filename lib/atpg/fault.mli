@@ -61,6 +61,8 @@ val redundant :
   ?use_dominators:bool ->
   ?learn_depth:int ->
   ?region:(Logic_network.Network.node_id -> bool) ->
+  ?engine:Imply.t ->
+  ?counters:Rar_util.Counters.t ->
   ?extra:assignment list ->
   Logic_network.Network.t ->
   wire ->
@@ -69,4 +71,9 @@ val redundant :
     proven untestable: the mandatory assignments (activation, and
     propagation when [use_dominators], default [true]) plus [extra]
     assumptions produce an implication conflict. [learn_depth] (default 0)
-    enables recursive learning. One-sided: [false] means "not proven". *)
+    enables recursive learning. One-sided: [false] means "not proven".
+
+    When [engine] is a pooled arena over the {e same} network (physical
+    equality; its region must match [region]), it is {!Imply.reset} with
+    this fault's frozen set and reused instead of building a fresh engine;
+    otherwise a fresh one is created and [counters] records the build. *)

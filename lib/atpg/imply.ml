@@ -1,43 +1,134 @@
 open Twolevel
 module Network = Logic_network.Network
+module Counters = Rar_util.Counters
 
 exception Conflict of string
 
+(* Three-valued node/cube state packed in bytes. *)
+let v_unknown = '\000'
+
+let v_false = '\001'
+
+let v_true = '\002'
+
+let encode v = if v then v_true else v_false
+
+let decode = function
+  | '\001' -> Some false
+  | '\002' -> Some true
+  | _ -> None
+
+(* The engine is an arena: every node of the network owns a slot, values
+   live in dense byte arrays indexed by slot (cubes in one flat array laid
+   out by [cube_off]), and every assignment is logged on an undo trail so
+   the state between redundancy tests is restored in O(assignments)
+   instead of rebuilding O(network) hashtables per test. The propagation
+   queue is a ring buffer over slots, giving stable FIFO (levelized)
+   implication order instead of the legacy LIFO cons-list. *)
 type t = {
   net : Network.t;
   region : Network.node_id -> bool;
-  frozen : Network.node_id -> bool;
-  node_values : (Network.node_id, bool) Hashtbl.t;
-  cube_values : (Network.node_id * int, bool) Hashtbl.t;
-  cubes_of : (Network.node_id, Cube.t array) Hashtbl.t;
-  mutable queue : Network.node_id list;
-  queued : (Network.node_id, unit) Hashtbl.t;
+  mutable frozen : Network.node_id -> bool;
+  counters : Counters.t option;
+  (* Structure mirrors the network at [built_revision]; [reset] rebuilds
+     it when the network has mutated since. Shared by learn-copies. *)
+  mutable built_revision : int;
+  mutable slot : int array;  (* node id -> slot (-1 when unknown) *)
+  mutable node_of : int array;  (* slot -> node id *)
+  mutable nslots : int;
+  mutable is_input : Bytes.t;  (* slot -> 0/1 *)
+  mutable fanins_of : Network.node_id array array;
+  mutable fanouts_of : Network.node_id array array;
+  mutable cubes_of : Cube.t array array;  (* [||] for inputs *)
+  mutable cube_off : int array;  (* slot -> first flat cube index *)
+  mutable base_queue : int array;  (* queue right after constant seeding *)
+  (* Per-test state (private to each learn-copy). *)
+  mutable node_val : Bytes.t;  (* slot -> value *)
+  mutable cube_val : Bytes.t;  (* flat cube index -> value *)
+  mutable queue : int array;  (* ring buffer of slots *)
+  mutable q_head : int;
+  mutable q_len : int;
+  mutable queued : Bytes.t;  (* slot -> pending flag *)
+  mutable trail : int array;  (* slot s, or nslots + flat cube index *)
+  mutable trail_len : int;
 }
 
-let enqueue t id =
-  if not (Hashtbl.mem t.queued id) then begin
-    Hashtbl.add t.queued id ();
-    t.queue <- id :: t.queue
+let network t = t.net
+
+let slot_exn t id =
+  let s = if id < Array.length t.slot then t.slot.(id) else -1 in
+  if s < 0 then
+    invalid_arg (Printf.sprintf "Imply: node %d unknown to the arena" id)
+  else s
+
+let enqueue_slot t s =
+  if Bytes.get t.queued s = '\000' then begin
+    Bytes.set t.queued s '\001';
+    let cap = Array.length t.queue in
+    let tail = t.q_head + t.q_len in
+    t.queue.(if tail >= cap then tail - cap else tail) <- s;
+    t.q_len <- t.q_len + 1
   end
 
-let create ?(region = fun _ -> true) ?(frozen = fun _ -> false) net =
-  let t =
-    {
-      net;
-      region;
-      frozen;
-      node_values = Hashtbl.create 64;
-      cube_values = Hashtbl.create 64;
-      cubes_of = Hashtbl.create 64;
-      queue = [];
-      queued = Hashtbl.create 64;
-    }
-  in
-  (* Seed constant nodes: their value holds unconditionally, and a node
-     whose only fanins are constants would otherwise never be examined. *)
-  List.iter
-    (fun id ->
-      if not (Network.is_input net id) then begin
+let enqueue t id = enqueue_slot t (slot_exn t id)
+
+(* (Re)build the arena from the network's current structure and seed the
+   constant nodes: their value holds unconditionally, and a node whose
+   only fanins are constants would otherwise never be examined. Matching
+   the legacy [create], the constants' region fanouts are left pending on
+   the queue for the first propagation run to drain. *)
+let build t =
+  let net = t.net in
+  let ids = List.sort Int.compare (Network.node_ids net) in
+  let nslots = List.length ids in
+  let max_id = List.fold_left max (-1) ids in
+  let slot = Array.make (max_id + 1) (-1) in
+  let node_of = Array.make (max 1 nslots) 0 in
+  List.iteri
+    (fun s id ->
+      node_of.(s) <- id;
+      slot.(id) <- s)
+    ids;
+  let is_input = Bytes.make (max 1 nslots) '\000' in
+  let fanins_of = Array.make (max 1 nslots) [||] in
+  let fanouts_of = Array.make (max 1 nslots) [||] in
+  let cubes_of = Array.make (max 1 nslots) [||] in
+  let cube_off = Array.make (max 1 (nslots + 1)) 0 in
+  let total_cubes = ref 0 in
+  List.iteri
+    (fun s id ->
+      cube_off.(s) <- !total_cubes;
+      fanouts_of.(s) <- Array.of_list (Network.fanouts net id);
+      if Network.is_input net id then Bytes.set is_input s '\001'
+      else begin
+        fanins_of.(s) <- Network.fanins net id;
+        let cubes = Array.of_list (Cover.cubes (Network.cover net id)) in
+        cubes_of.(s) <- cubes;
+        total_cubes := !total_cubes + Array.length cubes
+      end)
+    ids;
+  if nslots > 0 then cube_off.(nslots) <- !total_cubes;
+  t.built_revision <- Network.revision net;
+  t.slot <- slot;
+  t.node_of <- node_of;
+  t.nslots <- nslots;
+  t.is_input <- is_input;
+  t.fanins_of <- fanins_of;
+  t.fanouts_of <- fanouts_of;
+  t.cubes_of <- cubes_of;
+  t.cube_off <- cube_off;
+  t.node_val <- Bytes.make (max 1 nslots) v_unknown;
+  t.cube_val <- Bytes.make (max 1 !total_cubes) v_unknown;
+  t.queue <- Array.make (max 1 nslots) 0;
+  t.q_head <- 0;
+  t.q_len <- 0;
+  t.queued <- Bytes.make (max 1 nslots) '\000';
+  t.trail <- Array.make (max 1 (nslots + !total_cubes)) 0;
+  t.trail_len <- 0;
+  (* Constant seeding (not trailed: part of the reusable baseline). *)
+  List.iteri
+    (fun s id ->
+      if Bytes.get t.is_input s = '\000' then begin
         let cover = Network.cover net id in
         let value =
           if Cover.is_zero cover then Some false
@@ -46,129 +137,191 @@ let create ?(region = fun _ -> true) ?(frozen = fun _ -> false) net =
         in
         match value with
         | Some v ->
-          Hashtbl.replace t.node_values id v;
-          List.iter
-            (fun out -> if region out then enqueue t out)
-            (Network.fanouts net id)
+          Bytes.set t.node_val s (encode v);
+          Array.iter
+            (fun out -> if t.region out then enqueue t out)
+            t.fanouts_of.(s)
         | None -> ()
       end)
-    (Network.node_ids net);
+    ids;
+  t.base_queue <- Array.init t.q_len (fun i -> t.queue.(i));
+  (match t.counters with
+  | Some c -> c.Counters.imply_creates <- c.Counters.imply_creates + 1
+  | None -> ())
+
+let create ?(region = fun _ -> true) ?(frozen = fun _ -> false) ?counters net
+    =
+  let t =
+    {
+      net;
+      region;
+      frozen;
+      counters;
+      built_revision = -1;
+      slot = [||];
+      node_of = [||];
+      nslots = 0;
+      is_input = Bytes.empty;
+      fanins_of = [||];
+      fanouts_of = [||];
+      cubes_of = [||];
+      cube_off = [||];
+      base_queue = [||];
+      node_val = Bytes.empty;
+      cube_val = Bytes.empty;
+      queue = [||];
+      q_head = 0;
+      q_len = 0;
+      queued = Bytes.empty;
+      trail = [||];
+      trail_len = 0;
+    }
+  in
+  build t;
   t
 
-let cubes t id =
-  match Hashtbl.find_opt t.cubes_of id with
-  | Some c -> c
-  | None ->
-    let c = Array.of_list (Cover.cubes (Network.cover t.net id)) in
-    Hashtbl.add t.cubes_of id c;
-    c
-
-(* Constant nodes (cover 0, or containing the top cube) have a value
-   independent of any assignment. *)
-let constant_value t id =
-  if Network.is_input t.net id then None
+let reset ?frozen t =
+  (match frozen with Some f -> t.frozen <- f | None -> ());
+  if Network.revision t.net <> t.built_revision then build t
   else begin
-    let cover = Network.cover t.net id in
-    if Cover.is_zero cover then Some false
-    else if Cover.is_one cover then Some true
-    else None
+    (* Undo the trail, flush the queue, and re-arm the constants'
+       pending fanouts — O(assignments + queue), not O(network). *)
+    for k = t.trail_len - 1 downto 0 do
+      let e = t.trail.(k) in
+      if e < t.nslots then Bytes.set t.node_val e v_unknown
+      else Bytes.set t.cube_val (e - t.nslots) v_unknown
+    done;
+    t.trail_len <- 0;
+    let cap = Array.length t.queue in
+    while t.q_len > 0 do
+      let s = t.queue.(t.q_head) in
+      Bytes.set t.queued s '\000';
+      t.q_head <- (if t.q_head + 1 >= cap then 0 else t.q_head + 1);
+      t.q_len <- t.q_len - 1
+    done;
+    t.q_head <- 0;
+    Array.iter
+      (fun s ->
+        Bytes.set t.queued s '\001';
+        t.queue.(t.q_len) <- s;
+        t.q_len <- t.q_len + 1)
+      t.base_queue;
+    (match t.counters with
+    | Some c -> c.Counters.imply_resets <- c.Counters.imply_resets + 1
+    | None -> ())
   end
 
-let node_value t id =
-  match Hashtbl.find_opt t.node_values id with
-  | Some v -> Some v
-  | None -> constant_value t id
+let cubes t id = t.cubes_of.(slot_exn t id)
 
-let cube_value t id i = Hashtbl.find_opt t.cube_values (id, i)
+let node_value_slot t s = decode (Bytes.get t.node_val s)
+
+let node_value t id =
+  let s = if id < Array.length t.slot then t.slot.(id) else -1 in
+  if s < 0 then None else node_value_slot t s
+
+let cube_value_slot t s i = decode (Bytes.get t.cube_val (t.cube_off.(s) + i))
+
+let cube_value t id i =
+  let s = if id < Array.length t.slot then t.slot.(id) else -1 in
+  if s < 0 then None else cube_value_slot t s i
 
 let assigned_nodes t =
-  Hashtbl.fold (fun id v acc -> (id, v) :: acc) t.node_values []
+  let acc = ref [] in
+  for s = t.nslots - 1 downto 0 do
+    match node_value_slot t s with
+    | Some v -> acc := (t.node_of.(s), v) :: !acc
+    | None -> ()
+  done;
+  !acc
 
-(* Record a node value; queue the node and its fanouts for re-examination. *)
-let rec set_node t id v =
-  match node_value t id with
-  | Some v' when v' = v ->
-    if not (Hashtbl.mem t.node_values id) then begin
-      (* A constant's value becomes explicit so fanouts re-examine it. *)
-      Hashtbl.replace t.node_values id v;
-      List.iter
-        (fun out -> if t.region out then enqueue t out)
-        (Network.fanouts t.net id)
-    end
+let push_trail t e =
+  t.trail.(t.trail_len) <- e;
+  t.trail_len <- t.trail_len + 1
+
+(* Record a node value; queue the node and its fanouts for re-examination.
+   Constants are pre-seeded with their fanouts pending, so re-asserting
+   one is a no-op (as in the legacy engine after its [create]). *)
+let set_node t id v =
+  let s = slot_exn t id in
+  match node_value_slot t s with
+  | Some v' when v' = v -> ()
   | Some _ ->
     raise
       (Conflict (Printf.sprintf "node %s needs both 0 and 1" (Network.name t.net id)))
   | None ->
-    Hashtbl.replace t.node_values id v;
-    if t.region id then enqueue t id;
-    List.iter (fun out -> if t.region out then enqueue t out) (Network.fanouts t.net id)
+    Bytes.set t.node_val s (encode v);
+    push_trail t s;
+    if t.region id then enqueue_slot t s;
+    Array.iter
+      (fun out -> if t.region out then enqueue t out)
+      t.fanouts_of.(s)
 
-and set_cube t id i v =
-  match cube_value t id i with
+let set_cube t id i v =
+  let s = slot_exn t id in
+  match cube_value_slot t s i with
   | Some v' when v' = v -> ()
   | Some _ ->
     raise
       (Conflict
          (Printf.sprintf "cube %d of %s needs both 0 and 1" i (Network.name t.net id)))
   | None ->
-    Hashtbl.replace t.cube_values (id, i) v;
-    if t.region id then enqueue t id
+    Bytes.set t.cube_val (t.cube_off.(s) + i) (encode v);
+    push_trail t (t.nslots + t.cube_off.(s) + i);
+    if t.region id then enqueue_slot t s
 
 (* Value of a literal of node [id]'s cube under current fanin values. *)
-and literal_value t id lit =
-  let fanins = Network.fanins t.net id in
-  match node_value t fanins.(Literal.var lit) with
+let literal_value t s lit =
+  let fanin = t.fanins_of.(s).(Literal.var lit) in
+  match node_value t fanin with
   | None -> None
   | Some v -> Some (v = Literal.is_pos lit)
 
 (* All local deductions for one logic node. *)
-and process t id =
-  if (not (Network.is_input t.net id)) && t.region id then begin
-    let cube_array = cubes t id in
+let process t s =
+  let id = t.node_of.(s) in
+  if Bytes.get t.is_input s = '\000' && t.region id then begin
+    let cube_array = t.cubes_of.(s) in
+    let fanins = t.fanins_of.(s) in
     let n = Array.length cube_array in
     (* Cube-level rules. *)
     for i = 0 to n - 1 do
       let lits = Cube.literals cube_array.(i) in
-      let values = List.map (literal_value t id) lits in
+      let values = List.map (literal_value t s) lits in
       let any_false = List.exists (fun v -> v = Some false) values in
       let all_true = List.for_all (fun v -> v = Some true) values in
       if any_false then set_cube t id i false
       else if all_true then set_cube t id i true;
-      (match cube_value t id i with
+      (match cube_value_slot t s i with
       | Some true ->
         (* AND at 1: every literal must hold. *)
         List.iter
           (fun lit ->
-            set_node t
-              (Network.fanins t.net id).(Literal.var lit)
-              (Literal.is_pos lit))
+            set_node t fanins.(Literal.var lit) (Literal.is_pos lit))
           lits
       | Some false ->
         (* AND at 0 with a single free literal and all others true: the
            free literal must fail. *)
         let unknown =
-          List.filter (fun lit -> literal_value t id lit = None) lits
+          List.filter (fun lit -> literal_value t s lit = None) lits
         in
         (match unknown with
         | [ lit ]
           when List.for_all
                  (fun l ->
-                   Literal.equal l lit || literal_value t id l = Some true)
+                   Literal.equal l lit || literal_value t s l = Some true)
                  lits ->
-          set_node t
-            (Network.fanins t.net id).(Literal.var lit)
-            (not (Literal.is_pos lit))
+          set_node t fanins.(Literal.var lit) (not (Literal.is_pos lit))
         | _ -> ())
       | None -> ())
     done;
     (* Node-level rules (skipped for fault-carrying nodes). *)
     if not (t.frozen id) then begin
-      let cube_vals = Array.init n (fun i -> cube_value t id i) in
+      let cube_vals = Array.init n (fun i -> cube_value_slot t s i) in
       let any_one = Array.exists (fun v -> v = Some true) cube_vals in
       let all_zero = Array.for_all (fun v -> v = Some false) cube_vals in
       if any_one then set_node t id true;
       if all_zero then set_node t id false;
-      (match node_value t id with
+      (match node_value_slot t s with
       | Some false -> Array.iteri (fun i _ -> set_cube t id i false) cube_array
       | Some true ->
         let live =
@@ -183,16 +336,14 @@ and process t id =
   end
 
 let run t =
-  let rec drain () =
-    match t.queue with
-    | [] -> ()
-    | id :: rest ->
-      t.queue <- rest;
-      Hashtbl.remove t.queued id;
-      process t id;
-      drain ()
-  in
-  drain ()
+  let cap = Array.length t.queue in
+  while t.q_len > 0 do
+    let s = t.queue.(t.q_head) in
+    t.q_head <- (if t.q_head + 1 >= cap then 0 else t.q_head + 1);
+    t.q_len <- t.q_len - 1;
+    Bytes.set t.queued s '\000';
+    process t s
+  done
 
 let assign_node t id v =
   set_node t id v;
@@ -204,14 +355,16 @@ let assign_cube t id i v =
   set_cube t id i v;
   run t
 
+(* Snapshot for recursive learning: private per-test state is duplicated,
+   the structural arrays stay shared. *)
 let copy t =
   {
     t with
-    node_values = Hashtbl.copy t.node_values;
-    cube_values = Hashtbl.copy t.cube_values;
-    cubes_of = t.cubes_of;
-    queue = t.queue;
-    queued = Hashtbl.copy t.queued;
+    node_val = Bytes.copy t.node_val;
+    cube_val = Bytes.copy t.cube_val;
+    queue = Array.copy t.queue;
+    queued = Bytes.copy t.queued;
+    trail = Array.copy t.trail;
   }
 
 (* --- Recursive learning ------------------------------------------------ *)
@@ -226,30 +379,33 @@ let justification_options t : option_assignments list list =
     (fun id ->
       if (not (Network.is_input t.net id)) && t.region id && not (t.frozen id)
       then begin
-        let cube_array = cubes t id in
+        let s = slot_exn t id in
+        let cube_array = t.cubes_of.(s) in
         let n = Array.length cube_array in
         (* OR at 1 with several live cubes and none at 1. *)
-        (match node_value t id with
+        (match node_value_slot t s with
         | Some true ->
           let live =
             List.filter
-              (fun i -> cube_value t id i <> Some false)
+              (fun i -> cube_value_slot t s i <> Some false)
               (List.init n Fun.id)
           in
-          let already = List.exists (fun i -> cube_value t id i = Some true) live in
+          let already =
+            List.exists (fun i -> cube_value_slot t s i = Some true) live
+          in
           if (not already) && List.length live >= 2 then
             options := List.map (fun i -> [ `Cube (id, i, true) ]) live :: !options
         | Some false | None -> ());
         (* AND at 0 with several free literals. *)
         for i = 0 to n - 1 do
-          if cube_value t id i = Some false then begin
+          if cube_value_slot t s i = Some false then begin
             let lits = Cube.literals cube_array.(i) in
-            let free = List.filter (fun l -> literal_value t id l = None) lits in
+            let free = List.filter (fun l -> literal_value t s l = None) lits in
             let falsified =
-              List.exists (fun l -> literal_value t id l = Some false) lits
+              List.exists (fun l -> literal_value t s l = Some false) lits
             in
             if (not falsified) && List.length free >= 2 then begin
-              let fanins = Network.fanins t.net id in
+              let fanins = t.fanins_of.(s) in
               options :=
                 List.map
                   (fun l ->
@@ -289,19 +445,23 @@ let rec learn ?(max_options = 4) ~depth t =
             match List.filter_map try_option opts with
             | [] -> raise (Conflict "all justification options conflict")
             | first :: rest ->
-              (* Assert assignments agreed by every surviving option. *)
-              Hashtbl.iter
-                (fun id v ->
-                  if
-                    node_value t id = None
-                    && List.for_all
-                         (fun s -> Hashtbl.find_opt s.node_values id = Some v)
-                         rest
-                  then begin
-                    set_node t id v;
+              (* Assert assignments agreed by every surviving option:
+                 walk the first survivor's trail (every value it derived
+                 beyond [t]'s is on it). *)
+              for k = 0 to first.trail_len - 1 do
+                let e = first.trail.(k) in
+                if e < t.nslots then begin
+                  match node_value_slot first e with
+                  | Some v
+                    when node_value_slot t e = None
+                         && List.for_all
+                              (fun s -> node_value_slot s e = Some v)
+                              rest ->
+                    set_node t t.node_of.(e) v;
                     progressed := true
-                  end)
-                first.node_values;
+                  | Some _ | None -> ()
+                end
+              done;
               run t
           end)
         splits

@@ -19,7 +19,14 @@
        ("GDC") behaviour.}
     {- [frozen]: nodes whose value must never be derived or propagated —
        the fault-effect-carrying nodes of a stuck-at test, whose good and
-       faulty values differ.}} *)
+       faulty values differ.}}
+
+    The engine is an {e arena}: values live in dense arrays indexed by a
+    node-id→slot table and every assignment is logged on an undo trail, so
+    one engine per (network, region) is created once and {!reset} between
+    redundancy tests in O(assignments) rather than rebuilt in O(network).
+    The propagation queue is a FIFO ring buffer, giving stable levelized
+    implication order. *)
 
 type t
 
@@ -28,8 +35,24 @@ exception Conflict of string
 val create :
   ?region:(Logic_network.Network.node_id -> bool) ->
   ?frozen:(Logic_network.Network.node_id -> bool) ->
+  ?counters:Rar_util.Counters.t ->
   Logic_network.Network.t ->
   t
+(** Build an arena over the network's current structure. Counted as an
+    [imply_creates] in [counters] (as is every structural rebuild a later
+    {!reset} performs). *)
+
+val network : t -> Logic_network.Network.t
+(** The network the engine was created over (used by callers to decide
+    whether a pooled engine can be reused for the task at hand). *)
+
+val reset : ?frozen:(Logic_network.Network.node_id -> bool) -> t -> unit
+(** Return the engine to its post-{!create} state, optionally installing a
+    new [frozen] predicate (the fault-carrying set differs per fault; the
+    [region] is fixed at creation). When the underlying network has
+    mutated since the arena was built, the structure is rebuilt (counted
+    as [imply_creates]); otherwise the undo trail is rewound in
+    O(assignments) (counted as [imply_resets]). *)
 
 val assign_node : t -> Logic_network.Network.node_id -> bool -> unit
 (** Assume a node value and propagate to fixpoint. @raise Conflict *)
@@ -45,7 +68,8 @@ val cube_value : t -> Logic_network.Network.node_id -> int -> bool option
 val assigned_nodes : t -> (Logic_network.Network.node_id * bool) list
 
 val copy : t -> t
-(** Snapshot of the current state (used by recursive learning). *)
+(** Snapshot of the current state (used by recursive learning). The copy
+    shares the structural arrays; do not {!reset} it. *)
 
 val learn : ?max_options:int -> depth:int -> t -> unit
 (** Depth-bounded recursive learning (Kunz–Pradhan): for each unjustified

@@ -52,17 +52,26 @@ let region_predicate net seeds =
   in
   fun id -> Network.Node_set.mem id set
 
-let divide ?(phase = true) ?(gdc = false) ?(learn_depth = 0) net ~f ~d =
+let divide ?(phase = true) ?(gdc = false) ?(learn_depth = 0) ?counters net ~f
+    ~d =
   if not (applicable ~phase net ~f ~d) then None
   else begin
     let original_cover = Network.cover net f in
     let f1_idx = sos_cube_indices net ~f ~d ~phase in
     let f_cubes = Array.of_list (Cover.cubes original_cover) in
     let f_fanins = Network.fanins net f in
-    let f1_cubes = Cover.of_cubes (List.map (fun i -> f_cubes.(i)) f1_idx) in
-    let r_cubes =
-      List.filteri (fun i _ -> not (List.mem i f1_idx)) (Array.to_list f_cubes)
-    in
+    (* Partition the cubes in one pass over a membership array (f1_idx is
+       a sparse index list, so List.mem per cube would be quadratic). *)
+    let n = Array.length f_cubes in
+    let in_f1 = Array.make n false in
+    List.iter (fun i -> in_f1.(i) <- true) f1_idx;
+    let f1_rev = ref [] and r_rev = ref [] in
+    for i = n - 1 downto 0 do
+      if in_f1.(i) then f1_rev := f_cubes.(i) :: !f1_rev
+      else r_rev := f_cubes.(i) :: !r_rev
+    done;
+    let f1_cubes = Cover.of_cubes !f1_rev in
+    let r_cubes = !r_rev in
     (* Materialise the paper's Fig. 2(c): a quotient node for f1 and the
        bold AND as the cube {quotient, d^phase} inside f. Redundant by
        Lemma 1 — no redundancy test needed. *)
@@ -85,7 +94,7 @@ let divide ?(phase = true) ?(gdc = false) ?(learn_depth = 0) net ~f ~d =
     in
     let learn_depth = if learn_depth > 0 then Some learn_depth else None in
     let removed =
-      Rewiring.Remove.run ?region ?learn_depth
+      Rewiring.Remove.run ?region ?learn_depth ?counters
         ~node_filter:(fun n -> n = q_node)
         net
     in
@@ -101,11 +110,11 @@ let divide ?(phase = true) ?(gdc = false) ?(learn_depth = 0) net ~f ~d =
     end
   end
 
-let try_divide ?phase ?gdc ?learn_depth net ~f ~d =
+let try_divide ?phase ?gdc ?learn_depth ?counters net ~f ~d =
   let before_cover = Network.cover net f in
   let before_fanins = Network.fanins net f in
   let before_lits = Lit_count.node_factored net f in
-  match divide ?phase ?gdc ?learn_depth net ~f ~d with
+  match divide ?phase ?gdc ?learn_depth ?counters net ~f ~d with
   | None -> None
   | Some outcome ->
     let gain = before_lits - Lit_count.node_factored net f in

@@ -40,6 +40,7 @@ val divide :
   ?phase:bool ->
   ?gdc:bool ->
   ?learn_depth:int ->
+  ?counters:Rar_util.Counters.t ->
   Logic_network.Network.t ->
   f:Logic_network.Network.node_id ->
   d:Logic_network.Network.node_id ->
@@ -53,6 +54,7 @@ val try_divide :
   ?phase:bool ->
   ?gdc:bool ->
   ?learn_depth:int ->
+  ?counters:Rar_util.Counters.t ->
   Logic_network.Network.t ->
   f:Logic_network.Network.node_id ->
   d:Logic_network.Network.node_id ->

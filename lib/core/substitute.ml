@@ -4,6 +4,7 @@ module Fanin_cache = Logic_network.Fanin_cache
 module Lit_count = Logic_network.Lit_count
 module Signature = Logic_sim.Signature
 module Counters = Rar_util.Counters
+module Pool = Rar_util.Pool
 
 let log_src = Logs.Src.create "booldiv.substitute" ~doc:"Substitution driver"
 
@@ -21,6 +22,8 @@ type config = {
   max_divisors : int;
   max_pool : int;
   max_passes : int;
+  jobs : int;
+  sim_seed : int;
 }
 
 let basic_config =
@@ -34,6 +37,8 @@ let basic_config =
     max_divisors = 20;
     max_pool = 6;
     max_passes = 4;
+    jobs = 1;
+    sim_seed = Signature.default_seed;
   }
 
 let extended_config = { basic_config with mode = Extended }
@@ -151,21 +156,18 @@ let substitute_pos net ~f ~d =
       end
   end
 
-let run ?(config = extended_config) ?counters net =
-  let counters =
-    match counters with Some c -> c | None -> Counters.create ()
-  in
-  let cache = Fanin_cache.create net in
-  let sigs = if config.use_filter then Some (Signature.create net) else None in
-  Fun.protect ~finally:(fun () -> Option.iter Signature.detach sigs)
-  @@ fun () ->
-  let literals_before = Lit_count.factored net in
-  let basic_count = ref 0 and ext_count = ref 0 and pos_count = ref 0 in
+(* One work unit of the greedy policy for a node f: the extended-division
+   attempt over the pool, or one basic/POS attempt against a divisor. *)
+type unit_task = Ext of Network.node_id list | Div of Network.node_id
+
+(* The attempt functions, abstracted over the network they act on so the
+   same code runs on the real network (sequentially, or to commit a
+   speculative winner) and on private snapshots inside workers. [sigs]
+   must belong to [net]; [committed] reports the substitution kind;
+   [verbose] gates logging (workers stay silent — Logs is not
+   domain-safe). *)
+let make_attempts ~config ~counters ~sigs ~committed ~verbose net =
   let gdc = config.gdc and learn_depth = config.learn_depth in
-  let committed counter =
-    incr counter;
-    counters.Counters.substitutions <- counters.Counters.substitutions + 1
-  in
   (* Per-phase signature gate: dividing f by d needs their onsets to
      meet; dividing by d' needs f's onset to meet d's offset. Checked
      lazily (signatures may have moved since ranking if an earlier
@@ -183,15 +185,17 @@ let run ?(config = extended_config) ?counters net =
       phase_possible f d phase
       &&
       match
-        Basic_division.try_divide ~phase ~gdc ~learn_depth net ~f ~d
+        Basic_division.try_divide ~phase ~gdc ~learn_depth ~counters net ~f
+          ~d
       with
       | Some outcome ->
-        committed basic_count;
-        Log.debug (fun m ->
-            m "basic division: %s / %s%s (+%d literals)" (Network.name net f)
-              (Network.name net d)
-              (if phase then "" else "'")
-              outcome.Basic_division.literal_gain);
+        committed `Basic;
+        if verbose then
+          Log.debug (fun m ->
+              m "basic division: %s / %s%s (+%d literals)"
+                (Network.name net f) (Network.name net d)
+                (if phase then "" else "'")
+                outcome.Basic_division.literal_gain);
         true
       | None -> false
     in
@@ -203,16 +207,19 @@ let run ?(config = extended_config) ?counters net =
       &&
       let scratch = Network.copy net in
       let gain_before = Lit_count.factored scratch in
-      let first = Basic_division.divide ~gdc ~learn_depth scratch ~f ~d in
+      let first =
+        Basic_division.divide ~gdc ~learn_depth ~counters scratch ~f ~d
+      in
       let second =
-        Basic_division.divide ~phase:false ~gdc ~learn_depth scratch ~f ~d
+        Basic_division.divide ~phase:false ~gdc ~learn_depth ~counters
+          scratch ~f ~d
       in
       if
         first <> None && second <> None
         && Lit_count.factored scratch < gain_before
       then begin
         Network.overwrite net scratch;
-        committed basic_count;
+        committed `Basic;
         true
       end
       else false
@@ -232,7 +239,7 @@ let run ?(config = extended_config) ?counters net =
       counters.Counters.divisions_attempted <-
         counters.Counters.divisions_attempted + 1;
       if substitute_pos net ~f ~d then begin
-        committed pos_count;
+        committed `Pos;
         true
       end
       else false
@@ -241,23 +248,148 @@ let run ?(config = extended_config) ?counters net =
     Counters.timed counters `Division @@ fun () ->
     counters.Counters.divisions_attempted <-
       counters.Counters.divisions_attempted + 1;
-    match Extended_division.try_run ~gdc ~learn_depth net ~f ~pool with
+    match
+      Extended_division.try_run ~gdc ~learn_depth ~counters net ~f ~pool
+    with
     | Some outcome ->
-      committed ext_count;
-      Log.debug (fun m ->
-          m "extended division on %s: core of %d cube(s), gain %d"
-            (Network.name net f) outcome.Extended_division.core_cubes
-            outcome.Extended_division.literal_gain);
+      committed `Ext;
+      if verbose then
+        Log.debug (fun m ->
+            m "extended division on %s: core of %d cube(s), gain %d"
+              (Network.name net f) outcome.Extended_division.core_cubes
+              outcome.Extended_division.literal_gain);
       true
     | None ->
       if config.try_pos then begin
         match Pos_extended.try_run net ~f ~pool with
         | Some _ ->
-          committed pos_count;
+          committed `Pos;
           true
         | None -> false
       end
       else false
+  in
+  fun f -> function
+    | Ext pool -> attempt_extended f pool
+    | Div d -> if attempt_basic f d then true else attempt_pos f d
+
+let run ?(config = extended_config) ?counters net =
+  let counters =
+    match counters with Some c -> c | None -> Counters.create ()
+  in
+  let cache = Fanin_cache.create net in
+  let sigs =
+    if config.use_filter then
+      Some (Signature.create ~seed:config.sim_seed net)
+    else None
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Signature.detach sigs)
+  @@ fun () ->
+  let literals_before = Lit_count.factored net in
+  let basic_count = ref 0 and ext_count = ref 0 and pos_count = ref 0 in
+  let committed kind =
+    (match kind with
+    | `Basic -> incr basic_count
+    | `Ext -> incr ext_count
+    | `Pos -> incr pos_count);
+    counters.Counters.substitutions <- counters.Counters.substitutions + 1
+  in
+  let run_unit =
+    make_attempts ~config ~counters ~sigs ~committed ~verbose:true net
+  in
+  let jobs = max 1 config.jobs in
+  let wpool = if jobs > 1 then Some (Pool.create ~jobs) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown wpool)
+  @@ fun () ->
+  (* Speculative evaluation of one unit on a private snapshot. The worker
+     builds its own signature engine over the snapshot — signatures are a
+     deterministic function of (seed, node id), so its phase gates answer
+     exactly as the main engine would at the same network state. Returns
+     whether the unit would commit, the work tallies, the node ids the
+     attempt consumed on the snapshot, and the wall-clock spent. *)
+  let eval_speculative ~snap f task () =
+    let t0 = Unix.gettimeofday () in
+    let wcounters = Counters.create () in
+    let wsigs =
+      if config.use_filter then
+        Some (Signature.create ~seed:config.sim_seed snap)
+      else None
+    in
+    let ids_before = Network.id_limit snap in
+    let ok =
+      make_attempts ~config ~counters:wcounters ~sigs:wsigs
+        ~committed:(fun _ -> ()) ~verbose:false snap f task
+    in
+    Option.iter Signature.detach wsigs;
+    (ok, wcounters, Network.id_limit snap - ids_before,
+     Unix.gettimeofday () -. t0)
+  in
+  (* Parallel rounds over one node's ranked units, committing exactly what
+     the sequential greedy policy would: evaluate a rank-prefix batch
+     speculatively, then resolve in rank order — failed predecessors of
+     the first success contribute their tallies and replay their id burns
+     ({!Network.reserve_ids}) so the allocator stays id-for-id in step
+     with a sequential run; the winner is re-executed on the real network
+     (its snapshot matched, so the outcome is identical); later units are
+     discarded as speculative waste and retried against the new state. *)
+  let parallel_rounds pool_t changed f units =
+    let rec rounds units =
+      let units =
+        if Network.mem net f then
+          List.filter
+            (function Div d -> Network.mem net d | Ext _ -> true)
+            units
+        else []
+      in
+      match units with
+      | [] -> ()
+      | _ ->
+        let batch_n = min (Pool.jobs pool_t) (List.length units) in
+        let batch = List.filteri (fun i _ -> i < batch_n) units in
+        let rest = List.filteri (fun i _ -> i >= batch_n) units in
+        let thunks =
+          List.map
+            (fun u -> eval_speculative ~snap:(Network.copy net) f u)
+            batch
+        in
+        let results = Pool.run pool_t thunks in
+        let rec resolve pending =
+          match pending with
+          | [] -> rounds rest
+          | (u, (ok, wc, burn, _secs)) :: tl ->
+            if not ok then begin
+              Counters.accumulate counters wc;
+              if burn > 0 then Network.reserve_ids net burn;
+              resolve tl
+            end
+            else if run_unit f u then begin
+              changed := true;
+              List.iter
+                (fun (_, (_, _, _, secs)) ->
+                  counters.Counters.speculative_wasted <-
+                    counters.Counters.speculative_wasted + 1;
+                  counters.Counters.speculative_seconds <-
+                    counters.Counters.speculative_seconds +. secs)
+                tl;
+              rounds (List.map fst tl @ rest)
+            end
+            else
+              (* Defensive: the re-execution should mirror the snapshot
+                 verdict exactly; if it does not, fall through as a
+                 failure (the real network is still consistent). *)
+              resolve tl
+        in
+        resolve (List.combine batch results)
+    in
+    rounds units
+  in
+  let units_of divisors =
+    (match config.mode with
+    | Extended ->
+      let pool = List.filteri (fun i _ -> i < config.max_pool) divisors in
+      if pool <> [] then [ Ext pool ] else []
+    | Basic -> [])
+    @ List.map (fun d -> Div d) divisors
   in
   let pass () =
     let changed = ref false in
@@ -270,20 +402,21 @@ let run ?(config = extended_config) ?counters net =
               ~use_complement:config.use_complement
               ~limit:config.max_divisors
           in
-          (match config.mode with
-          | Extended ->
-            let pool =
-              List.filteri (fun i _ -> i < config.max_pool) divisors
-            in
-            if pool <> [] && attempt_extended f pool then changed := true
-          | Basic -> ());
-          List.iter
-            (fun d ->
-              if Network.mem net f && Network.mem net d then begin
-                if attempt_basic f d then changed := true
-                else if attempt_pos f d then changed := true
-              end)
-            divisors
+          match wpool with
+          | Some pool_t ->
+            parallel_rounds pool_t changed f (units_of divisors)
+          | None ->
+            List.iter
+              (fun u ->
+                let alive =
+                  Network.mem net f
+                  &&
+                  match u with
+                  | Div d -> Network.mem net d
+                  | Ext _ -> true
+                in
+                if alive && run_unit f u then changed := true)
+              (units_of divisors)
         end)
       nodes;
     !changed

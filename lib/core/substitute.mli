@@ -31,6 +31,14 @@ type config = {
   max_divisors : int;  (** basic-division candidates per node *)
   max_pool : int;  (** divisor pool size for extended division *)
   max_passes : int;
+  jobs : int;
+      (** speculative-evaluation parallelism (default 1). Ranked
+          candidates are scored concurrently on private network
+          snapshots and committed serially in rank order, so any value
+          produces networks bit-identical to a sequential run. *)
+  sim_seed : int;
+      (** signature-filter RNG seed (default
+          {!Logic_sim.Signature.default_seed}) *)
 }
 
 val basic_config : config

@@ -11,7 +11,7 @@ type entry = {
   conflicted : bool;
 }
 
-let collect ?(gdc = false) ?(learn_depth = 0) net ~f ~pool =
+let collect ?(gdc = false) ?(learn_depth = 0) ?counters net ~f ~pool =
   let pool =
     List.filter
       (fun m ->
@@ -37,6 +37,9 @@ let collect ?(gdc = false) ?(learn_depth = 0) net ~f ~pool =
         List.mapi (fun j _ -> (m, j)) (Cover.cubes (Network.cover net m)))
       pool
   in
+  (* One arena shared by every wire of [f]: region and frozen are the
+     same for all of them, only the activation assignments differ. *)
+  let engine = Atpg.Imply.create ~region ~frozen ?counters net in
   let entry_of_wire wire =
     let cube_index =
       match wire with
@@ -44,7 +47,7 @@ let collect ?(gdc = false) ?(learn_depth = 0) net ~f ~pool =
       | Atpg.Fault.Cube_wire _ -> assert false
     in
     let wire_cube = Net_cube.of_cube_index net f cube_index in
-    let engine = Atpg.Imply.create ~region ~frozen net in
+    Atpg.Imply.reset engine;
     let outcome =
       match
         List.iter

@@ -24,6 +24,7 @@ type entry = {
 val collect :
   ?gdc:bool ->
   ?learn_depth:int ->
+  ?counters:Rar_util.Counters.t ->
   Logic_network.Network.t ->
   f:Logic_network.Network.node_id ->
   pool:Logic_network.Network.node_id list ->

@@ -74,6 +74,12 @@ let fresh_id t =
   t.next_id <- id + 1;
   id
 
+let id_limit t = t.next_id
+
+let reserve_ids t n =
+  if n < 0 then invalid_arg "Network.reserve_ids: negative count";
+  t.next_id <- t.next_id + n
+
 let add_input t input_name =
   let id = fresh_id t in
   Hashtbl.add t.nodes id

@@ -78,8 +78,21 @@ val set_function : t -> node_id -> fanins:node_id array -> Twolevel.Cover.t -> u
 val remove_node : t -> node_id -> unit
 (** Remove a fanout-free, non-output logic node. *)
 
+val id_limit : t -> int
+(** Exclusive upper bound of the node ids allocated so far. Ids are never
+    recycled, so [id_limit] only grows; the difference between two
+    readings counts the ids consumed in between (including ids of nodes
+    that were created and removed again). *)
+
+val reserve_ids : t -> int -> unit
+(** Advance the id allocator by [n] without creating nodes. The
+    speculative division driver uses this to replay, on the real network,
+    the transient id consumption of attempts that were evaluated on
+    snapshots — keeping parallel runs id-for-id identical to sequential
+    ones. *)
+
 val copy : t -> t
-(** Deep copy preserving node ids. *)
+(** Deep copy preserving node ids (and the id allocator position). *)
 
 val overwrite : t -> t -> unit
 (** [overwrite dst src] makes [dst] structurally identical to [src]

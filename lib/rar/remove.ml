@@ -14,7 +14,12 @@ let remove_wire net wire =
     Network.set_function net node ~fanins:(Network.fanins net node)
       (Cover.of_cubes remaining)
 
-let run ?use_dominators ?learn_depth ?region ?(node_filter = fun _ -> true) net =
+let run ?use_dominators ?learn_depth ?region ?counters
+    ?(node_filter = fun _ -> true) net =
+  (* One implication arena for the whole fixpoint: each redundancy test
+     resets it (O(assignments)); a removal mutates the network, which the
+     next reset detects by revision and absorbs as a rebuild. *)
+  let engine = Atpg.Imply.create ?region ?counters net in
   let removed = ref 0 in
   let changed = ref true in
   while !changed do
@@ -30,7 +35,8 @@ let run ?use_dominators ?learn_depth ?region ?(node_filter = fun _ -> true) net 
             match
               List.find_opt
                 (fun w ->
-                  Atpg.Fault.redundant ?use_dominators ?learn_depth ?region net w)
+                  Atpg.Fault.redundant ?use_dominators ?learn_depth ?region
+                    ~engine ?counters net w)
                 wires
             with
             | Some w ->

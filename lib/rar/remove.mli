@@ -14,10 +14,13 @@ val run :
   ?use_dominators:bool ->
   ?learn_depth:int ->
   ?region:(Logic_network.Network.node_id -> bool) ->
+  ?counters:Rar_util.Counters.t ->
   ?node_filter:(Logic_network.Network.node_id -> bool) ->
   Logic_network.Network.t ->
   int
 (** Remove redundant wires everywhere (or on nodes passing [node_filter]);
     returns the number of wires removed. [region] restricts how far the
     implications travel (see {!Atpg.Imply.create}); [node_filter] restricts
-    which nodes' wires are tested. *)
+    which nodes' wires are tested. One implication arena is built per run
+    and reused (reset) across all wire tests; [counters] records the
+    create/reset split. *)

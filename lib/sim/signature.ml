@@ -64,7 +64,9 @@ let refresh t =
     t.refreshes <- t.refreshes + 1
   end
 
-let create ?(seed = 0x516e41) ?(words = default_words) net =
+let default_seed = 0x516e41
+
+let create ?(seed = default_seed) ?(words = default_words) net =
   if words <= 0 then invalid_arg "Signature.create: words must be positive";
   let t =
     {

@@ -22,6 +22,10 @@ type t
 val default_words : int
 (** 8 words = 512 random patterns. *)
 
+val default_seed : int
+(** Seed used when [create] is given none (and by the [--sim-seed]
+    default of the CLI and bench drivers). *)
+
 val create : ?seed:int -> ?words:int -> Logic_network.Network.t -> t
 (** Build the engine and simulate the whole network once. The engine
     stays subscribed to the network's mutations until {!detach}. Each

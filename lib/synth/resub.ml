@@ -4,6 +4,7 @@ module Fanin_cache = Logic_network.Fanin_cache
 module Lit_count = Logic_network.Lit_count
 module Signature = Logic_sim.Signature
 module Counters = Rar_util.Counters
+module Pool = Rar_util.Pool
 
 let complement_limit = 64
 
@@ -90,16 +91,95 @@ let candidates ~counters ~cache ?sigs ~use_complement ~max_candidates net
     List.filteri (fun i _ -> i < max_candidates) (List.map fst sorted)
 
 let run ?(use_complement = true) ?(use_filter = true)
-    ?(max_candidates = default_max_candidates) ?(max_passes = 4) ?counters
-    net =
+    ?(max_candidates = default_max_candidates) ?(max_passes = 4) ?(jobs = 1)
+    ?(sim_seed = Signature.default_seed) ?counters net =
   let counters =
     match counters with Some c -> c | None -> Counters.create ()
   in
   let cache = Fanin_cache.create net in
-  let sigs = if use_filter then Some (Signature.create net) else None in
+  let sigs =
+    if use_filter then Some (Signature.create ~seed:sim_seed net) else None
+  in
   Fun.protect ~finally:(fun () -> Option.iter Signature.detach sigs)
   @@ fun () ->
+  let jobs = max 1 jobs in
+  let wpool = if jobs > 1 then Some (Pool.create ~jobs) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown wpool)
+  @@ fun () ->
   let substitutions = ref 0 in
+  let attempt_on ~counters net f d =
+    Counters.timed counters `Division @@ fun () ->
+    counters.Counters.divisions_attempted <-
+      counters.Counters.divisions_attempted + 1;
+    try_substitute ~use_complement net ~f ~d
+  in
+  let commit_real f d =
+    let ok =
+      Counters.timed counters `Division @@ fun () ->
+      counters.Counters.divisions_attempted <-
+        counters.Counters.divisions_attempted + 1;
+      try_substitute ~use_complement ~cache net ~f ~d
+    in
+    if ok then begin
+      incr substitutions;
+      counters.Counters.substitutions <- counters.Counters.substitutions + 1
+    end;
+    ok
+  in
+  (* Speculative rounds over the ranked divisors of one node (algebraic
+     attempts never consume node ids nor add nodes on failure, so —
+     unlike the Boolean driver — there is no allocator state to replay).
+     Workers score private snapshots without the shared fanin cache or
+     signature engine; the first success in rank order is re-executed on
+     the real network, later evaluations count as speculative waste. *)
+  let parallel_rounds pool_t changed f divisors =
+    let rec rounds ds =
+      let ds =
+        if Network.mem net f then List.filter (Network.mem net) ds else []
+      in
+      match ds with
+      | [] -> ()
+      | _ ->
+        let batch_n = min (Pool.jobs pool_t) (List.length ds) in
+        let batch = List.filteri (fun i _ -> i < batch_n) ds in
+        let rest = List.filteri (fun i _ -> i >= batch_n) ds in
+        let thunks =
+          List.map
+            (fun d ->
+              let snap = Network.copy net in
+              fun () ->
+                let t0 = Unix.gettimeofday () in
+                let wc = Counters.create () in
+                let ok = attempt_on ~counters:wc snap f d in
+                (ok, wc, Unix.gettimeofday () -. t0))
+            batch
+        in
+        let results = Pool.run pool_t thunks in
+        let rec resolve pending =
+          match pending with
+          | [] -> rounds rest
+          | (d, (ok, wc, _secs)) :: tl ->
+            if not ok then begin
+              Counters.accumulate counters wc;
+              resolve tl
+            end
+            else if commit_real f d then begin
+              changed := true;
+              List.iter
+                (fun (_, (_, _, secs)) ->
+                  counters.Counters.speculative_wasted <-
+                    counters.Counters.speculative_wasted + 1;
+                  counters.Counters.speculative_seconds <-
+                    counters.Counters.speculative_seconds +. secs)
+                tl;
+              rounds (List.map fst tl @ rest)
+            end
+            else resolve tl
+        in
+        resolve (List.combine batch results)
+    in
+    rounds divisors
+  in
   let pass () =
     let changed = ref false in
     let nodes = List.sort Int.compare (Network.logic_ids net) in
@@ -110,23 +190,14 @@ let run ?(use_complement = true) ?(use_filter = true)
             candidates ~counters ~cache ?sigs ~use_complement
               ~max_candidates net ~f ~nodes
           in
-          List.iter
-            (fun d ->
-              if Network.mem net f && Network.mem net d then begin
-                let ok =
-                  Counters.timed counters `Division @@ fun () ->
-                  counters.Counters.divisions_attempted <-
-                    counters.Counters.divisions_attempted + 1;
-                  try_substitute ~use_complement ~cache net ~f ~d
-                in
-                if ok then begin
-                  incr substitutions;
-                  counters.Counters.substitutions <-
-                    counters.Counters.substitutions + 1;
-                  changed := true
-                end
-              end)
-            divisors
+          match wpool with
+          | Some pool_t -> parallel_rounds pool_t changed f divisors
+          | None ->
+            List.iter
+              (fun d ->
+                if Network.mem net f && Network.mem net d then
+                  if commit_real f d then changed := true)
+              divisors
         end)
       nodes;
     !changed

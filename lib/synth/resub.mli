@@ -31,10 +31,18 @@ val run :
   ?use_filter:bool ->
   ?max_candidates:int ->
   ?max_passes:int ->
+  ?jobs:int ->
+  ?sim_seed:int ->
   ?counters:Rar_util.Counters.t ->
   Logic_network.Network.t ->
   int
 (** Returns the number of substitutions committed. [use_complement]
     defaults to [true] (i.e., [resub -d]); [use_filter] to [true];
     [max_candidates] (filtered runs only) to {!default_max_candidates}.
-    Pair/division tallies accumulate into [counters] when given. *)
+    Pair/division tallies accumulate into [counters] when given.
+
+    [jobs] (default 1) evaluates ranked divisors speculatively in
+    parallel on private network snapshots and commits serially in rank
+    order, so the result is bit-identical to a sequential run; [sim_seed]
+    (default {!Logic_sim.Signature.default_seed}) seeds the signature
+    filter. *)

@@ -55,10 +55,11 @@ type resub_method = Algebraic | Basic | Ext | Ext_gdc
 let resub_methods =
   [ ("sis", Algebraic); ("basic", Basic); ("ext", Ext); ("ext-gdc", Ext_gdc) ]
 
-let resub_command ?(use_filter = true) ?counters meth net =
+let resub_command ?(use_filter = true) ?(jobs = 1)
+    ?(sim_seed = Logic_sim.Signature.default_seed) ?counters meth net =
   match meth with
   | Algebraic ->
-    ignore (Resub.run ~use_complement:true ~use_filter ?counters net)
+    ignore (Resub.run ~use_complement:true ~use_filter ~jobs ~sim_seed ?counters net)
   | Basic | Ext | Ext_gdc ->
     let base =
       match meth with
@@ -66,7 +67,9 @@ let resub_command ?(use_filter = true) ?counters meth net =
       | Ext -> Booldiv.Substitute.extended_config
       | Ext_gdc | Algebraic -> Booldiv.Substitute.extended_gdc_config
     in
-    let config = { base with Booldiv.Substitute.use_filter } in
+    let config =
+      { base with Booldiv.Substitute.use_filter; jobs; sim_seed }
+    in
     ignore (Booldiv.Substitute.run ~config ?counters net)
 
 let resub_algebraic net = resub_command Algebraic net

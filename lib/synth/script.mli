@@ -49,11 +49,16 @@ val resub_methods : (string * resub_method) list
 
 val resub_command :
   ?use_filter:bool ->
+  ?jobs:int ->
+  ?sim_seed:int ->
   ?counters:Rar_util.Counters.t ->
   resub_method ->
   resub_command
 (** Build a resubstitution command. [use_filter] toggles the
-    simulation-signature divisor filter (default on); [counters]
+    simulation-signature divisor filter (default on); [jobs] sets the
+    speculative-evaluation parallelism (default 1; any value yields
+    bit-identical networks); [sim_seed] seeds the signature filter
+    (default {!Logic_sim.Signature.default_seed}); [counters]
     accumulates pair/division tallies across the run for reporting. The
     four constants below are [resub_command] with the defaults. *)
 

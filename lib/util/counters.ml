@@ -3,8 +3,12 @@ type t = {
   mutable pairs_filtered : int;
   mutable divisions_attempted : int;
   mutable substitutions : int;
+  mutable imply_creates : int;
+  mutable imply_resets : int;
+  mutable speculative_wasted : int;
   mutable filter_seconds : float;
   mutable division_seconds : float;
+  mutable speculative_seconds : float;
 }
 
 let create () =
@@ -13,8 +17,12 @@ let create () =
     pairs_filtered = 0;
     divisions_attempted = 0;
     substitutions = 0;
+    imply_creates = 0;
+    imply_resets = 0;
+    speculative_wasted = 0;
     filter_seconds = 0.0;
     division_seconds = 0.0;
+    speculative_seconds = 0.0;
   }
 
 let accumulate dst src =
@@ -22,8 +30,12 @@ let accumulate dst src =
   dst.pairs_filtered <- dst.pairs_filtered + src.pairs_filtered;
   dst.divisions_attempted <- dst.divisions_attempted + src.divisions_attempted;
   dst.substitutions <- dst.substitutions + src.substitutions;
+  dst.imply_creates <- dst.imply_creates + src.imply_creates;
+  dst.imply_resets <- dst.imply_resets + src.imply_resets;
+  dst.speculative_wasted <- dst.speculative_wasted + src.speculative_wasted;
   dst.filter_seconds <- dst.filter_seconds +. src.filter_seconds;
-  dst.division_seconds <- dst.division_seconds +. src.division_seconds
+  dst.division_seconds <- dst.division_seconds +. src.division_seconds;
+  dst.speculative_seconds <- dst.speculative_seconds +. src.speculative_seconds
 
 let timed t field f =
   let start = Unix.gettimeofday () in
@@ -36,15 +48,20 @@ let timed t field f =
 
 let to_string t =
   Printf.sprintf
-    "pairs %d (filtered %d), divisions %d, substitutions %d, filter %.2fs, \
-     division %.2fs"
+    "pairs %d (filtered %d), divisions %d, substitutions %d, imply %d \
+     creates / %d resets, speculative %d wasted, filter %.2fs, division \
+     %.2fs, speculative %.2fs"
     t.pairs_considered t.pairs_filtered t.divisions_attempted t.substitutions
-    t.filter_seconds t.division_seconds
+    t.imply_creates t.imply_resets t.speculative_wasted t.filter_seconds
+    t.division_seconds t.speculative_seconds
 
 let to_json t =
   Printf.sprintf
     "{\"pairs_considered\": %d, \"pairs_filtered\": %d, \
      \"divisions_attempted\": %d, \"substitutions\": %d, \
-     \"filter_seconds\": %.6f, \"division_seconds\": %.6f}"
+     \"imply_creates\": %d, \"imply_resets\": %d, \
+     \"speculative_wasted\": %d, \"filter_seconds\": %.6f, \
+     \"division_seconds\": %.6f, \"speculative_seconds\": %.6f}"
     t.pairs_considered t.pairs_filtered t.divisions_attempted t.substitutions
-    t.filter_seconds t.division_seconds
+    t.imply_creates t.imply_resets t.speculative_wasted t.filter_seconds
+    t.division_seconds t.speculative_seconds

@@ -1,19 +1,34 @@
 (** Shared performance counters for the substitution pipelines.
 
     One mutable record threaded through a resubstitution run so the cost
-    of divisor filtering is observable: how many (dividend, divisor) pairs
-    were examined, how many the signature/structural filter rejected
-    before any division ran, how many divisions were actually attempted
-    and committed, and the wall-clock split between filtering and
-    division. *)
+    of divisor filtering and implication work is observable: how many
+    (dividend, divisor) pairs were examined, how many the
+    signature/structural filter rejected before any division ran, how
+    many divisions were actually attempted and committed, how often the
+    implication arena was rebuilt from scratch versus reset in place, how
+    much speculative parallel work was discarded, and the wall-clock
+    split between the phases.
+
+    The record is single-writer: parallel workers tally into private
+    records which the driver folds in with {!accumulate} after the
+    batch. *)
 
 type t = {
   mutable pairs_considered : int;
   mutable pairs_filtered : int;  (** rejected before any division *)
   mutable divisions_attempted : int;
   mutable substitutions : int;  (** committed rewrites *)
+  mutable imply_creates : int;
+      (** implication arenas built (or rebuilt after a mutation) *)
+  mutable imply_resets : int;
+      (** trail-based arena reuses between redundancy tests *)
+  mutable speculative_wasted : int;
+      (** parallel division evaluations discarded because an
+          earlier-ranked candidate committed first *)
   mutable filter_seconds : float;
   mutable division_seconds : float;
+  mutable speculative_seconds : float;
+      (** wall-clock spent inside the discarded evaluations *)
 }
 
 val create : unit -> t
@@ -30,4 +45,4 @@ val to_string : t -> string
 (** One-line human-readable summary. *)
 
 val to_json : t -> string
-(** JSON object with the six fields (for the bench harness). *)
+(** JSON object with all fields (for the bench harness). *)

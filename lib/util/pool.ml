@@ -1,0 +1,126 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  mutable tasks : (unit -> unit) array;
+  mutable next : int;  (* next unclaimed task index *)
+  mutable pending : int;  (* claimed-or-unclaimed tasks not yet finished *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let jobs t = t.jobs
+
+(* Claim-execute-account loop shared by workers and the caller. Claims
+   happen under the mutex; execution outside it. *)
+let try_claim t =
+  if t.next < Array.length t.tasks then begin
+    let i = t.next in
+    t.next <- i + 1;
+    Some i
+  end
+  else None
+
+let finish_one t =
+  Mutex.lock t.mutex;
+  t.pending <- t.pending - 1;
+  if t.pending = 0 then Condition.broadcast t.finished;
+  Mutex.unlock t.mutex
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let action =
+    let rec wait () =
+      if t.stop then `Stop
+      else
+        match try_claim t with
+        | Some i -> `Task i
+        | None ->
+          Condition.wait t.work t.mutex;
+          wait ()
+    in
+    wait ()
+  in
+  Mutex.unlock t.mutex;
+  match action with
+  | `Stop -> ()
+  | `Task i ->
+    t.tasks.(i) ();
+    finish_one t;
+    worker_loop t
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      tasks = [||];
+      next = 0;
+      pending = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let run t thunks =
+  match thunks with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | _ ->
+    let n = List.length thunks in
+    let results = Array.make n None in
+    let wrapped =
+      Array.of_list
+        (List.mapi
+           (fun i f () ->
+             results.(i) <-
+               Some (match f () with v -> Ok v | exception e -> Error e))
+           thunks)
+    in
+    Mutex.lock t.mutex;
+    t.tasks <- wrapped;
+    t.next <- 0;
+    t.pending <- n;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    (* The calling domain helps until the batch drains, then waits for
+       stragglers still executing on workers. *)
+    let rec help () =
+      Mutex.lock t.mutex;
+      match try_claim t with
+      | Some i ->
+        Mutex.unlock t.mutex;
+        t.tasks.(i) ();
+        finish_one t;
+        help ()
+      | None ->
+        while t.pending > 0 do
+          Condition.wait t.finished t.mutex
+        done;
+        t.tasks <- [||];
+        t.next <- 0;
+        Mutex.unlock t.mutex
+    in
+    help ();
+    List.init n (fun i ->
+        match results.(i) with
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []

@@ -1,0 +1,34 @@
+(** A small fixed-size work pool over OCaml 5 domains.
+
+    [create ~jobs] spawns [jobs - 1] worker domains; {!run} then executes
+    a batch of independent thunks across the workers plus the calling
+    domain and returns their results in submission order. Batches are
+    synchronous: {!run} returns only once every thunk has finished, so
+    the caller may freely read anything the thunks wrote. Thunks of one
+    batch must not mutate state shared with each other — the intended use
+    is speculative evaluation where every thunk works on its own
+    {!Logic_network.Network.copy} snapshot.
+
+    A pool with [jobs = 1] never spawns a domain and runs batches
+    inline, so sequential callers pay nothing. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the runtime's estimate of
+    usable parallelism on this machine. *)
+
+val create : jobs:int -> t
+(** Spawn the pool. [jobs] is clamped below at 1. *)
+
+val jobs : t -> int
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** Execute the thunks, each exactly once, across the pool (the calling
+    domain participates). Results are returned in input order. If any
+    thunk raised, the whole batch still runs to completion and then the
+    first (lowest-index) exception is re-raised. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains (idempotent). The pool must not be
+    used afterwards. *)

@@ -676,6 +676,107 @@ let prop_remove_never_grows =
       ignore (Rewiring.Remove.run net);
       Lit_count.flat net <= before)
 
+(* ------------------------------------------------------------------ *)
+(* Arena reuse: reset must restore the exact post-create state          *)
+(* ------------------------------------------------------------------ *)
+
+(* Engines agree when every node and cube value matches. *)
+let check_engines_agree ~msg net a b =
+  List.iter
+    (fun id ->
+      Alcotest.(check (option bool))
+        (Printf.sprintf "%s: node %s" msg (Network.name net id))
+        (Imply.node_value b id) (Imply.node_value a id);
+      if not (Network.is_input net id) then
+        List.iteri
+          (fun i _ ->
+            Alcotest.(check (option bool))
+              (Printf.sprintf "%s: cube %d of %s" msg i (Network.name net id))
+              (Imply.cube_value b id i) (Imply.cube_value a id i))
+          (Cover.cubes (Network.cover net id)))
+    (Network.node_ids net)
+
+let apply_activation e net wire =
+  match
+    List.iter
+      (function
+        | Fault.Node (n, v) -> Imply.assign_node e n v
+        | Fault.Cube (n, i, v) -> Imply.assign_cube e n i v)
+      (Fault.activation_assignments net wire)
+  with
+  | () -> `Ok
+  | exception Imply.Conflict _ -> `Conflict
+
+(* Across every wire of a generated circuit: resetting a shared arena
+   between faults (the assign, undo and conflict paths all exercised)
+   must reproduce a fresh engine's behaviour exactly. *)
+let test_arena_reset_matches_fresh () =
+  let net = Generator.random ~seed:5 ~n_inputs:6 ~n_nodes:12 ~n_outputs:3 () in
+  let counters = Rar_util.Counters.create () in
+  let engine = Imply.create ~counters net in
+  List.iter
+    (fun id ->
+      let tfo = Network.transitive_fanout net [ id ] in
+      let frozen n = Network.Node_set.mem n tfo in
+      List.iter
+        (fun wire ->
+          Imply.reset ~frozen engine;
+          let fresh = Imply.create ~frozen net in
+          check_engines_agree ~msg:"after reset" net engine fresh;
+          let r_reused = apply_activation engine net wire in
+          let r_fresh = apply_activation fresh net wire in
+          Alcotest.(check bool)
+            (Fault.wire_to_string net wire ^ ": same outcome")
+            (r_fresh = `Conflict) (r_reused = `Conflict);
+          if r_reused = `Ok && r_fresh = `Ok then
+            check_engines_agree ~msg:"after activation" net engine fresh)
+        (Fault.all_wires net id))
+    (Network.logic_ids net);
+  Alcotest.(check bool) "resets counted" true
+    (counters.Rar_util.Counters.imply_resets > 0);
+  Alcotest.(check int) "one structural build" 1
+    counters.Rar_util.Counters.imply_creates
+
+(* A reset after the network mutates must rebuild the arena. *)
+let test_arena_rebuild_on_mutation () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("g", "ab + c") ]
+      ~outputs:[ "g" ]
+  in
+  let counters = Rar_util.Counters.create () in
+  let engine = Imply.create ~counters net in
+  let g = Builder.node net "g" and a = Builder.node net "a" in
+  Imply.assign_node engine a true;
+  (* Drop the c cube: g = ab. *)
+  Network.set_function net g
+    ~fanins:(Network.fanins net g)
+    (Cover.of_cubes [ List.hd (Cover.cubes (Network.cover net g)) ]);
+  Imply.reset engine;
+  Alcotest.(check int) "rebuild counted as create" 2
+    counters.Rar_util.Counters.imply_creates;
+  let fresh = Imply.create net in
+  Imply.assign_node engine g true;
+  Imply.assign_node fresh g true;
+  check_engines_agree ~msg:"post-rebuild" net engine fresh;
+  Alcotest.(check (option bool)) "backward rule on new structure" (Some true)
+    (Imply.node_value engine a)
+
+(* Pooled-engine redundancy verdicts must match engine-per-call ones. *)
+let test_engine_reuse_redundant_verdicts () =
+  let net = Generator.random ~seed:9 ~n_inputs:5 ~n_nodes:10 ~n_outputs:3 () in
+  let engine = Imply.create net in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun wire ->
+          Alcotest.(check bool)
+            (Fault.wire_to_string net wire)
+            (Fault.redundant net wire)
+            (Fault.redundant ~engine net wire))
+        (Fault.all_wires net id))
+    (Network.logic_ids net)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -732,6 +833,15 @@ let () =
           Alcotest.test_case "circuit sat" `Quick test_satisfy_basic;
           Alcotest.test_case "miter" `Quick test_miter;
           Alcotest.test_case "redundancy coverage" `Quick test_redundancy_coverage;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "reset matches fresh" `Quick
+            test_arena_reset_matches_fresh;
+          Alcotest.test_case "rebuild on mutation" `Quick
+            test_arena_rebuild_on_mutation;
+          Alcotest.test_case "pooled redundancy verdicts" `Quick
+            test_engine_reuse_redundant_verdicts;
         ] );
       ( "rar",
         [

@@ -1,0 +1,151 @@
+(* Parallel-speculation determinism: Substitute.run / Resub.run with
+   [jobs > 1] must produce networks bit-identical to a sequential run —
+   the whole point of the serial rank-order commit protocol — and the
+   results must stay equivalent to the original circuit. *)
+
+module Network = Logic_network.Network
+module Lit_count = Logic_network.Lit_count
+module Generator = Bench_suite.Generator
+module Equiv = Logic_sim.Equiv
+
+let test_jobs = 4
+
+let planted_profile seed =
+  Generator.planted ~seed
+    {
+      Generator.inputs = 8;
+      noise_nodes = 6;
+      algebraic_plants = 2;
+      boolean_plants = 2;
+      gdc_plants = 1;
+      outputs = 4;
+    }
+
+let networks () =
+  List.concat
+    [
+      List.map
+        (fun seed ->
+          ( Printf.sprintf "random-%d" seed,
+            Generator.random ~seed ~n_inputs:7 ~n_nodes:14 ~n_outputs:4 () ))
+        [ 1; 2; 3 ];
+      List.map
+        (fun seed -> (Printf.sprintf "planted-%d" seed, planted_profile seed))
+        [ 11; 12 ];
+    ]
+
+let check_identical ~label ~reference seq par =
+  Alcotest.(check int)
+    (label ^ ": literal totals")
+    (Lit_count.factored seq) (Lit_count.factored par);
+  Alcotest.(check string)
+    (label ^ ": networks bit-identical")
+    (Network.to_string seq) (Network.to_string par);
+  Alcotest.(check bool)
+    (label ^ ": parallel result equivalent")
+    true
+    (Equiv.equivalent par reference)
+
+let substitute_determinism config_name config () =
+  List.iter
+    (fun (name, net) ->
+      let seq = Network.copy net and par = Network.copy net in
+      ignore
+        (Booldiv.Substitute.run
+           ~config:{ config with Booldiv.Substitute.jobs = 1 }
+           seq);
+      ignore
+        (Booldiv.Substitute.run
+           ~config:{ config with Booldiv.Substitute.jobs = test_jobs }
+           par);
+      check_identical
+        ~label:(Printf.sprintf "%s/%s" config_name name)
+        ~reference:net seq par)
+    (networks ())
+
+let resub_determinism () =
+  List.iter
+    (fun (name, net) ->
+      let seq = Network.copy net and par = Network.copy net in
+      let n_seq = Synth.Resub.run ~jobs:1 seq in
+      let n_par = Synth.Resub.run ~jobs:test_jobs par in
+      Alcotest.(check int) (name ^ ": substitution counts") n_seq n_par;
+      check_identical ~label:("resub/" ^ name) ~reference:net seq par)
+    (networks ())
+
+(* The sim-seed knob must actually steer the filter: whatever it selects,
+   results stay equivalent, and the default equals the documented seed. *)
+let sim_seed_soundness () =
+  List.iter
+    (fun (name, net) ->
+      let with_seed seed =
+        let scratch = Network.copy net in
+        ignore
+          (Booldiv.Substitute.run
+             ~config:
+               { Booldiv.Substitute.extended_config with sim_seed = seed }
+             scratch);
+        scratch
+      in
+      let default = with_seed Logic_sim.Signature.default_seed in
+      let other = with_seed 0xBAD5EED in
+      Alcotest.(check bool)
+        (name ^ ": default-seed result equivalent")
+        true
+        (Equiv.equivalent default net);
+      Alcotest.(check bool)
+        (name ^ ": alternate-seed result equivalent")
+        true
+        (Equiv.equivalent other net))
+    (networks ())
+
+(* The work pool itself: ordering, exception propagation, reuse. *)
+let pool_basics () =
+  let pool = Rar_util.Pool.create ~jobs:test_jobs in
+  Fun.protect ~finally:(fun () -> Rar_util.Pool.shutdown pool) @@ fun () ->
+  let results =
+    Rar_util.Pool.run pool
+      (List.init 40 (fun i () ->
+           let acc = ref 0 in
+           for k = 1 to 1000 + i do
+             acc := !acc + k
+           done;
+           (i, !acc)))
+  in
+  List.iteri
+    (fun i (j, sum) ->
+      Alcotest.(check int) "result order" i j;
+      Alcotest.(check int) "result value"
+        ((1000 + i) * (1001 + i) / 2)
+        sum)
+    results;
+  (* Batches can be re-run on the same pool. *)
+  let again = Rar_util.Pool.run pool [ (fun () -> 42) ] in
+  Alcotest.(check (list int)) "reuse" [ 42 ] again;
+  (* An exception in one task is re-raised after the batch completes. *)
+  match
+    Rar_util.Pool.run pool
+      [ (fun () -> 1); (fun () -> failwith "boom"); (fun () -> 3) ]
+  with
+  | _ -> Alcotest.fail "expected the task exception to propagate"
+  | exception Failure msg -> Alcotest.(check string) "exn" "boom" msg
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "substitute ext jobs:1 = jobs:4" `Slow
+            (substitute_determinism "ext" Booldiv.Substitute.extended_config);
+          Alcotest.test_case "substitute basic jobs:1 = jobs:4" `Slow
+            (substitute_determinism "basic" Booldiv.Substitute.basic_config);
+          Alcotest.test_case "substitute gdc jobs:1 = jobs:4" `Slow
+            (substitute_determinism "gdc"
+               Booldiv.Substitute.extended_gdc_config);
+          Alcotest.test_case "resub jobs:1 = jobs:4" `Slow resub_determinism;
+        ] );
+      ( "sim-seed",
+        [ Alcotest.test_case "seed steers filter soundly" `Quick
+            sim_seed_soundness ] );
+      ("pool", [ Alcotest.test_case "order, reuse, exceptions" `Quick pool_basics ]);
+    ]
