@@ -1,4 +1,4 @@
-.PHONY: all test bench ci doc clean
+.PHONY: all test bench tracecheck ci doc clean
 
 all:
 	dune build @all
@@ -6,15 +6,22 @@ all:
 test:
 	dune runtest
 
+# Degraded-run robustness gate: rerun the quick rows with a tiny fault
+# budget and a trace file, then lint every trace line as JSON and check
+# the degraded results are still equivalent.
+tracecheck:
+	dune exec bench/main.exe -- tracecheck quick
+
 # Full local CI: build, tests, the jobs=1 vs jobs=max determinism gate
-# (literal totals must be identical), and the quick machine-readable
-# perf snapshot (writes BENCH_resub.json for cross-PR trajectory
-# tracking; fails if total cpu_seconds regresses >20% vs the previous
-# snapshot at jobs=1).
+# (literal totals must be identical), the degraded-run/trace gate, and
+# the quick machine-readable perf snapshot (writes BENCH_resub.json for
+# cross-PR trajectory tracking; fails if total cpu_seconds regresses
+# >20% vs the previous snapshot at jobs=1).
 ci:
 	dune build @all
 	dune runtest
 	dune exec bench/main.exe -- jobscheck quick
+	dune exec bench/main.exe -- tracecheck quick
 	dune exec bench/main.exe -- bench quick
 
 bench:

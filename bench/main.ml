@@ -8,8 +8,9 @@
      main.exe quick           tables on the small row subset only
      main.exe bench quick     write the BENCH_resub.json perf snapshot
      main.exe jobscheck quick parallel-vs-sequential determinism gate
+     main.exe tracecheck quick degraded-run + trace JSON-lines gate
    Sections: fig1 fig2 table1 fig4 table2 table3 table4 table5 ablation
-   bech bench jobscheck
+   bech bench jobscheck tracecheck
    Options (key=value): jobs=N (bench parallelism, default 1; snapshots at
    jobs=1 are also gated >20%% CPU-regression against the previous file),
    sim-seed=N (signature-filter seed). *)
@@ -633,6 +634,68 @@ let jobs_check rows =
       "jobscheck: all cells bit-identical and equivalence-checked\n"
 
 (* ------------------------------------------------------------------ *)
+(* tracecheck - degraded runs must complete and trace valid JSON lines *)
+(* ------------------------------------------------------------------ *)
+
+let trace_check rows =
+  section "tracecheck - degraded-run completion + trace JSON-lines lint";
+  let path = Filename.temp_file "rarsub_trace" ".jsonl" in
+  let failures = ref 0 in
+  let counters = Rar_util.Counters.create () in
+  let trace = Rar_util.Trace.to_file path in
+  (* A tiny per-unit fault budget forces nearly every division to exhaust
+     mid-removal: the run must still complete, every result must stay
+     equivalent (degradation only weakens the optimisation), and each
+     cut-short unit must be visible in the trace. *)
+  List.iter
+    (fun row ->
+      let net = Suite.build row in
+      Synth.Script.run net Synth.Script.script_a;
+      let scratch = Network.copy net in
+      Synth.Script.resub_command ~fault_fuel:5 ~trace ~counters
+        Synth.Script.Ext scratch;
+      let ok = Equiv.equivalent scratch net in
+      if not ok then incr failures;
+      Printf.printf "  %-12s degraded run %s\n" row.Suite.name
+        (if ok then "equivalent" else "NOT EQUIVALENT"))
+    rows;
+  Rar_util.Trace.close trace;
+  let lines = ref 0 and bad = ref 0 and degrade_events = ref 0 in
+  let ic = open_in path in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       (match Rar_util.Trace.lint line with
+       | Ok () -> ()
+       | Error msg ->
+         incr bad;
+         if !bad <= 5 then Printf.printf "  line %d: %s\n" !lines msg);
+       if
+         String.length line >= 20
+         && String.sub line 0 20 = "{\"event\": \"degrade\","
+       then incr degrade_events
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  Printf.printf "trace: %d line(s), %d malformed, %d degrade event(s)\n"
+    !lines !bad !degrade_events;
+  Printf.printf "degradations tallied in counters: %d\n"
+    counters.Rar_util.Counters.degradations;
+  if
+    !bad > 0 || !failures > 0 || !degrade_events = 0
+    || counters.Rar_util.Counters.degradations = 0
+  then begin
+    Printf.printf "tracecheck FAILED\n";
+    exit 5
+  end
+  else
+    Printf.printf
+      "tracecheck: degraded runs equivalent, trace well-formed, \
+       degradations recorded\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel benches - one per table                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -749,6 +812,7 @@ let () =
   if selected "ablation" then ablations ();
   if selected "bech" then bechamel ();
   if List.mem "jobscheck" explicit then jobs_check rows;
+  if List.mem "tracecheck" explicit then trace_check rows;
   (* JSON snapshot only on explicit request: it is a CI artifact, not part
      of the default figure/table regeneration. *)
   if List.mem "bench" explicit then bench_json ~jobs ?sim_seed rows

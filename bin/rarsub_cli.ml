@@ -15,22 +15,27 @@ open Cmdliner
 (* Circuit loading                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* [Error (exit_code, message)]: 1 for usage mistakes, 2 for unreadable
+   or malformed circuit files (parse errors carry file:line: positions). *)
 let load ~circuit ~file =
   match (circuit, file) with
-  | Some _, Some _ -> Error "pass either a circuit name or a BLIF file, not both"
-  | None, None -> Error "pass a circuit name (-c) or a BLIF file (-f)"
+  | Some _, Some _ ->
+    Error (1, "pass either a circuit name or a BLIF file, not both")
+  | None, None -> Error (1, "pass a circuit name (-c) or a BLIF file (-f)")
   | Some name, None -> (
     match Suite.find name with
     | Some row -> Ok (Suite.build row)
     | None -> (
       match List.assoc_opt name Bench_suite.Circuits.all with
       | Some builder -> Ok (builder ())
-      | None -> Error (Printf.sprintf "unknown circuit %S (try 'rarsub list')" name)))
+      | None ->
+        Error
+          (1, Printf.sprintf "unknown circuit %S (try 'rarsub list')" name)))
   | None, Some path -> (
     try Ok (Logic_network.Blif.read_file path) with
-    | Logic_network.Blif.Parse_error msg ->
-      Error (Printf.sprintf "BLIF error in %s: %s" path msg)
-    | Sys_error msg -> Error msg)
+    | Logic_network.Blif.Parse_error { line; message } ->
+      Error (2, Printf.sprintf "%s:%d: %s" path line message)
+    | Sys_error msg -> Error (2, msg))
 
 let circuit_arg =
   Arg.(
@@ -75,9 +80,9 @@ let list_cmd =
 let show_cmd =
   let run circuit file dump_blif =
     match load ~circuit ~file with
-    | Error msg ->
+    | Error (code, msg) ->
       prerr_endline msg;
-      1
+      code
     | Ok net ->
       if dump_blif then print_string (Logic_network.Blif.to_string net)
       else begin
@@ -124,17 +129,31 @@ let resubs =
   @ [ ("rar", `Other (fun net -> ignore (Rewiring.Rar.optimize net))) ]
 
 let optimize_cmd =
-  let run circuit file script method_name no_filter jobs sim_seed output
-      verify verbose =
+  let run circuit file script method_name no_filter jobs sim_seed fault_budget
+      deadline trace_file output verify verbose =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
     end;
     match load ~circuit ~file with
-    | Error msg ->
+    | Error (code, msg) ->
       prerr_endline msg;
-      1
+      code
     | Ok net -> (
+      match
+        match trace_file with
+        | Some path -> Rar_util.Trace.to_file path
+        | None -> Rar_util.Trace.disabled
+      with
+      | exception Sys_error msg ->
+        prerr_endline msg;
+        2
+      | trace ->
+      Fun.protect ~finally:(fun () -> Rar_util.Trace.close trace)
+      @@ fun () ->
+      let deadline_at =
+        Option.map (fun s -> Unix.gettimeofday () +. s) deadline
+      in
       let original = Network.copy net in
       let steps = List.assoc script scripts in
       let counters = Rar_util.Counters.create () in
@@ -148,11 +167,12 @@ let optimize_cmd =
         | `Other command -> command
         | `Method meth ->
           Synth.Script.resub_command ~use_filter:(not no_filter) ~jobs
-            ~sim_seed ~counters meth
+            ~sim_seed ?fault_fuel:fault_budget ?deadline_at ~trace ~counters
+            meth
       in
       Printf.printf "initial: %d factored literals\n" (Lit_count.factored net);
       let (), script_time =
-        Rar_util.Stopwatch.time (fun () -> Synth.Script.run net steps)
+        Rar_util.Stopwatch.time (fun () -> Synth.Script.run ~trace net steps)
       in
       if steps <> [] then
         Printf.printf "after script %s: %d literals (%.2fs)\n" script
@@ -217,6 +237,36 @@ let optimize_cmd =
       & info [ "sim-seed" ] ~docv:"SEED"
           ~doc:"RNG seed for the simulation-signature divisor filter.")
   in
+  let fault_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-budget" ] ~docv:"N"
+          ~doc:
+            "Cap the implication steps each division attempt may spend. \
+             Exhausted attempts degrade to their algebraic result instead \
+             of running on; the run always completes.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Soft wall-clock limit for the resubstitution phase. Work \
+             still pending when it passes is skipped (degraded), never \
+             aborted.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write structured JSON-lines trace events (phase spans, \
+             per-unit timings, degradations, counter snapshots) to \
+             $(docv). No overhead when absent.")
+  in
   let output_arg =
     Arg.(
       value
@@ -237,8 +287,8 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Optimise a circuit with a script and a method.")
     Term.(
       const run $ circuit_arg $ file_arg $ script_arg $ method_arg
-      $ no_filter_flag $ jobs_arg $ sim_seed_arg $ output_arg $ verify_flag
-      $ verbose_flag)
+      $ no_filter_flag $ jobs_arg $ sim_seed_arg $ fault_budget_arg
+      $ deadline_arg $ trace_arg $ output_arg $ verify_flag $ verbose_flag)
 
 let () =
   let info =

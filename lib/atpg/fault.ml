@@ -159,19 +159,25 @@ let find_test net wire =
   | Logic_sim.Equiv.Equivalent -> None
   | Logic_sim.Equiv.Counterexample assignment -> Some assignment
 
-let redundant ?(use_dominators = true) ?(learn_depth = 0) ?region ?engine
-    ?counters ?(extra = []) net wire =
+let redundant_result ?(use_dominators = true) ?(learn_depth = 0) ?region
+    ?engine ?budget ?counters ?(extra = []) net wire =
   let faulty_node =
     match wire with Literal_wire { node; _ } | Cube_wire { node; _ } -> node
   in
   let tfo = Network.transitive_fanout net [ faulty_node ] in
   let frozen n = Node_set.mem n tfo in
+  let budget =
+    match budget with Some b -> b | None -> Rar_util.Budget.unlimited
+  in
   let engine =
     match engine with
     | Some e when Imply.network e == net ->
       Imply.reset ~frozen e;
+      (* A pooled engine may carry the budget of a previous test; always
+         install the caller's (or unlimited). *)
+      Imply.set_budget e budget;
       e
-    | Some _ | None -> Imply.create ?region ~frozen ?counters net
+    | Some _ | None -> Imply.create ?region ~frozen ~budget ?counters net
   in
   let assignments =
     activation_assignments net wire
@@ -186,5 +192,15 @@ let redundant ?(use_dominators = true) ?(learn_depth = 0) ?region ?engine
       assignments;
     if learn_depth > 0 then Imply.learn ~depth:learn_depth engine
   with
-  | () -> false
-  | exception Imply.Conflict _ -> true
+  | () -> Ok false
+  | exception Imply.Conflict _ -> Ok true
+  | exception Rar_util.Budget.Exhausted reason -> Error reason
+
+let redundant ?use_dominators ?learn_depth ?region ?engine ?budget ?counters
+    ?extra net wire =
+  match
+    redundant_result ?use_dominators ?learn_depth ?region ?engine ?budget
+      ?counters ?extra net wire
+  with
+  | Ok verdict -> verdict
+  | Error _ -> false

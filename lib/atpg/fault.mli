@@ -57,23 +57,44 @@ val find_test : Logic_network.Network.t -> wire -> (string * bool) list option
     or [None] when the fault is untestable or no test was found within the
     equivalence checker's budget (exhaustive for small input counts). *)
 
-val redundant :
+val redundant_result :
   ?use_dominators:bool ->
   ?learn_depth:int ->
   ?region:(Logic_network.Network.node_id -> bool) ->
   ?engine:Imply.t ->
+  ?budget:Rar_util.Budget.t ->
   ?counters:Rar_util.Counters.t ->
   ?extra:assignment list ->
   Logic_network.Network.t ->
   wire ->
-  bool
-(** [redundant net w] is [true] when the stuck-at fault of wire [w] is
-    proven untestable: the mandatory assignments (activation, and
+  (bool, Rar_util.Budget.reason) result
+(** [redundant_result net w] is [Ok true] when the stuck-at fault of wire
+    [w] is proven untestable: the mandatory assignments (activation, and
     propagation when [use_dominators], default [true]) plus [extra]
     assumptions produce an implication conflict. [learn_depth] (default 0)
-    enables recursive learning. One-sided: [false] means "not proven".
+    enables recursive learning. One-sided: [Ok false] means "not proven".
+    [Error reason] means the [budget] (default unlimited, charged per
+    implication step) ran out before the test concluded — the wire must be
+    treated as not-proven-redundant, and the caller decides whether to
+    degrade or abort. The budget is installed on the engine for this test
+    (replacing any stale one on a pooled engine).
 
     When [engine] is a pooled arena over the {e same} network (physical
     equality; its region must match [region]), it is {!Imply.reset} with
     this fault's frozen set and reused instead of building a fresh engine;
     otherwise a fresh one is created and [counters] records the build. *)
+
+val redundant :
+  ?use_dominators:bool ->
+  ?learn_depth:int ->
+  ?region:(Logic_network.Network.node_id -> bool) ->
+  ?engine:Imply.t ->
+  ?budget:Rar_util.Budget.t ->
+  ?counters:Rar_util.Counters.t ->
+  ?extra:assignment list ->
+  Logic_network.Network.t ->
+  wire ->
+  bool
+(** {!redundant_result} collapsed to a bool: budget exhaustion maps to
+    [false] ("not proven redundant") — always safe, never unsound, since
+    redundancy claims are one-sided. *)

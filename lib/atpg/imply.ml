@@ -29,6 +29,7 @@ type t = {
   net : Network.t;
   region : Network.node_id -> bool;
   mutable frozen : Network.node_id -> bool;
+  mutable budget : Rar_util.Budget.t;
   counters : Counters.t option;
   (* Structure mirrors the network at [built_revision]; [reset] rebuilds
      it when the network has mutated since. Shared by learn-copies. *)
@@ -149,13 +150,14 @@ let build t =
   | Some c -> c.Counters.imply_creates <- c.Counters.imply_creates + 1
   | None -> ())
 
-let create ?(region = fun _ -> true) ?(frozen = fun _ -> false) ?counters net
-    =
+let create ?(region = fun _ -> true) ?(frozen = fun _ -> false)
+    ?(budget = Rar_util.Budget.unlimited) ?counters net =
   let t =
     {
       net;
       region;
       frozen;
+      budget;
       counters;
       built_revision = -1;
       slot = [||];
@@ -335,15 +337,23 @@ let process t s =
     end
   end
 
+(* One fuel unit per dequeued slot: the budget bounds the number of
+   propagation steps a fault test may take. [Budget.Exhausted] escapes to
+   the first layer with a fallback (e.g. {!Fault.redundant_result}); the
+   engine itself stays consistent — a later [reset] rewinds the trail as
+   after a conflict. *)
 let run t =
   let cap = Array.length t.queue in
   while t.q_len > 0 do
+    Rar_util.Budget.spend t.budget;
     let s = t.queue.(t.q_head) in
     t.q_head <- (if t.q_head + 1 >= cap then 0 else t.q_head + 1);
     t.q_len <- t.q_len - 1;
     Bytes.set t.queued s '\000';
     process t s
   done
+
+let set_budget t budget = t.budget <- budget
 
 let assign_node t id v =
   set_node t id v;

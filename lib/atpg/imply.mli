@@ -35,12 +35,22 @@ exception Conflict of string
 val create :
   ?region:(Logic_network.Network.node_id -> bool) ->
   ?frozen:(Logic_network.Network.node_id -> bool) ->
+  ?budget:Rar_util.Budget.t ->
   ?counters:Rar_util.Counters.t ->
   Logic_network.Network.t ->
   t
 (** Build an arena over the network's current structure. Counted as an
     [imply_creates] in [counters] (as is every structural rebuild a later
-    {!reset} performs). *)
+    {!reset} performs). [budget] (default {!Rar_util.Budget.unlimited})
+    is charged one unit per propagation step; when it runs out,
+    {!Rar_util.Budget.Exhausted} escapes from {!assign_node} /
+    {!assign_cube} / {!learn}. The engine stays consistent — {!reset}
+    rewinds the partial propagation like any other abandoned test. *)
+
+val set_budget : t -> Rar_util.Budget.t -> unit
+(** Replace the engine's budget (pooled engines get a fresh budget per
+    fault test; installing {!Rar_util.Budget.unlimited} clears a stale
+    one). *)
 
 val network : t -> Logic_network.Network.t
 (** The network the engine was created over (used by callers to decide

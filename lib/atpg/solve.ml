@@ -1,9 +1,12 @@
 open Twolevel
 module Network = Logic_network.Network
 
-exception Budget
+type 'a outcome =
+  | Sat of 'a
+  | Unsat
+  | Exhausted of Rar_util.Budget.reason
 
-let satisfy ?(max_decisions = 100_000) net ~node ~value =
+let satisfy ?(max_decisions = 100_000) ?budget net ~node ~value =
   let decisions = ref 0 in
   let support =
     List.filter
@@ -25,7 +28,8 @@ let satisfy ?(max_decisions = 100_000) net ~node ~value =
       | Some _ -> search engine rest
       | None ->
         incr decisions;
-        if !decisions > max_decisions then raise Budget;
+        if !decisions > max_decisions then
+          raise (Rar_util.Budget.Exhausted Rar_util.Budget.Fuel);
         let attempt phase =
           let scratch = Imply.copy engine in
           match Imply.assign_node scratch input phase with
@@ -36,13 +40,17 @@ let satisfy ?(max_decisions = 100_000) net ~node ~value =
         | Some model -> Some model
         | None -> attempt false))
   in
-  let engine = Imply.create net in
+  let engine = Imply.create ?budget net in
   match Imply.assign_node engine node value with
-  | exception Imply.Conflict _ -> None
+  | exception Imply.Conflict _ -> Unsat
+  | exception Rar_util.Budget.Exhausted reason -> Exhausted reason
   | () -> (
+    (* The decision cap and any propagation budget both surface here as a
+       typed outcome — "unsat" stays trustworthy, and nothing crashes. *)
     match search engine support with
-    | result -> result
-    | exception Budget -> failwith "Solve.satisfy: decision budget exhausted")
+    | Some model -> Sat model
+    | None -> Unsat
+    | exception Rar_util.Budget.Exhausted reason -> Exhausted reason)
 
 let miter a b =
   let net = Network.create () in
@@ -107,17 +115,18 @@ let miter a b =
   Network.add_output net "miter" out;
   (net, out)
 
-let find_test net wire =
+let find_test ?budget net wire =
   let faulty = Fault.inject net wire in
   let m, out = miter net faulty in
-  match satisfy m ~node:out ~value:true with
-  | None -> None
-  | Some model ->
+  match satisfy ?budget m ~node:out ~value:true with
+  | Unsat -> Unsat
+  | Exhausted reason -> Exhausted reason
+  | Sat model ->
     (* Complete the assignment: unconstrained inputs default to false. *)
     let by_name =
       List.map (fun (id, v) -> (Network.name m id, v)) model
     in
-    Some
+    Sat
       (List.map
          (fun id ->
            let name = Network.name m id in

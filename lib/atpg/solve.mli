@@ -8,16 +8,24 @@
     to exhaustive enumeration — the role the topological ATPG literature
     ([10], [13] in the paper) plays for the RAR techniques. *)
 
+type 'a outcome =
+  | Sat of 'a  (** a witness was found *)
+  | Unsat  (** proven unsatisfiable — trustworthy, never a timeout *)
+  | Exhausted of Rar_util.Budget.reason
+      (** the decision cap or the propagation budget ran out first *)
+
 val satisfy :
   ?max_decisions:int ->
+  ?budget:Rar_util.Budget.t ->
   Logic_network.Network.t ->
   node:Logic_network.Network.node_id ->
   value:bool ->
-  (Logic_network.Network.node_id * bool) list option
+  (Logic_network.Network.node_id * bool) list outcome
 (** An assignment of the primary inputs in the node's transitive fanin
-    forcing the node to the value, or [None] when unsatisfiable (or the
-    decision budget — default 100000 — is exhausted, which raises
-    [Failure] instead so "unsat" stays trustworthy). *)
+    forcing the node to the value. [Unsat] is a proof; resource limits
+    (the decision cap — default 100000 — or [budget], charged per
+    implication step) surface as [Exhausted] so "unsat" stays
+    trustworthy and no crash path remains. *)
 
 val miter :
   Logic_network.Network.t ->
@@ -28,7 +36,10 @@ val miter :
     pair feeds an XOR, and the returned node ORs them all. *)
 
 val find_test :
-  Logic_network.Network.t -> Fault.wire -> (string * bool) list option
+  ?budget:Rar_util.Budget.t ->
+  Logic_network.Network.t ->
+  Fault.wire ->
+  (string * bool) list outcome
 (** SAT-based stuck-at test generation: build the miter of the circuit
-    against {!Fault.inject} and satisfy it. Complete: [None] means the
-    fault is untestable. *)
+    against {!Fault.inject} and satisfy it. Complete: [Unsat] means the
+    fault is untestable; [Exhausted] means the search was cut short. *)

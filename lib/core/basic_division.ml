@@ -7,6 +7,7 @@ type outcome = {
   quotient_literals : int;
   wires_removed : int;
   literal_gain : int;
+  degraded : bool;
 }
 
 let complement_limit = 128
@@ -52,8 +53,8 @@ let region_predicate net seeds =
   in
   fun id -> Network.Node_set.mem id set
 
-let divide ?(phase = true) ?(gdc = false) ?(learn_depth = 0) ?counters net ~f
-    ~d =
+let divide ?(phase = true) ?(gdc = false) ?(learn_depth = 0) ?budget ?counters
+    net ~f ~d =
   if not (applicable ~phase net ~f ~d) then None
   else begin
     let original_cover = Network.cover net f in
@@ -94,14 +95,25 @@ let divide ?(phase = true) ?(gdc = false) ?(learn_depth = 0) ?counters net ~f
     in
     let learn_depth = if learn_depth > 0 then Some learn_depth else None in
     let removed =
-      Rewiring.Remove.run ?region ?learn_depth ?counters
+      Rewiring.Remove.run ?region ?learn_depth ?budget ?counters
         ~node_filter:(fun n -> n = q_node)
         net
+    in
+    (* When the budget ran out, the removal loop stopped early and the
+       quotient is simply less shrunk — in the limit, the untouched [f1]
+       partition, i.e. the plain algebraic quotient. Division still
+       completes; the result is correct, just weaker. *)
+    let degraded =
+      match budget with
+      | Some b -> Rar_util.Budget.exhausted b <> None
+      | None -> false
     in
     let quotient_literals = Cover.literal_count (Network.cover net q_node) in
     (* Fold the quotient node back into f so f stays one SOP node. *)
     if Collapse.collapse_into_fanouts net q_node then
-      Some { quotient_literals; wires_removed = removed; literal_gain = 0 }
+      Some
+        { quotient_literals; wires_removed = removed; literal_gain = 0;
+          degraded }
     else begin
       (* Composition blow-up: unwind the restructuring entirely. *)
       Network.set_function net f ~fanins:f_fanins original_cover;
@@ -110,11 +122,11 @@ let divide ?(phase = true) ?(gdc = false) ?(learn_depth = 0) ?counters net ~f
     end
   end
 
-let try_divide ?phase ?gdc ?learn_depth ?counters net ~f ~d =
+let try_divide ?phase ?gdc ?learn_depth ?budget ?counters net ~f ~d =
   let before_cover = Network.cover net f in
   let before_fanins = Network.fanins net f in
   let before_lits = Lit_count.node_factored net f in
-  match divide ?phase ?gdc ?learn_depth ?counters net ~f ~d with
+  match divide ?phase ?gdc ?learn_depth ?budget ?counters net ~f ~d with
   | None -> None
   | Some outcome ->
     let gain = before_lits - Lit_count.node_factored net f in

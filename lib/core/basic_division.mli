@@ -24,6 +24,9 @@ type outcome = {
   quotient_literals : int;  (** flat literals of the final quotient *)
   wires_removed : int;  (** wires deleted by the redundancy-removal step *)
   literal_gain : int;  (** factored-form literals saved on node [f] *)
+  degraded : bool;
+      (** the removal step's budget ran out, so the quotient fell back
+          toward the algebraic one (still correct, possibly weaker) *)
 }
 
 val applicable :
@@ -40,6 +43,7 @@ val divide :
   ?phase:bool ->
   ?gdc:bool ->
   ?learn_depth:int ->
+  ?budget:Rar_util.Budget.t ->
   ?counters:Rar_util.Counters.t ->
   Logic_network.Network.t ->
   f:Logic_network.Network.node_id ->
@@ -48,12 +52,15 @@ val divide :
 (** Restructure [f] as [q·d + r] in place ([q·d' + r] when [phase] is
     [false], the [-d] flavour), regardless of literal gain
     (callers wanting a gain policy should use {!try_divide}). [None] when
-    {!applicable} fails. *)
+    {!applicable} fails. [budget] bounds the redundancy-removal step;
+    exhaustion degrades the quotient toward the algebraic one instead of
+    failing (flagged in {!outcome.degraded}). *)
 
 val try_divide :
   ?phase:bool ->
   ?gdc:bool ->
   ?learn_depth:int ->
+  ?budget:Rar_util.Budget.t ->
   ?counters:Rar_util.Counters.t ->
   Logic_network.Network.t ->
   f:Logic_network.Network.node_id ->

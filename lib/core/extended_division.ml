@@ -99,9 +99,11 @@ let materialise_core net core =
       sources;
     (g, !decomposed)
 
-let try_run ?gdc ?learn_depth ?counters net ~f ~pool =
+let try_run ?gdc ?learn_depth ?budget ?counters net ~f ~pool =
   let scratch = Network.copy net in
-  let entries = Vote.collect ?gdc ?learn_depth ?counters scratch ~f ~pool in
+  let entries =
+    Vote.collect ?gdc ?learn_depth ?budget ?counters scratch ~f ~pool
+  in
   let valid = Array.of_list (Vote.valid_entries entries) in
   if Array.length valid = 0 then None
   else begin
@@ -118,7 +120,8 @@ let try_run ?gdc ?learn_depth ?counters net ~f ~pool =
     | Some { members; core } ->
       let core_node, decomposed = materialise_core scratch core in
       let divided =
-        Basic_division.divide ?gdc ?learn_depth ?counters scratch ~f ~d:core_node
+        Basic_division.divide ?gdc ?learn_depth ?budget ?counters scratch ~f
+          ~d:core_node
       in
       let cleanup_ok =
         match divided with

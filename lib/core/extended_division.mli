@@ -29,10 +29,14 @@ type outcome = {
 val try_run :
   ?gdc:bool ->
   ?learn_depth:int ->
+  ?budget:Rar_util.Budget.t ->
   ?counters:Rar_util.Counters.t ->
   Logic_network.Network.t ->
   f:Logic_network.Network.node_id ->
   pool:Logic_network.Network.node_id list ->
   outcome option
 (** Attempt one extended division of [f]; mutates the network only on
-    positive gain. *)
+    positive gain. [budget] bounds the implication work of the vote
+    table and the removal step; on exhaustion the attempt degrades
+    (truncated table, weaker quotient) rather than failing, and the
+    positive-gain gate still guards the commit. *)

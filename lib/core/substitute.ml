@@ -5,6 +5,8 @@ module Lit_count = Logic_network.Lit_count
 module Signature = Logic_sim.Signature
 module Counters = Rar_util.Counters
 module Pool = Rar_util.Pool
+module Budget = Rar_util.Budget
+module Trace = Rar_util.Trace
 
 let log_src = Logs.Src.create "booldiv.substitute" ~doc:"Substitution driver"
 
@@ -166,8 +168,17 @@ type unit_task = Ext of Network.node_id list | Div of Network.node_id
    must belong to [net]; [committed] reports the substitution kind;
    [verbose] gates logging (workers stay silent — Logs is not
    domain-safe). *)
-let make_attempts ~config ~counters ~sigs ~committed ~verbose net =
+let make_attempts ~config ?fault_fuel ?deadline_at ~trace ~counters ~sigs
+    ~committed ~verbose net =
   let gdc = config.gdc and learn_depth = config.learn_depth in
+  (* Each work unit gets its own budget so one runaway division cannot
+     starve the rest of the run; the wall deadline is shared (absolute).
+     Fuel budgets are deterministic, so speculative snapshots and the
+     committing re-execution make identical degradation decisions. *)
+  let fresh_budget () =
+    if fault_fuel = None && deadline_at = None then None
+    else Some (Budget.create ?fuel:fault_fuel ?deadline_at ())
+  in
   (* Per-phase signature gate: dividing f by d needs their onsets to
      meet; dividing by d' needs f's onset to meet d's offset. Checked
      lazily (signatures may have moved since ranking if an earlier
@@ -177,7 +188,7 @@ let make_attempts ~config ~counters ~sigs ~committed ~verbose net =
     | None -> true
     | Some s -> Signature.phase_compatible s ~phase ~f ~d
   in
-  let attempt_basic f d =
+  let attempt_basic ?budget f d =
     Counters.timed counters `Division @@ fun () ->
     counters.Counters.divisions_attempted <-
       counters.Counters.divisions_attempted + 1;
@@ -185,8 +196,8 @@ let make_attempts ~config ~counters ~sigs ~committed ~verbose net =
       phase_possible f d phase
       &&
       match
-        Basic_division.try_divide ~phase ~gdc ~learn_depth ~counters net ~f
-          ~d
+        Basic_division.try_divide ~phase ~gdc ~learn_depth ?budget ~counters
+          net ~f ~d
       with
       | Some outcome ->
         committed `Basic;
@@ -208,11 +219,12 @@ let make_attempts ~config ~counters ~sigs ~committed ~verbose net =
       let scratch = Network.copy net in
       let gain_before = Lit_count.factored scratch in
       let first =
-        Basic_division.divide ~gdc ~learn_depth ~counters scratch ~f ~d
+        Basic_division.divide ~gdc ~learn_depth ?budget ~counters scratch ~f
+          ~d
       in
       let second =
-        Basic_division.divide ~phase:false ~gdc ~learn_depth ~counters
-          scratch ~f ~d
+        Basic_division.divide ~phase:false ~gdc ~learn_depth ?budget
+          ~counters scratch ~f ~d
       in
       if
         first <> None && second <> None
@@ -244,12 +256,13 @@ let make_attempts ~config ~counters ~sigs ~committed ~verbose net =
       end
       else false
   in
-  let attempt_extended f pool =
+  let attempt_extended ?budget f pool =
     Counters.timed counters `Division @@ fun () ->
     counters.Counters.divisions_attempted <-
       counters.Counters.divisions_attempted + 1;
     match
-      Extended_division.try_run ~gdc ~learn_depth ~counters net ~f ~pool
+      Extended_division.try_run ~gdc ~learn_depth ?budget ~counters net ~f
+        ~pool
     with
     | Some outcome ->
       committed `Ext;
@@ -269,11 +282,43 @@ let make_attempts ~config ~counters ~sigs ~committed ~verbose net =
       end
       else false
   in
-  fun f -> function
-    | Ext pool -> attempt_extended f pool
-    | Div d -> if attempt_basic f d then true else attempt_pos f d
+  fun f task ->
+    let budget = fresh_budget () in
+    let t0 = if Trace.enabled trace then Unix.gettimeofday () else 0.0 in
+    let ok =
+      match task with
+      | Ext pool -> attempt_extended ?budget f pool
+      | Div d -> if attempt_basic ?budget f d then true else attempt_pos f d
+    in
+    let kind = match task with Ext _ -> "ext" | Div _ -> "div" in
+    (match budget with
+    | Some b -> (
+      match Budget.exhausted b with
+      | Some reason ->
+        if verbose then
+          Log.info (fun m ->
+              m "budget exhausted (%s) on %s: degraded to algebraic result"
+                (Budget.reason_to_string reason) (Network.name net f));
+        Trace.emit trace "degrade"
+          [
+            ("node", Trace.String (Network.name net f));
+            ("unit", Trace.String kind);
+            ("reason", Trace.String (Budget.reason_to_string reason));
+          ]
+      | None -> ())
+    | None -> ());
+    if Trace.enabled trace then
+      Trace.emit trace "unit"
+        [
+          ("node", Trace.String (Network.name net f));
+          ("unit", Trace.String kind);
+          ("committed", Trace.Bool ok);
+          ("seconds", Trace.Float (Unix.gettimeofday () -. t0));
+        ];
+    ok
 
-let run ?(config = extended_config) ?counters net =
+let run ?(config = extended_config) ?fault_fuel ?deadline_at
+    ?(trace = Trace.disabled) ?counters net =
   let counters =
     match counters with Some c -> c | None -> Counters.create ()
   in
@@ -295,7 +340,8 @@ let run ?(config = extended_config) ?counters net =
     counters.Counters.substitutions <- counters.Counters.substitutions + 1
   in
   let run_unit =
-    make_attempts ~config ~counters ~sigs ~committed ~verbose:true net
+    make_attempts ~config ?fault_fuel ?deadline_at ~trace ~counters ~sigs
+      ~committed ~verbose:true net
   in
   let jobs = max 1 config.jobs in
   let wpool = if jobs > 1 then Some (Pool.create ~jobs) else None in
@@ -316,8 +362,13 @@ let run ?(config = extended_config) ?counters net =
       else None
     in
     let ids_before = Network.id_limit snap in
+    (* Workers keep the trace disabled (like Logs): emission is
+       mutex-serialised but event interleaving from domains would be
+       nondeterministic; degradations still reach the main record via the
+       private counters. *)
     let ok =
-      make_attempts ~config ~counters:wcounters ~sigs:wsigs
+      make_attempts ~config ?fault_fuel ?deadline_at ~trace:Trace.disabled
+        ~counters:wcounters ~sigs:wsigs
         ~committed:(fun _ -> ()) ~verbose:false snap f task
     in
     Option.iter Signature.detach wsigs;
@@ -422,7 +473,18 @@ let run ?(config = extended_config) ?counters net =
     !changed
   in
   let rec loop remaining = if remaining > 0 && pass () then loop (remaining - 1) in
-  loop config.max_passes;
+  Trace.span trace "substitute"
+    ~fields:
+      [
+        ( "mode",
+          Trace.String
+            (match config.mode with Basic -> "basic" | Extended -> "extended")
+        );
+        ("jobs", Trace.Int jobs);
+      ]
+    (fun () -> loop config.max_passes);
+  Trace.emit trace "counters"
+    [ ("counters", Trace.Raw (Counters.to_json counters)) ];
   {
     basic_substitutions = !basic_count;
     extended_substitutions = !ext_count;

@@ -64,13 +64,26 @@ type stats = {
 
 val run :
   ?config:config ->
+  ?fault_fuel:int ->
+  ?deadline_at:float ->
+  ?trace:Rar_util.Trace.t ->
   ?counters:Rar_util.Counters.t ->
   Logic_network.Network.t ->
   stats
 (** Optimise the network in place (default {!extended_config}). Literal
     figures are factored-form counts. When [counters] is supplied the
     run's tallies accumulate into it (and it is returned in
-    {!stats.counters}); otherwise a fresh record is used. *)
+    {!stats.counters}); otherwise a fresh record is used.
+
+    [fault_fuel] caps the implication steps each work unit (one division
+    or extended-division attempt) may spend; [deadline_at] is an absolute
+    {!Unix.gettimeofday} instant shared by all remaining units. When a
+    unit's budget runs out it degrades — the quotient falls back toward
+    the algebraic one, or the vote table is truncated — and the run
+    continues; degradations are tallied in the counters and reported on
+    [trace]. [trace] (default {!Rar_util.Trace.disabled}) receives
+    structured events: a [substitute] span, per-unit timings, [degrade]
+    events, and a final counter snapshot. Worker domains never emit. *)
 
 val substitute_pos :
   Logic_network.Network.t ->

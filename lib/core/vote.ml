@@ -11,7 +11,7 @@ type entry = {
   conflicted : bool;
 }
 
-let collect ?(gdc = false) ?(learn_depth = 0) ?counters net ~f ~pool =
+let collect ?(gdc = false) ?(learn_depth = 0) ?budget ?counters net ~f ~pool =
   let pool =
     List.filter
       (fun m ->
@@ -39,7 +39,8 @@ let collect ?(gdc = false) ?(learn_depth = 0) ?counters net ~f ~pool =
   in
   (* One arena shared by every wire of [f]: region and frozen are the
      same for all of them, only the activation assignments differ. *)
-  let engine = Atpg.Imply.create ~region ~frozen ?counters net in
+  let engine = Atpg.Imply.create ~region ~frozen ?budget ?counters net in
+  let degraded = ref false in
   let entry_of_wire wire =
     let cube_index =
       match wire with
@@ -59,8 +60,16 @@ let collect ?(gdc = false) ?(learn_depth = 0) ?counters net ~f ~pool =
       with
       | () -> `Ok
       | exception Atpg.Imply.Conflict _ -> `Conflict
+      | exception Rar_util.Budget.Exhausted _ -> `Exhausted
     in
     match outcome with
+    | `Exhausted ->
+      (* The implication budget ran out mid-table: this wire (and, since
+         exhaustion is sticky, the remaining ones) contributes no votes.
+         The table is merely truncated — every recorded entry is still a
+         sound implication result. *)
+      degraded := true;
+      { wire; wire_cube; candidates = []; valid = false; conflicted = false }
     | `Conflict ->
       { wire; wire_cube; candidates = []; valid = false; conflicted = true }
     | `Ok ->
@@ -79,7 +88,12 @@ let collect ?(gdc = false) ?(learn_depth = 0) ?counters net ~f ~pool =
       in
       { wire; wire_cube; candidates; valid; conflicted = false }
   in
-  List.map entry_of_wire literal_wires
+  let entries = List.map entry_of_wire literal_wires in
+  (match (!degraded, counters) with
+  | true, Some c ->
+    c.Rar_util.Counters.degradations <- c.Rar_util.Counters.degradations + 1
+  | _ -> ());
+  entries
 
 let valid_entries entries =
   List.filter (fun e -> e.valid && e.candidates <> []) entries

@@ -24,13 +24,17 @@ type entry = {
 val collect :
   ?gdc:bool ->
   ?learn_depth:int ->
+  ?budget:Rar_util.Budget.t ->
   ?counters:Rar_util.Counters.t ->
   Logic_network.Network.t ->
   f:Logic_network.Network.node_id ->
   pool:Logic_network.Network.node_id list ->
   entry list
 (** One entry per literal wire of [f] (pool nodes on which [f] depends
-    are excluded from candidate sets automatically). *)
+    are excluded from candidate sets automatically). [budget] bounds the
+    implication work across the whole table; on exhaustion the affected
+    wires get empty candidate sets (the table is truncated, never wrong)
+    and a [degradations] is tallied in [counters]. *)
 
 val valid_entries : entry list -> entry list
 (** Entries with [valid] and a non-empty candidate set (Table I(b)). *)

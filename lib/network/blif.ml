@@ -1,10 +1,12 @@
 open Twolevel
 
-exception Parse_error of string
+exception Parse_error of { line : int; message : string }
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
 
-(* Logical lines: strip comments, join continuations, drop blanks. *)
+(* Logical lines, each tagged with the 1-based number of its first
+   physical line: strip comments, join continuations, drop blanks. *)
 let logical_lines text =
   let raw = String.split_on_char '\n' text in
   let strip_comment line =
@@ -12,28 +14,33 @@ let logical_lines text =
     | Some i -> String.sub line 0 i
     | None -> line
   in
-  let rec join acc pending = function
+  let rec join acc start pending lineno = function
     | [] ->
-      let acc = if pending = "" then acc else pending :: acc in
+      let acc = if pending = "" then acc else (start, pending) :: acc in
       List.rev acc
     | line :: rest ->
+      let lineno = lineno + 1 in
       let line = String.trim (strip_comment line) in
-      if line = "" then join acc pending rest
-      else if String.length line > 0 && line.[String.length line - 1] = '\\' then
+      if line = "" then join acc start pending lineno rest
+      else if String.length line > 0 && line.[String.length line - 1] = '\\'
+      then
         let chunk = String.sub line 0 (String.length line - 1) in
-        join acc (pending ^ chunk ^ " ") rest
-      else if pending <> "" then join ((pending ^ line) :: acc) "" rest
-      else join (line :: acc) "" rest
+        let start = if pending = "" then lineno else start in
+        join acc start (pending ^ chunk ^ " ") lineno rest
+      else if pending <> "" then
+        join ((start, pending ^ line) :: acc) 0 "" lineno rest
+      else join ((lineno, line) :: acc) 0 "" lineno rest
   in
-  join [] "" raw
+  join [] 0 "" 0 raw
 
 let words line =
   List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.concat " " (String.split_on_char '\t' line)))
 
 type pending_names = {
+  line : int; (* physical line of the .names directive *)
   signals : string list; (* inputs @ [output] *)
-  mutable on_rows : string list; (* input patterns for output=1 *)
-  mutable off_rows : string list; (* input patterns for output=0 *)
+  mutable on_rows : (int * string) list; (* input patterns for output=1 *)
+  mutable off_rows : (int * string) list; (* input patterns for output=0 *)
 }
 
 let parse text =
@@ -49,41 +56,46 @@ let parse text =
     | None -> ()
   in
   List.iter
-    (fun line ->
+    (fun (lineno, line) ->
       match words line with
       | [] -> ()
       | cmd :: args when String.length cmd > 0 && cmd.[0] = '.' -> (
         finish ();
         match cmd with
         | ".model" -> ()
-        | ".inputs" -> inputs := !inputs @ args
-        | ".outputs" -> outputs := !outputs @ args
+        | ".inputs" ->
+          inputs := !inputs @ List.map (fun n -> (lineno, n)) args
+        | ".outputs" ->
+          outputs := !outputs @ List.map (fun n -> (lineno, n)) args
         | ".names" ->
-          if args = [] then fail ".names without signals";
-          current := Some { signals = args; on_rows = []; off_rows = [] }
+          if args = [] then fail lineno ".names without signals";
+          current :=
+            Some { line = lineno; signals = args; on_rows = []; off_rows = [] }
         | ".end" -> ()
         | ".exdc" | ".latch" | ".subckt" | ".gate" ->
-          fail "unsupported BLIF construct %s" cmd
-        | _ -> fail "unknown BLIF directive %s" cmd)
+          fail lineno "unsupported BLIF construct %s" cmd
+        | _ -> fail lineno "unknown BLIF directive %s" cmd)
       | row -> (
         match !current with
-        | None -> fail "cube row outside .names: %s" line
+        | None -> fail lineno "cube row outside .names: %s" line
         | Some table -> (
           match row with
-          | [ pattern; "1" ] -> table.on_rows <- pattern :: table.on_rows
-          | [ pattern; "0" ] -> table.off_rows <- pattern :: table.off_rows
+          | [ pattern; "1" ] ->
+            table.on_rows <- (lineno, pattern) :: table.on_rows
+          | [ pattern; "0" ] ->
+            table.off_rows <- (lineno, pattern) :: table.off_rows
           | [ "1" ] when List.length table.signals = 1 ->
-            table.on_rows <- "" :: table.on_rows
+            table.on_rows <- (lineno, "") :: table.on_rows
           | [ "0" ] when List.length table.signals = 1 ->
-            table.off_rows <- "" :: table.off_rows
-          | _ -> fail "malformed cube row: %s" line)))
+            table.off_rows <- (lineno, "") :: table.off_rows
+          | _ -> fail lineno "malformed cube row: %s" line)))
     lines;
   finish ();
   let net = Network.create () in
   let by_name = Hashtbl.create 64 in
   List.iter
-    (fun n ->
-      if Hashtbl.mem by_name n then fail "duplicate input %s" n
+    (fun (lineno, n) ->
+      if Hashtbl.mem by_name n then fail lineno "duplicate input %s" n
       else Hashtbl.add by_name n (Network.add_input net n))
     !inputs;
   (* Tables may reference signals defined later; create nodes in dependency
@@ -104,9 +116,9 @@ let parse text =
               Array.of_list (List.map (Hashtbl.find by_name) in_names)
             in
             let nvars = Array.length fanins in
-            let row_cube pattern =
+            let row_cube (lineno, pattern) =
               if String.length pattern <> nvars then
-                fail "cube row width mismatch for %s" out_name;
+                fail lineno "cube row width mismatch for %s" out_name;
               let lits = ref [] in
               String.iteri
                 (fun i ch ->
@@ -114,7 +126,7 @@ let parse text =
                   | '1' -> lits := Literal.pos i :: !lits
                   | '0' -> lits := Literal.neg i :: !lits
                   | '-' -> ()
-                  | _ -> fail "bad cube character %C for %s" ch out_name)
+                  | _ -> fail lineno "bad cube character %C for %s" ch out_name)
                 pattern;
               match Cube.of_literals !lits with
               | Some c -> c
@@ -125,10 +137,10 @@ let parse text =
               | on, [] -> Cover.of_cubes (List.map row_cube on)
               | [], off ->
                 Complement.cover (Cover.of_cubes (List.map row_cube off))
-              | _ -> fail "mixed on/off rows for %s" out_name
+              | _ -> fail table.line "mixed on/off rows for %s" out_name
             in
             if Hashtbl.mem by_name out_name then
-              fail "signal %s defined twice" out_name;
+              fail table.line "signal %s defined twice" out_name;
             let id = Network.add_logic net ~name:out_name ~fanins cover in
             Hashtbl.add by_name out_name id;
             progress := true
@@ -137,12 +149,14 @@ let parse text =
       !remaining;
     remaining := List.rev !unresolved
   done;
-  if !remaining <> [] then fail "unresolved or cyclic .names definitions";
+  (match !remaining with
+  | [] -> ()
+  | table :: _ -> fail table.line "unresolved or cyclic .names definitions");
   List.iter
-    (fun po ->
+    (fun (lineno, po) ->
       match Hashtbl.find_opt by_name po with
       | Some id -> Network.add_output net po id
-      | None -> fail "undefined output %s" po)
+      | None -> fail lineno "undefined output %s" po)
     !outputs;
   Network.check net;
   net

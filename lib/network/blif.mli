@@ -5,7 +5,10 @@
     [\\] line continuations, [#] comments, [.end]. Latches and subcircuits
     are rejected — the paper's experiments are purely combinational. *)
 
-exception Parse_error of string
+exception Parse_error of { line : int; message : string }
+(** [line] is the 1-based physical line the error was detected on (the
+    first line of a continued logical line; the [.names] line for table
+    errors only detectable after dependency resolution). *)
 
 val parse : string -> Network.t
 (** Parse BLIF text. @raise Parse_error on malformed or unsupported

@@ -14,20 +14,21 @@ let remove_wire net wire =
     Network.set_function net node ~fanins:(Network.fanins net node)
       (Cover.of_cubes remaining)
 
-let run ?use_dominators ?learn_depth ?region ?counters
+let run ?use_dominators ?learn_depth ?region ?budget ?counters
     ?(node_filter = fun _ -> true) net =
   (* One implication arena for the whole fixpoint: each redundancy test
      resets it (O(assignments)); a removal mutates the network, which the
      next reset detects by revision and absorbs as a rebuild. *)
   let engine = Atpg.Imply.create ?region ?counters net in
   let removed = ref 0 in
+  let exhausted = ref None in
   let changed = ref true in
-  while !changed do
+  while !changed && !exhausted = None do
     changed := false;
     let nodes = List.filter node_filter (Network.logic_ids net) in
     List.iter
       (fun id ->
-        if Network.mem net id then begin
+        if !exhausted = None && Network.mem net id then begin
           (* Wire indices shift after a removal, so rescan the node after
              every hit. *)
           let rec scan () =
@@ -35,8 +36,21 @@ let run ?use_dominators ?learn_depth ?region ?counters
             match
               List.find_opt
                 (fun w ->
-                  Atpg.Fault.redundant ?use_dominators ?learn_depth ?region
-                    ~engine ?counters net w)
+                  !exhausted = None
+                  &&
+                  match
+                    Atpg.Fault.redundant_result ?use_dominators ?learn_depth
+                      ?region ~engine ?budget ?counters net w
+                  with
+                  | Ok verdict -> verdict
+                  | Error reason ->
+                    (* Budget ran out mid-scan. Exhaustion is sticky, so
+                       further tests cannot succeed: stop the fixpoint
+                       here. Every wire already removed was individually
+                       proven redundant, so the partial result is sound —
+                       the cover is merely less minimal. *)
+                    exhausted := Some reason;
+                    false)
                 wires
             with
             | Some w ->
@@ -50,4 +64,8 @@ let run ?use_dominators ?learn_depth ?region ?counters
         end)
       nodes
   done;
+  (match (!exhausted, counters) with
+  | Some _, Some c ->
+    c.Rar_util.Counters.degradations <- c.Rar_util.Counters.degradations + 1
+  | _ -> ());
   !removed

@@ -14,6 +14,7 @@ val run :
   ?use_dominators:bool ->
   ?learn_depth:int ->
   ?region:(Logic_network.Network.node_id -> bool) ->
+  ?budget:Rar_util.Budget.t ->
   ?counters:Rar_util.Counters.t ->
   ?node_filter:(Logic_network.Network.node_id -> bool) ->
   Logic_network.Network.t ->
@@ -23,4 +24,11 @@ val run :
     implications travel (see {!Atpg.Imply.create}); [node_filter] restricts
     which nodes' wires are tested. One implication arena is built per run
     and reused (reset) across all wire tests; [counters] records the
-    create/reset split. *)
+    create/reset split.
+
+    [budget] bounds the total implication work of the whole fixpoint.
+    When it runs out the scan stops early and the partial result stands
+    (every removal was individually proven, so the network is still
+    correct — just less minimised). The cut-short run is tallied as a
+    [degradations] in [counters]; callers holding the budget can inspect
+    {!Rar_util.Budget.exhausted} to learn the reason. *)

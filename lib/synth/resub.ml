@@ -5,6 +5,7 @@ module Lit_count = Logic_network.Lit_count
 module Signature = Logic_sim.Signature
 module Counters = Rar_util.Counters
 module Pool = Rar_util.Pool
+module Trace = Rar_util.Trace
 
 let complement_limit = 64
 
@@ -92,9 +93,33 @@ let candidates ~counters ~cache ?sigs ~use_complement ~max_candidates net
 
 let run ?(use_complement = true) ?(use_filter = true)
     ?(max_candidates = default_max_candidates) ?(max_passes = 4) ?(jobs = 1)
-    ?(sim_seed = Signature.default_seed) ?counters net =
+    ?(sim_seed = Signature.default_seed) ?deadline_at
+    ?(trace = Trace.disabled) ?counters net =
   let counters =
     match counters with Some c -> c | None -> Counters.create ()
+  in
+  (* Algebraic attempts are individually cheap, so the only budget that
+     applies here is the shared wall deadline, polled once per dividend
+     node. Crossing it stops the remaining work (one degradation) while
+     every committed rewrite stands. *)
+  let deadline_hit = ref false in
+  let past_deadline () =
+    match deadline_at with
+    | None -> false
+    | Some t ->
+      !deadline_hit
+      || Unix.gettimeofday () > t
+         && begin
+              deadline_hit := true;
+              counters.Counters.degradations <-
+                counters.Counters.degradations + 1;
+              Trace.emit trace "degrade"
+                [
+                  ("unit", Trace.String "resub");
+                  ("reason", Trace.String "deadline");
+                ];
+              true
+            end
   in
   let cache = Fanin_cache.create net in
   let sigs =
@@ -185,7 +210,7 @@ let run ?(use_complement = true) ?(use_filter = true)
     let nodes = List.sort Int.compare (Network.logic_ids net) in
     List.iter
       (fun f ->
-        if Network.mem net f then begin
+        if (not (past_deadline ())) && Network.mem net f then begin
           let divisors =
             candidates ~counters ~cache ?sigs ~use_complement
               ~max_candidates net ~f ~nodes
@@ -202,6 +227,13 @@ let run ?(use_complement = true) ?(use_filter = true)
       nodes;
     !changed
   in
-  let rec loop remaining = if remaining > 0 && pass () then loop (remaining - 1) in
-  loop max_passes;
+  let rec loop remaining =
+    if remaining > 0 && (not (past_deadline ())) && pass () then
+      loop (remaining - 1)
+  in
+  Trace.span trace "resub"
+    ~fields:[ ("jobs", Trace.Int jobs) ]
+    (fun () -> loop max_passes);
+  Trace.emit trace "counters"
+    [ ("counters", Trace.Raw (Counters.to_json counters)) ];
   !substitutions

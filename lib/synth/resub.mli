@@ -33,6 +33,8 @@ val run :
   ?max_passes:int ->
   ?jobs:int ->
   ?sim_seed:int ->
+  ?deadline_at:float ->
+  ?trace:Rar_util.Trace.t ->
   ?counters:Rar_util.Counters.t ->
   Logic_network.Network.t ->
   int
@@ -45,4 +47,10 @@ val run :
     parallel on private network snapshots and commits serially in rank
     order, so the result is bit-identical to a sequential run; [sim_seed]
     (default {!Logic_sim.Signature.default_seed}) seeds the signature
-    filter. *)
+    filter.
+
+    [deadline_at] (absolute {!Unix.gettimeofday} instant) stops the
+    remaining passes once crossed — committed rewrites stand, the cut is
+    tallied as a degradation in [counters] and reported on [trace]
+    (default {!Rar_util.Trace.disabled}), which also carries a [resub]
+    span and a final counter snapshot. *)

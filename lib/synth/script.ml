@@ -35,19 +35,31 @@ let script_algebraic =
     Full_simplify;
   ]
 
-let run ?resub net steps =
+let step_name = function
+  | Sweep -> "sweep"
+  | Eliminate _ -> "eliminate"
+  | Simplify -> "simplify"
+  | Full_simplify -> "full_simplify"
+  | Gcx -> "gcx"
+  | Gkx -> "gkx"
+  | Resub -> "resub"
+
+let run ?resub ?(trace = Rar_util.Trace.disabled) net steps =
   List.iter
     (fun step ->
-      match step with
-      | Sweep -> ignore (Logic_network.Sweep.run net)
-      | Eliminate threshold ->
-        ignore (Logic_network.Collapse.eliminate ~threshold net)
-      | Simplify -> ignore (Simplify.run net)
-      | Full_simplify -> ignore (Full_simplify.run net)
-      | Gcx -> ignore (Extract.gcx net)
-      | Gkx -> ignore (Extract.gkx net)
-      | Resub -> (
-        match resub with Some command -> command net | None -> ()))
+      Rar_util.Trace.span trace
+        ("step." ^ step_name step)
+        (fun () ->
+          match step with
+          | Sweep -> ignore (Logic_network.Sweep.run net)
+          | Eliminate threshold ->
+            ignore (Logic_network.Collapse.eliminate ~threshold net)
+          | Simplify -> ignore (Simplify.run net)
+          | Full_simplify -> ignore (Full_simplify.run net)
+          | Gcx -> ignore (Extract.gcx net)
+          | Gkx -> ignore (Extract.gkx net)
+          | Resub -> (
+            match resub with Some command -> command net | None -> ())))
     steps
 
 type resub_method = Algebraic | Basic | Ext | Ext_gdc
@@ -56,10 +68,13 @@ let resub_methods =
   [ ("sis", Algebraic); ("basic", Basic); ("ext", Ext); ("ext-gdc", Ext_gdc) ]
 
 let resub_command ?(use_filter = true) ?(jobs = 1)
-    ?(sim_seed = Logic_sim.Signature.default_seed) ?counters meth net =
+    ?(sim_seed = Logic_sim.Signature.default_seed) ?fault_fuel ?deadline_at
+    ?trace ?counters meth net =
   match meth with
   | Algebraic ->
-    ignore (Resub.run ~use_complement:true ~use_filter ~jobs ~sim_seed ?counters net)
+    ignore
+      (Resub.run ~use_complement:true ~use_filter ~jobs ~sim_seed
+         ?deadline_at ?trace ?counters net)
   | Basic | Ext | Ext_gdc ->
     let base =
       match meth with
@@ -70,7 +85,9 @@ let resub_command ?(use_filter = true) ?(jobs = 1)
     let config =
       { base with Booldiv.Substitute.use_filter; jobs; sim_seed }
     in
-    ignore (Booldiv.Substitute.run ~config ?counters net)
+    ignore
+      (Booldiv.Substitute.run ~config ?fault_fuel ?deadline_at ?trace
+         ?counters net)
 
 let resub_algebraic net = resub_command Algebraic net
 

@@ -37,9 +37,15 @@ val script_algebraic : step list
     with two [Resub] occurrences around a [gkx]-style extraction, ending
     with a [full_simplify] as the real script does. *)
 
-val run : ?resub:resub_command -> Logic_network.Network.t -> step list -> unit
+val run :
+  ?resub:resub_command ->
+  ?trace:Rar_util.Trace.t ->
+  Logic_network.Network.t ->
+  step list ->
+  unit
 (** Execute a script in place. [Resub] steps do nothing unless [resub] is
-    provided. *)
+    provided. Each step runs inside a [step.<name>] span on [trace]
+    (default {!Rar_util.Trace.disabled}). *)
 
 type resub_method = Algebraic | Basic | Ext | Ext_gdc
 
@@ -51,6 +57,9 @@ val resub_command :
   ?use_filter:bool ->
   ?jobs:int ->
   ?sim_seed:int ->
+  ?fault_fuel:int ->
+  ?deadline_at:float ->
+  ?trace:Rar_util.Trace.t ->
   ?counters:Rar_util.Counters.t ->
   resub_method ->
   resub_command
@@ -59,8 +68,11 @@ val resub_command :
     speculative-evaluation parallelism (default 1; any value yields
     bit-identical networks); [sim_seed] seeds the signature filter
     (default {!Logic_sim.Signature.default_seed}); [counters]
-    accumulates pair/division tallies across the run for reporting. The
-    four constants below are [resub_command] with the defaults. *)
+    accumulates pair/division tallies across the run for reporting.
+    [fault_fuel] / [deadline_at] bound the implication work per unit and
+    the overall wall clock (see {!Booldiv.Substitute.run}); [trace]
+    receives the structured event stream. The four constants below are
+    [resub_command] with the defaults. *)
 
 val resub_algebraic : resub_command
 (** SIS [resub -d]: the baseline. *)

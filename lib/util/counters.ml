@@ -6,6 +6,7 @@ type t = {
   mutable imply_creates : int;
   mutable imply_resets : int;
   mutable speculative_wasted : int;
+  mutable degradations : int;
   mutable filter_seconds : float;
   mutable division_seconds : float;
   mutable speculative_seconds : float;
@@ -20,6 +21,7 @@ let create () =
     imply_creates = 0;
     imply_resets = 0;
     speculative_wasted = 0;
+    degradations = 0;
     filter_seconds = 0.0;
     division_seconds = 0.0;
     speculative_seconds = 0.0;
@@ -33,35 +35,44 @@ let accumulate dst src =
   dst.imply_creates <- dst.imply_creates + src.imply_creates;
   dst.imply_resets <- dst.imply_resets + src.imply_resets;
   dst.speculative_wasted <- dst.speculative_wasted + src.speculative_wasted;
+  dst.degradations <- dst.degradations + src.degradations;
   dst.filter_seconds <- dst.filter_seconds +. src.filter_seconds;
   dst.division_seconds <- dst.division_seconds +. src.division_seconds;
   dst.speculative_seconds <- dst.speculative_seconds +. src.speculative_seconds
 
+(* The elapsed time must land in its bucket also when [f] raises (a
+   budget exhaustion or conflict escaping a division is normal control
+   flow here) — otherwise every degraded attempt under-reports its
+   phase's wall-clock. *)
 let timed t field f =
   let start = Unix.gettimeofday () in
-  let result = f () in
-  let elapsed = Unix.gettimeofday () -. start in
-  (match field with
-  | `Filter -> t.filter_seconds <- t.filter_seconds +. elapsed
-  | `Division -> t.division_seconds <- t.division_seconds +. elapsed);
-  result
+  Fun.protect
+    ~finally:(fun () ->
+      let elapsed = Unix.gettimeofday () -. start in
+      match field with
+      | `Filter -> t.filter_seconds <- t.filter_seconds +. elapsed
+      | `Division -> t.division_seconds <- t.division_seconds +. elapsed
+      | `Speculative ->
+        t.speculative_seconds <- t.speculative_seconds +. elapsed)
+    f
 
 let to_string t =
   Printf.sprintf
     "pairs %d (filtered %d), divisions %d, substitutions %d, imply %d \
-     creates / %d resets, speculative %d wasted, filter %.2fs, division \
-     %.2fs, speculative %.2fs"
+     creates / %d resets, speculative %d wasted, degradations %d, filter \
+     %.2fs, division %.2fs, speculative %.2fs"
     t.pairs_considered t.pairs_filtered t.divisions_attempted t.substitutions
-    t.imply_creates t.imply_resets t.speculative_wasted t.filter_seconds
-    t.division_seconds t.speculative_seconds
+    t.imply_creates t.imply_resets t.speculative_wasted t.degradations
+    t.filter_seconds t.division_seconds t.speculative_seconds
 
 let to_json t =
   Printf.sprintf
     "{\"pairs_considered\": %d, \"pairs_filtered\": %d, \
      \"divisions_attempted\": %d, \"substitutions\": %d, \
      \"imply_creates\": %d, \"imply_resets\": %d, \
-     \"speculative_wasted\": %d, \"filter_seconds\": %.6f, \
-     \"division_seconds\": %.6f, \"speculative_seconds\": %.6f}"
+     \"speculative_wasted\": %d, \"degradations\": %d, \
+     \"filter_seconds\": %.6f, \"division_seconds\": %.6f, \
+     \"speculative_seconds\": %.6f}"
     t.pairs_considered t.pairs_filtered t.divisions_attempted t.substitutions
-    t.imply_creates t.imply_resets t.speculative_wasted t.filter_seconds
-    t.division_seconds t.speculative_seconds
+    t.imply_creates t.imply_resets t.speculative_wasted t.degradations
+    t.filter_seconds t.division_seconds t.speculative_seconds

@@ -25,6 +25,10 @@ type t = {
   mutable speculative_wasted : int;
       (** parallel division evaluations discarded because an
           earlier-ranked candidate committed first *)
+  mutable degradations : int;
+      (** budget exhaustions absorbed by falling back to a weaker result
+          (redundancy scan cut short, vote table truncated, unit
+          skipped) instead of aborting the run *)
   mutable filter_seconds : float;
   mutable division_seconds : float;
   mutable speculative_seconds : float;
@@ -37,9 +41,10 @@ val create : unit -> t
 val accumulate : t -> t -> unit
 (** [accumulate dst src] adds [src]'s tallies into [dst]. *)
 
-val timed : t -> [ `Filter | `Division ] -> (unit -> 'a) -> 'a
+val timed : t -> [ `Filter | `Division | `Speculative ] -> (unit -> 'a) -> 'a
 (** Run a thunk and add its elapsed wall-clock time to the chosen
-    bucket. *)
+    bucket. Exception-safe: the time is recorded (and the exception
+    re-raised) also when the thunk raises. *)
 
 val to_string : t -> string
 (** One-line human-readable summary. *)

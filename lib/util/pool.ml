@@ -6,6 +6,7 @@ type t = {
   mutable tasks : (unit -> unit) array;
   mutable next : int;  (* next unclaimed task index *)
   mutable pending : int;  (* claimed-or-unclaimed tasks not yet finished *)
+  mutable escaped : exn option;  (* first exception a task let escape *)
   mutable stop : bool;
   mutable workers : unit Domain.t list;
 }
@@ -30,6 +31,22 @@ let finish_one t =
   if t.pending = 0 then Condition.broadcast t.finished;
   Mutex.unlock t.mutex
 
+(* Execute one claimed task so that NOTHING it does can wedge the pool: the
+   pending count is decremented in a [Fun.protect] finaliser, and an
+   exception escaping the task is parked (first one wins) for [run] to
+   re-raise on the calling domain after the barrier — a worker domain must
+   survive it, or the batch's remaining tasks are never claimed and [run]
+   waits on [finished] forever. *)
+let exec_task t i =
+  Fun.protect
+    ~finally:(fun () -> finish_one t)
+    (fun () ->
+      try t.tasks.(i) ()
+      with e ->
+        Mutex.lock t.mutex;
+        if t.escaped = None then t.escaped <- Some e;
+        Mutex.unlock t.mutex)
+
 let rec worker_loop t =
   Mutex.lock t.mutex;
   let action =
@@ -48,8 +65,7 @@ let rec worker_loop t =
   match action with
   | `Stop -> ()
   | `Task i ->
-    t.tasks.(i) ();
-    finish_one t;
+    exec_task t i;
     worker_loop t
 
 let create ~jobs =
@@ -63,6 +79,7 @@ let create ~jobs =
       tasks = [||];
       next = 0;
       pending = 0;
+      escaped = None;
       stop = false;
       workers = [];
     }
@@ -90,6 +107,7 @@ let run t thunks =
     t.tasks <- wrapped;
     t.next <- 0;
     t.pending <- n;
+    t.escaped <- None;
     Condition.broadcast t.work;
     Mutex.unlock t.mutex;
     (* The calling domain helps until the batch drains, then waits for
@@ -99,8 +117,7 @@ let run t thunks =
       match try_claim t with
       | Some i ->
         Mutex.unlock t.mutex;
-        t.tasks.(i) ();
-        finish_one t;
+        exec_task t i;
         help ()
       | None ->
         while t.pending > 0 do
@@ -111,11 +128,20 @@ let run t thunks =
         Mutex.unlock t.mutex
     in
     help ();
+    (* Every task ran and was accounted for; surface failures in index
+       order so the caller sees the same exception a sequential run
+       would have seen first. *)
     List.init n (fun i ->
         match results.(i) with
         | Some (Ok v) -> v
         | Some (Error e) -> raise e
-        | None -> assert false)
+        | None -> (
+          (* The task died before recording a result (an exception from
+             outside the thunk wrapper, e.g. an async one): re-raise the
+             parked exception rather than invent a value. *)
+          match t.escaped with
+          | Some e -> raise e
+          | None -> failwith "Pool.run: task finished without a result"))
 
 let shutdown t =
   Mutex.lock t.mutex;

@@ -27,7 +27,10 @@ val run : t -> (unit -> 'a) list -> 'a list
 (** Execute the thunks, each exactly once, across the pool (the calling
     domain participates). Results are returned in input order. If any
     thunk raised, the whole batch still runs to completion and then the
-    first (lowest-index) exception is re-raised. *)
+    first (lowest-index) exception is re-raised on the calling domain.
+    A raising task can never wedge the pool: completion accounting is
+    protected ([Fun.protect]) and worker domains survive the exception,
+    so the pool stays usable for further batches. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains (idempotent). The pool must not be

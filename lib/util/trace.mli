@@ -1,0 +1,59 @@
+(** Structured JSON-lines trace log for observability.
+
+    A trace is a sink for one-line JSON objects describing what a run did:
+    phase starts/stops, per-unit timings, budget exhaustions and the
+    degradations they caused, counter snapshots. Every event carries an
+    ["event"] name and a ["t"] wall-clock timestamp; remaining fields are
+    caller-chosen. The format is line-oriented so logs from long runs can
+    be streamed, grepped, and tailed without a JSON framework.
+
+    The {!disabled} sink makes tracing free when off: {!enabled} is a
+    pattern match, {!emit} returns immediately, and hot paths are expected
+    to guard field construction behind [if Trace.enabled t]. Emission is
+    mutex-serialised so concurrent emitters cannot interleave bytes, but
+    the intended discipline is that only the driver domain traces (worker
+    domains run with {!disabled}, like they run with logging off). *)
+
+type t
+
+type value =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+  | Raw of string
+      (** spliced into the line verbatim — for embedding JSON rendered
+          elsewhere (e.g. {!Counters.to_json}) *)
+
+val disabled : t
+(** The no-op sink. *)
+
+val to_file : string -> t
+(** Open (truncate) a file for tracing. @raise Sys_error like
+    [open_out]. *)
+
+val on_channel : out_channel -> t
+(** Trace onto an existing channel; {!close} flushes but does not close
+    it. *)
+
+val enabled : t -> bool
+
+val emit : t -> string -> (string * value) list -> unit
+(** [emit t event fields] writes one JSON object line
+    [{"event": event, "t": <now>, ...fields}]. No-op when disabled. *)
+
+val span : t -> string -> ?fields:(string * value) list -> (unit -> 'a) -> 'a
+(** [span t name f] emits [<name>.start], runs [f], and emits
+    [<name>.stop] with a ["seconds"] duration — also when [f] raises
+    (the stop event then carries ["raised": true]). When disabled, runs
+    [f] with no other work. *)
+
+val close : t -> unit
+(** Flush and release the sink (close the channel iff {!to_file} opened
+    it). Idempotent; a closed trace behaves like {!disabled}. *)
+
+val lint : string -> (unit, string) result
+(** Validate that one line is a single well-formed JSON value with an
+    object at top level (the trace invariant). Self-contained minimal
+    parser — the repo has no JSON dependency — used by the [tracecheck]
+    CI gate and the tests. [Error] carries a position-tagged message. *)

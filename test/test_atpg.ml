@@ -419,6 +419,43 @@ let test_redundant_with_extra_assumptions () =
   Alcotest.(check bool) "redundant under extra constraint" true
     (Fault.redundant ~extra:[ Atpg.Fault.Node (b, true) ] net wire)
 
+let test_redundant_budget_exhausted () =
+  (* With zero fuel the probe cannot take a single implication step:
+     the typed driver must report the exhaustion instead of a verdict,
+     and the boolean wrapper must degrade one-sidedly to "keep the
+     wire" — never to a spurious removal. *)
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ]
+      ~nodes:[ ("f", "a + ab") ]
+      ~outputs:[ "f" ]
+  in
+  let f = Builder.node net "f" in
+  let wires = Fault.all_wires net f in
+  List.iter
+    (fun wire ->
+      let budget = Rar_util.Budget.create ~fuel:0 () in
+      (match Fault.redundant_result ~budget net wire with
+      | Error Rar_util.Budget.Fuel -> ()
+      | Error Rar_util.Budget.Deadline ->
+        Alcotest.fail "exhausted for the wrong reason"
+      | Ok verdict ->
+        Alcotest.failf "expected exhaustion, got verdict %b" verdict);
+      Alcotest.(check bool) "exhaustion is sticky" true
+        (Rar_util.Budget.exhausted budget = Some Rar_util.Budget.Fuel);
+      Alcotest.(check bool) "boolean wrapper keeps the wire" false
+        (Fault.redundant ~budget:(Rar_util.Budget.create ~fuel:0 ()) net wire);
+      (* An ample budget must agree with the unbudgeted verdict. *)
+      match
+        Fault.redundant_result
+          ~budget:(Rar_util.Budget.create ~fuel:1_000_000 ())
+          net wire
+      with
+      | Ok verdict ->
+        Alcotest.(check bool) "ample budget matches" (Fault.redundant net wire)
+          verdict
+      | Error _ -> Alcotest.fail "ample budget exhausted")
+    wires
+
 let test_remove_with_region () =
   (* Region-restricted removal still finds local redundancies. *)
   let net =
@@ -595,8 +632,9 @@ let test_satisfy_basic () =
   in
   let g = Builder.node net "g" in
   (match Atpg.Solve.satisfy net ~node:g ~value:true with
-  | None -> Alcotest.fail "satisfiable goal"
-  | Some model ->
+  | Atpg.Solve.Unsat | Atpg.Solve.Exhausted _ ->
+    Alcotest.fail "satisfiable goal"
+  | Atpg.Solve.Sat model ->
     let assign id = Option.value (List.assoc_opt id model) ~default:false in
     Alcotest.(check bool) "model works" true (Network.eval net assign g));
   (* An unsatisfiable goal: xor(a,a) = 1 via two nodes. *)
@@ -606,7 +644,8 @@ let test_satisfy_basic () =
       ~outputs:[ "q" ]
   in
   Alcotest.(check bool) "unsat detected" true
-    (Atpg.Solve.satisfy net2 ~node:(Builder.node net2 "q") ~value:true = None)
+    (Atpg.Solve.satisfy net2 ~node:(Builder.node net2 "q") ~value:true
+    = Atpg.Solve.Unsat)
 
 let test_miter () =
   let net1 = Builder.of_spec ~inputs:[ "a"; "b" ] ~nodes:[ ("f", "ab") ] ~outputs:[ "f" ] in
@@ -614,11 +653,12 @@ let test_miter () =
   let m, out = Atpg.Solve.miter net1 net2 in
   Network.check m;
   (match Atpg.Solve.satisfy m ~node:out ~value:true with
-  | None -> Alcotest.fail "differing circuits must have a distinguishing input"
-  | Some _ -> ());
+  | Atpg.Solve.Unsat | Atpg.Solve.Exhausted _ ->
+    Alcotest.fail "differing circuits must have a distinguishing input"
+  | Atpg.Solve.Sat _ -> ());
   let m2, out2 = Atpg.Solve.miter net1 (Network.copy net1) in
   Alcotest.(check bool) "identical circuits yield unsat miter" true
-    (Atpg.Solve.satisfy m2 ~node:out2 ~value:true = None)
+    (Atpg.Solve.satisfy m2 ~node:out2 ~value:true = Atpg.Solve.Unsat)
 
 let prop_sat_test_generation_matches_exhaustive =
   QCheck2.Test.make
@@ -631,12 +671,13 @@ let prop_sat_test_generation_matches_exhaustive =
               let exhaustive = Equiv.equivalent net (Fault.inject net wire) in
               let sat = Atpg.Solve.find_test net wire in
               (* untestable <=> no test found *)
-              exhaustive = (sat = None)
+              exhaustive = (sat = Atpg.Solve.Unsat)
               &&
               (* any returned vector must actually detect the fault *)
               match sat with
-              | None -> true
-              | Some vector ->
+              | Atpg.Solve.Unsat -> true
+              | Atpg.Solve.Exhausted _ -> false
+              | Atpg.Solve.Sat vector ->
                 let faulty = Fault.inject net wire in
                 let assign n nid =
                   Option.value
@@ -825,6 +866,8 @@ let () =
           Alcotest.test_case "constant nodes" `Quick test_constant_node_propagation;
           Alcotest.test_case "learn max options" `Quick test_learn_respects_max_options;
           Alcotest.test_case "all wires" `Quick test_all_wires_count;
+          Alcotest.test_case "budget exhaustion" `Quick
+            test_redundant_budget_exhausted;
           Alcotest.test_case "extra assumptions" `Quick
             test_redundant_with_extra_assumptions;
           Alcotest.test_case "region removal" `Quick test_remove_with_region;

@@ -529,6 +529,47 @@ let test_driver_configs () =
   Alcotest.(check bool) "gdc at least as good as ext" true
     (gdc.literals_after <= ext.literals_after)
 
+let test_degraded_run_preserves_equivalence () =
+  (* A minuscule per-unit fault budget forces divisions to exhaust
+     mid-scan. The pass must absorb every exhaustion (counters record
+     them), still terminate, and the degraded result must stay
+     functionally identical — proved canonically with BDDs, not just
+     simulation. *)
+  let net =
+    Generator.planted ~seed:7
+      {
+        inputs = 7;
+        noise_nodes = 4;
+        algebraic_plants = 2;
+        gdc_plants = 1;
+        boolean_plants = 2;
+        outputs = 5;
+      }
+  in
+  let before = Network.copy net in
+  let counters = Rar_util.Counters.create () in
+  let stats =
+    Booldiv.Substitute.run ~config:Booldiv.Substitute.extended_config
+      ~fault_fuel:3 ~counters net
+  in
+  Network.check net;
+  Alcotest.(check bool) "degradations recorded" true
+    (counters.Rar_util.Counters.degradations > 0);
+  Alcotest.(check bool) "never grows even degraded" true
+    (stats.literals_after <= stats.literals_before);
+  Alcotest.(check bool) "BDD-equivalent after degraded run" true
+    (Robdd.Of_network.equivalent before net);
+  (* Same circuit, ample budget: must match the unbudgeted run exactly
+     (budgets that never exhaust are invisible). *)
+  let ample = Network.copy before and plain = Network.copy before in
+  ignore
+    (Booldiv.Substitute.run ~config:Booldiv.Substitute.extended_config
+       ~fault_fuel:10_000_000 ample);
+  ignore
+    (Booldiv.Substitute.run ~config:Booldiv.Substitute.extended_config plain);
+  Alcotest.(check string) "ample budget is invisible"
+    (Network.to_string plain) (Network.to_string ample)
+
 let prop_substitution_preserves =
   QCheck2.Test.make ~name:"substitution driver preserves function" ~count:25
     ~print:Network.to_string gen_planted (fun net ->
@@ -628,6 +669,8 @@ let () =
           Alcotest.test_case "POS extended division" `Quick test_pos_extended;
           Alcotest.test_case "pos substitution" `Quick test_pos_substitution;
           Alcotest.test_case "driver configurations" `Slow test_driver_configs;
+          Alcotest.test_case "degraded run stays equivalent" `Quick
+            test_degraded_run_preserves_equivalence;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -130,6 +130,42 @@ let pool_basics () =
   | _ -> Alcotest.fail "expected the task exception to propagate"
   | exception Failure msg -> Alcotest.(check string) "exn" "boom" msg
 
+(* A raising task must never wedge the pool: the batch completes, the
+   first (lowest-index) exception propagates, and the same pool keeps
+   serving batches afterwards — exercised at the machine's full domain
+   count, where a missed completion signal would deadlock [run]. *)
+exception Task_failed of int
+
+let pool_raise_no_hang () =
+  let jobs = max 2 (Rar_util.Pool.default_jobs ()) in
+  let pool = Rar_util.Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Rar_util.Pool.shutdown pool) @@ fun () ->
+  let batch_with_raises () =
+    Rar_util.Pool.run pool
+      (List.init (4 * jobs) (fun i () ->
+           if i mod 3 = 1 then failwith (Printf.sprintf "task %d" i) else i))
+  in
+  (match batch_with_raises () with
+  | _ -> Alcotest.fail "expected the task exception to propagate"
+  | exception Failure msg ->
+    Alcotest.(check string) "first exception wins" "task 1" msg);
+  (* Every task raising is the worst case for completion accounting. *)
+  (match
+     Rar_util.Pool.run pool (List.init jobs (fun i () -> raise (Task_failed i)))
+   with
+  | _ -> Alcotest.fail "expected Task_failed"
+  | exception Task_failed 0 -> ()
+  | exception Task_failed i ->
+    Alcotest.failf "lowest-index exception expected, got task %d" i);
+  (* The pool is still fully functional. *)
+  let results =
+    Rar_util.Pool.run pool (List.init (2 * jobs) (fun i () -> i * i))
+  in
+  Alcotest.(check (list int))
+    "pool reusable after exceptions"
+    (List.init (2 * jobs) (fun i -> i * i))
+    results
+
 let () =
   Alcotest.run "parallel"
     [
@@ -147,5 +183,10 @@ let () =
       ( "sim-seed",
         [ Alcotest.test_case "seed steers filter soundly" `Quick
             sim_seed_soundness ] );
-      ("pool", [ Alcotest.test_case "order, reuse, exceptions" `Quick pool_basics ]);
+      ( "pool",
+        [
+          Alcotest.test_case "order, reuse, exceptions" `Quick pool_basics;
+          Alcotest.test_case "raising tasks at jobs max" `Quick
+            pool_raise_no_hang;
+        ] );
     ]

@@ -1,8 +1,12 @@
 (* Tests for the utility library: RNG determinism and distribution
-   sanity, table rendering, stopwatch. *)
+   sanity, table rendering, stopwatch, budgets, trace emission and
+   linting, counter exception-safety. *)
 
 module Rng = Rar_util.Rng
 module Text_table = Rar_util.Text_table
+module Budget = Rar_util.Budget
+module Trace = Rar_util.Trace
+module Counters = Rar_util.Counters
 
 let test_rng_deterministic () =
   let stream seed = List.init 16 (fun _ -> Rng.int64 (Rng.create seed)) in
@@ -101,6 +105,208 @@ let test_stopwatch () =
   Alcotest.(check string) "format" "0.13"
     (Rar_util.Stopwatch.seconds_to_string 0.129)
 
+(* ------------------------------------------------------------------ *)
+(* Budget                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_fuel () =
+  let b = Budget.create ~fuel:3 () in
+  Budget.spend b;
+  Budget.spend b;
+  Budget.spend b;
+  Alcotest.(check bool) "not yet exhausted" true (Budget.exhausted b = None);
+  (match Budget.spend b with
+  | () -> Alcotest.fail "expected Exhausted Fuel"
+  | exception Budget.Exhausted Budget.Fuel -> ()
+  | exception Budget.Exhausted Budget.Deadline ->
+    Alcotest.fail "wrong exhaustion reason");
+  (* Sticky: every later probe reports the same reason without raising
+     from check/exhausted, and spend keeps raising. *)
+  Alcotest.(check bool) "sticky exhausted" true
+    (Budget.exhausted b = Some Budget.Fuel);
+  Alcotest.(check bool) "sticky check" true
+    (Budget.check b = Error Budget.Fuel);
+  (match Budget.spend b with
+  | () -> Alcotest.fail "spend after exhaustion must keep raising"
+  | exception Budget.Exhausted Budget.Fuel -> ())
+
+let test_budget_cost_and_unlimited () =
+  let b = Budget.create ~fuel:10 () in
+  Budget.spend ~cost:10 b;
+  (match Budget.spend b with
+  | () -> Alcotest.fail "cost accounting missed the limit"
+  | exception Budget.Exhausted Budget.Fuel -> ());
+  Alcotest.(check bool) "unlimited flag" true
+    (Budget.is_unlimited Budget.unlimited);
+  (* The shared constant must survive heavy spending unchanged. *)
+  for _ = 1 to 10_000 do
+    Budget.spend Budget.unlimited
+  done;
+  Alcotest.(check bool) "unlimited never exhausts" true
+    (Budget.exhausted Budget.unlimited = None)
+
+let test_budget_deadline () =
+  (* A deadline in the past: spend may tolerate up to a poll interval,
+     but check forces a clock read and must report Deadline, stickily. *)
+  let b = Budget.create ~deadline_at:(Unix.gettimeofday () -. 1.0) () in
+  Alcotest.(check bool) "check sees passed deadline" true
+    (Budget.check b = Error Budget.Deadline);
+  Alcotest.(check bool) "deadline sticky" true
+    (Budget.exhausted b = Some Budget.Deadline);
+  Alcotest.(check string) "reason spelling" "deadline"
+    (Budget.reason_to_string Budget.Deadline);
+  Alcotest.(check string) "reason spelling" "fuel"
+    (Budget.reason_to_string Budget.Fuel)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec loop acc =
+    match input_line ic with
+    | line -> loop (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  loop []
+
+let with_trace_file f =
+  let path = Filename.temp_file "test_trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let trace = Trace.to_file path in
+  Fun.protect ~finally:(fun () -> Trace.close trace) @@ fun () ->
+  f trace;
+  Trace.close trace;
+  read_lines path
+
+let test_trace_emit_well_formed () =
+  let lines =
+    with_trace_file (fun trace ->
+        Alcotest.(check bool) "enabled" true (Trace.enabled trace);
+        Trace.emit trace "alpha"
+          [
+            ("n", Trace.Int 3);
+            ("x", Trace.Float 1.5);
+            ("s", Trace.String "quo\"te\\back\nline");
+            ("ok", Trace.Bool true);
+            ("raw", Trace.Raw {|{"nested": [1, 2]}|});
+          ];
+        Trace.emit trace "beta" [])
+  in
+  Alcotest.(check int) "line count" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Trace.lint line with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail (Printf.sprintf "lint: %s in %s" msg line))
+    lines;
+  let first = List.hd lines in
+  Alcotest.(check bool) "event name first" true
+    (String.length first > 18
+    && String.sub first 0 18 = {|{"event": "alpha",|})
+
+let test_trace_span_records_raise () =
+  let lines =
+    with_trace_file (fun trace ->
+        match
+          Trace.span trace "work" ~fields:[ ("k", Trace.Int 1) ] (fun () ->
+              failwith "inner")
+        with
+        | () -> Alcotest.fail "span swallowed the exception"
+        | exception Failure msg ->
+          Alcotest.(check string) "exception preserved" "inner" msg)
+  in
+  Alcotest.(check int) "start + stop" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) ("lint " ^ line) true (Trace.lint line = Ok ()))
+    lines;
+  let stop = List.nth lines 1 in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "stop event" true (contains {|"work.stop"|} stop);
+  Alcotest.(check bool) "raised flag" true (contains {|"raised": true|} stop);
+  Alcotest.(check bool) "duration present" true (contains {|"seconds"|} stop)
+
+let test_trace_disabled_and_closed () =
+  Alcotest.(check bool) "disabled" false (Trace.enabled Trace.disabled);
+  (* All operations on the disabled sink are no-ops, including close. *)
+  Trace.emit Trace.disabled "x" [];
+  Alcotest.(check int) "span runs thunk" 7
+    (Trace.span Trace.disabled "x" (fun () -> 7));
+  Trace.close Trace.disabled;
+  let path = Filename.temp_file "test_trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let trace = Trace.to_file path in
+  Trace.emit trace "before" [];
+  Trace.close trace;
+  Trace.close trace;
+  (* After close the sink behaves like disabled: no write, no crash. *)
+  Alcotest.(check bool) "closed = disabled" false (Trace.enabled trace);
+  Trace.emit trace "after" [];
+  Alcotest.(check int) "only pre-close line" 1 (List.length (read_lines path))
+
+let test_trace_lint () =
+  let ok s = Alcotest.(check bool) ("accepts " ^ s) true (Trace.lint s = Ok ()) in
+  let bad s =
+    match Trace.lint s with
+    | Ok () -> Alcotest.fail ("lint accepted malformed: " ^ s)
+    | Error _ -> ()
+  in
+  ok {|{}|};
+  ok {|{"event": "x", "t": 1.5, "n": -3, "b": [true, false, null]}|};
+  ok {|{"s": "esc \" \\ \n A", "nested": {"a": [1e3, 0.5]}}|};
+  bad "";
+  bad "   ";
+  bad {|[1, 2]|} (* top level must be an object *);
+  bad {|{"a": }|};
+  bad {|{"a": 1,}|};
+  bad {|{"a": 1} trailing|};
+  bad {|{'a': 1}|};
+  bad {|{"a": 01}|};
+  bad {|{"unterminated": "x|};
+  bad {|{"a": 1|}
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_timed_exception_safe () =
+  let c = Counters.create () in
+  (match
+     Counters.timed c `Division (fun () ->
+         ignore (Sys.opaque_identity (List.init 1000 Fun.id));
+         failwith "division blew up")
+   with
+  | () -> Alcotest.fail "timed swallowed the exception"
+  | exception Failure msg ->
+    Alcotest.(check string) "exception preserved" "division blew up" msg);
+  Alcotest.(check bool) "time recorded despite raise" true
+    (c.Counters.division_seconds >= 0.0);
+  let before = c.Counters.speculative_seconds in
+  Alcotest.(check int) "result passthrough" 5
+    (Counters.timed c `Speculative (fun () -> 5));
+  Alcotest.(check bool) "speculative bucket" true
+    (c.Counters.speculative_seconds >= before)
+
+let test_counters_degradations_accumulate () =
+  let a = Counters.create () and b = Counters.create () in
+  a.Counters.degradations <- 2;
+  b.Counters.degradations <- 3;
+  b.Counters.substitutions <- 1;
+  Counters.accumulate a b;
+  Alcotest.(check int) "degradations folded" 5 a.Counters.degradations;
+  Alcotest.(check int) "substitutions folded" 1 a.Counters.substitutions;
+  (* The counters snapshot embedded in traces must itself lint. *)
+  Alcotest.(check bool) "to_json lints" true (Trace.lint (Counters.to_json a) = Ok ())
+
 let () =
   Alcotest.run "util"
     [
@@ -118,4 +324,28 @@ let () =
           Alcotest.test_case "arity" `Quick test_table_arity_check;
         ] );
       ("stopwatch", [ Alcotest.test_case "time" `Quick test_stopwatch ]);
+      ( "budget",
+        [
+          Alcotest.test_case "fuel + sticky" `Quick test_budget_fuel;
+          Alcotest.test_case "cost + unlimited" `Quick
+            test_budget_cost_and_unlimited;
+          Alcotest.test_case "deadline" `Quick test_budget_deadline;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "emit well-formed" `Quick
+            test_trace_emit_well_formed;
+          Alcotest.test_case "span records raise" `Quick
+            test_trace_span_records_raise;
+          Alcotest.test_case "disabled and closed" `Quick
+            test_trace_disabled_and_closed;
+          Alcotest.test_case "lint accepts/rejects" `Quick test_trace_lint;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "timed exception-safe" `Quick
+            test_counters_timed_exception_safe;
+          Alcotest.test_case "degradations accumulate" `Quick
+            test_counters_degradations_accumulate;
+        ] );
     ]
