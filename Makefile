@@ -1,4 +1,4 @@
-.PHONY: all test bench tracecheck ci doc clean
+.PHONY: all test bench tracecheck cubeops ci doc clean
 
 all:
 	dune build @all
@@ -12,16 +12,23 @@ test:
 tracecheck:
 	dune exec bench/main.exe -- tracecheck quick
 
+# Packed cube kernel vs the seed's list cubes: containment and
+# intersection throughput on synthetic multi-word covers.
+cubeops:
+	dune exec bench/main.exe -- cubeops
+
 # Full local CI: build, tests, the jobs=1 vs jobs=max determinism gate
-# (literal totals must be identical), the degraded-run/trace gate, and
-# the quick machine-readable perf snapshot (writes BENCH_resub.json for
-# cross-PR trajectory tracking; fails if total cpu_seconds regresses
-# >20% vs the previous snapshot at jobs=1).
+# (literal totals must be identical), the degraded-run/trace gate, the
+# cube-kernel microbenchmark, and the quick machine-readable perf
+# snapshot (writes BENCH_resub.json for cross-PR trajectory tracking;
+# fails if total cpu_seconds regresses >20% vs the previous snapshot at
+# jobs=1).
 ci:
 	dune build @all
 	dune runtest
 	dune exec bench/main.exe -- jobscheck quick
 	dune exec bench/main.exe -- tracecheck quick
+	dune exec bench/main.exe -- cubeops
 	dune exec bench/main.exe -- bench quick
 
 bench:

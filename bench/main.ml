@@ -9,8 +9,9 @@
      main.exe bench quick     write the BENCH_resub.json perf snapshot
      main.exe jobscheck quick parallel-vs-sequential determinism gate
      main.exe tracecheck quick degraded-run + trace JSON-lines gate
+     main.exe cubeops         packed-kernel vs list-cube microbenchmark
    Sections: fig1 fig2 table1 fig4 table2 table3 table4 table5 ablation
-   bech bench jobscheck tracecheck
+   bech bench jobscheck tracecheck cubeops
    Options (key=value): jobs=N (bench parallelism, default 1; snapshots at
    jobs=1 are also gated >20%% CPU-regression against the previous file),
    sim-seed=N (signature-filter seed). *)
@@ -411,6 +412,156 @@ let ablations () =
      contribution on a 5-circuit subset."
 
 (* ------------------------------------------------------------------ *)
+(* cubeops - packed-kernel microbenchmark                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The seed's list-based cube operations, kept here as the in-bench
+   baseline so the snapshot records what the packed Cube_kernel buys on
+   the two hottest primitives (containment and intersection). *)
+module List_cube = struct
+  let rec subset small big =
+    match (small, big) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | s :: srest, b :: brest ->
+      if s = b then subset srest brest
+      else if b < s then subset small brest
+      else false
+
+  let rec merge c1 c2 =
+    match (c1, c2) with
+    | [], c | c, [] -> Some c
+    | l1 :: r1, l2 :: r2 ->
+      if l1 = l2 then Option.map (fun rest -> l1 :: rest) (merge r1 r2)
+      else if l1 / 2 = l2 / 2 then None
+      else if l1 < l2 then Option.map (fun rest -> l1 :: rest) (merge r1 c2)
+      else Option.map (fun rest -> l2 :: rest) (merge c1 r2)
+end
+
+type cubeops_result = {
+  co_vars : int;
+  co_cubes : int;
+  contain_base_mops : float;
+  contain_kernel_mops : float;
+  inter_base_mops : float;
+  inter_kernel_mops : float;
+}
+
+let cubeops_speedups r =
+  ( r.contain_kernel_mops /. Float.max r.contain_base_mops 1e-9,
+    r.inter_kernel_mops /. Float.max r.inter_base_mops 1e-9 )
+
+(* Synthetic covers wide enough to span multiple kernel words (96
+   variables = 4 packed words) with realistic cube sizes. Rounds grow
+   until each measured region runs at least ~0.2 CPU seconds, so the
+   Mops figures are stable across machines. *)
+let cubeops_measure () =
+  let rng = Rar_util.Rng.create 0xC0BE5 in
+  let vars = 96 and ncubes = 192 in
+  let random_cube () =
+    let n = 4 + Rar_util.Rng.int rng 9 in
+    let rec pick acc k =
+      if k = 0 then acc
+      else begin
+        let v = Rar_util.Rng.int rng vars in
+        if List.exists (fun code -> code lsr 1 = v) acc then pick acc k
+        else
+          pick
+            (((2 * v) + if Rar_util.Rng.bool rng then 1 else 0) :: acc)
+            (k - 1)
+      end
+    in
+    List.sort Int.compare (pick [] n)
+  in
+  let lists = Array.init ncubes (fun _ -> random_cube ()) in
+  let kernels = Array.map Cube_kernel.of_code_set lists in
+  let sink = ref 0 in
+  let measure f =
+    let rec go rounds =
+      let (), cpu =
+        Rar_util.Stopwatch.time_cpu (fun () ->
+            for _ = 1 to rounds do
+              f ()
+            done)
+      in
+      if cpu >= 0.2 then
+        float_of_int (rounds * ncubes * ncubes) /. cpu /. 1e6
+      else go (rounds * 4)
+    in
+    go 1
+  in
+  let contain_base_mops =
+    measure (fun () ->
+        for i = 0 to ncubes - 1 do
+          for j = 0 to ncubes - 1 do
+            if List_cube.subset lists.(i) lists.(j) then incr sink
+          done
+        done)
+  in
+  let contain_kernel_mops =
+    measure (fun () ->
+        for i = 0 to ncubes - 1 do
+          for j = 0 to ncubes - 1 do
+            if Cube_kernel.subset kernels.(i) kernels.(j) then incr sink
+          done
+        done)
+  in
+  let inter_base_mops =
+    measure (fun () ->
+        for i = 0 to ncubes - 1 do
+          for j = 0 to ncubes - 1 do
+            match List_cube.merge lists.(i) lists.(j) with
+            | Some _ -> incr sink
+            | None -> ()
+          done
+        done)
+  in
+  let inter_kernel_mops =
+    measure (fun () ->
+        for i = 0 to ncubes - 1 do
+          for j = 0 to ncubes - 1 do
+            match Cube_kernel.merge kernels.(i) kernels.(j) with
+            | Some _ -> incr sink
+            | None -> ()
+          done
+        done)
+  in
+  ignore !sink;
+  {
+    co_vars = vars;
+    co_cubes = ncubes;
+    contain_base_mops;
+    contain_kernel_mops;
+    inter_base_mops;
+    inter_kernel_mops;
+  }
+
+(* Key names deliberately avoid the "cpu_seconds" substring: the snapshot
+   regression parser sums every such occurrence after its marker. *)
+let cubeops_json r =
+  Printf.sprintf
+    "{\"vars\": %d, \"cubes\": %d, \"containment\": {\"baseline_mops\": \
+     %.2f, \"kernel_mops\": %.2f, \"speedup\": %.2f}, \"intersect\": \
+     {\"baseline_mops\": %.2f, \"kernel_mops\": %.2f, \"speedup\": %.2f}}"
+    r.co_vars r.co_cubes r.contain_base_mops r.contain_kernel_mops
+    (fst (cubeops_speedups r))
+    r.inter_base_mops r.inter_kernel_mops
+    (snd (cubeops_speedups r))
+
+let print_cubeops r =
+  let contain_speedup, inter_speedup = cubeops_speedups r in
+  Printf.printf
+    "cubeops (%d vars, %d cubes, all pairs):\n\
+    \  containment  %7.2f Mops list  %7.2f Mops packed  (%.1fx)\n\
+    \  intersect    %7.2f Mops list  %7.2f Mops packed  (%.1fx)\n"
+    r.co_vars r.co_cubes r.contain_base_mops r.contain_kernel_mops
+    contain_speedup r.inter_base_mops r.inter_kernel_mops inter_speedup
+
+let cubeops_report () =
+  section "cubeops - packed cube kernel vs seed list cubes";
+  print_cubeops (cubeops_measure ())
+
+(* ------------------------------------------------------------------ *)
 (* bench - machine-readable perf snapshot (BENCH_resub.json)           *)
 (* ------------------------------------------------------------------ *)
 
@@ -471,13 +622,19 @@ let previous_total_cpu path =
 let cpu_regression_limit = 1.20
 
 (* Emits one JSON record per (circuit, method) cell plus per-method
-   totals: factored literals, CPU seconds, verification status, and the
-   divisor-filter counters, so successive PRs can diff resub wall-clock
-   and filtered-pair counts mechanically. At [jobs = 1] the run is also
-   gated against the previous snapshot: >20% total-CPU regression fails. *)
+   totals: factored literals, CPU and wall seconds, verification status,
+   and the divisor-filter counters, so successive PRs can diff resub
+   timing and filtered-pair counts mechanically. The "cpu_seconds" field
+   is genuine processor time ([Sys.time]); "wall_seconds" is the
+   elapsed-clock figure the label used to (mis)report. The regression
+   gate compares cpu_seconds, the load-insensitive one. At [jobs = 1] the
+   run is gated against the previous snapshot: >20% total-CPU regression
+   fails. *)
 let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed rows =
   section "bench - machine-readable resub snapshot";
   let baseline_cpu = if jobs = 1 then previous_total_cpu path else None in
+  let cubeops = cubeops_measure () in
+  print_cubeops cubeops;
   let cells =
     List.map
       (fun row ->
@@ -489,17 +646,19 @@ let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed rows =
             (fun (name, meth) ->
               let scratch = Network.copy net in
               let counters = Rar_util.Counters.create () in
-              let (), cpu =
-                Rar_util.Stopwatch.time (fun () ->
+              let (), span =
+                Rar_util.Stopwatch.time_span (fun () ->
                     Synth.Script.resub_command ~jobs ?sim_seed ~counters meth
                       scratch)
               in
               let lits = Lit_count.factored scratch in
               let ok = Equiv.equivalent scratch net in
-              Printf.printf "  %-12s %-8s %4d lits  %.2fs  %s\n"
-                row.Suite.name name lits cpu
+              Printf.printf "  %-12s %-8s %4d lits  %.2fs cpu  %.2fs wall  %s\n"
+                row.Suite.name name lits
+                span.Rar_util.Stopwatch.cpu_seconds
+                span.Rar_util.Stopwatch.wall_seconds
                 (if ok then "ok" else "FAIL");
-              (name, lits, cpu, ok, counters))
+              (name, lits, span, ok, counters))
             Synth.Script.resub_methods
         in
         (row.Suite.name, init, per_method))
@@ -509,32 +668,47 @@ let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed rows =
   let totals =
     List.map
       (fun name ->
-        let lits = ref 0 and cpu = ref 0.0 and ok = ref true in
+        let lits = ref 0 and cpu = ref 0.0 and wall = ref 0.0 and ok = ref true in
         let counters = Rar_util.Counters.create () in
         List.iter
           (fun (_, _, per_method) ->
             List.iter
-              (fun (n, l, c, o, k) ->
+              (fun (n, l, (s : Rar_util.Stopwatch.span), o, k) ->
                 if n = name then begin
                   lits := !lits + l;
-                  cpu := !cpu +. c;
+                  cpu := !cpu +. s.Rar_util.Stopwatch.cpu_seconds;
+                  wall := !wall +. s.Rar_util.Stopwatch.wall_seconds;
                   if not o then ok := false;
                   Rar_util.Counters.accumulate counters k
                 end)
               per_method)
           cells;
-        (name, !lits, !cpu, !ok, counters))
+        ( name,
+          !lits,
+          {
+            Rar_util.Stopwatch.cpu_seconds = !cpu;
+            Rar_util.Stopwatch.wall_seconds = !wall;
+          },
+          !ok,
+          counters ))
       method_names
   in
   let buffer = Buffer.create 4096 in
-  let cell_json (name, lits, cpu, ok, counters) =
+  let cell_json (name, lits, (span : Rar_util.Stopwatch.span), ok, counters) =
     Printf.sprintf
       "{\"method\": %S, \"literals\": %d, \"cpu_seconds\": %.6f, \
-       \"verified\": %b, \"counters\": %s}"
-      name lits cpu ok
+       \"wall_seconds\": %.6f, \"verified\": %b, \"counters\": %s}"
+      name lits span.Rar_util.Stopwatch.cpu_seconds
+      span.Rar_util.Stopwatch.wall_seconds ok
       (Rar_util.Counters.to_json counters)
   in
-  Buffer.add_string buffer (Printf.sprintf "{\n  \"jobs\": %d,\n  \"circuits\": [\n" jobs);
+  Buffer.add_string buffer (Printf.sprintf "{\n  \"jobs\": %d,\n" jobs);
+  (* The cubeops record must precede the "totals" marker: the regression
+     parser above sums every "cpu_seconds" after it, and these throughput
+     figures deliberately use different key names. *)
+  Buffer.add_string buffer
+    (Printf.sprintf "  \"cubeops\": %s,\n  \"circuits\": [\n"
+       (cubeops_json cubeops));
   List.iteri
     (fun i (circuit, init, per_method) ->
       Buffer.add_string buffer
@@ -558,13 +732,18 @@ let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed rows =
   Printf.printf "\nwrote %s (%d circuits x %d methods, jobs=%d)\n" path
     (List.length cells) (List.length method_names) jobs;
   List.iter
-    (fun (name, lits, cpu, ok, counters) ->
-      Printf.printf "  %-8s %5d lits  %6.2fs  %s  [%s]\n" name lits cpu
+    (fun (name, lits, (span : Rar_util.Stopwatch.span), ok, counters) ->
+      Printf.printf "  %-8s %5d lits  %6.2fs cpu  %6.2fs wall  %s  [%s]\n" name
+        lits span.Rar_util.Stopwatch.cpu_seconds
+        span.Rar_util.Stopwatch.wall_seconds
         (if ok then "ok" else "FAIL")
         (Rar_util.Counters.to_string counters))
     totals;
   let new_cpu =
-    List.fold_left (fun acc (_, _, cpu, _, _) -> acc +. cpu) 0.0 totals
+    List.fold_left
+      (fun acc (_, _, (s : Rar_util.Stopwatch.span), _, _) ->
+        acc +. s.Rar_util.Stopwatch.cpu_seconds)
+      0.0 totals
   in
   match baseline_cpu with
   | None -> ()
@@ -813,6 +992,7 @@ let () =
   if selected "bech" then bechamel ();
   if List.mem "jobscheck" explicit then jobs_check rows;
   if List.mem "tracecheck" explicit then trace_check rows;
+  if List.mem "cubeops" explicit then cubeops_report ();
   (* JSON snapshot only on explicit request: it is a CI artifact, not part
      of the default figure/table regeneration. *)
   if List.mem "bench" explicit then bench_json ~jobs ?sim_seed rows

@@ -42,6 +42,10 @@ type t = {
   mutable fanouts_of : Network.node_id array array;
   mutable cubes_of : Cube.t array array;  (* [||] for inputs *)
   mutable cube_off : int array;  (* slot -> first flat cube index *)
+  (* Flat cube index -> literal codes of that cube, decoded once from the
+     packed kernel words at build time so propagation walks int arrays
+     instead of literal lists. *)
+  mutable cube_codes : int array array;
   mutable base_queue : int array;  (* queue right after constant seeding *)
   (* Per-test state (private to each learn-copy). *)
   mutable node_val : Bytes.t;  (* slot -> value *)
@@ -109,6 +113,15 @@ let build t =
       end)
     ids;
   if nslots > 0 then cube_off.(nslots) <- !total_cubes;
+  let cube_codes = Array.make (max 1 !total_cubes) [||] in
+  List.iteri
+    (fun s _ ->
+      Array.iteri
+        (fun i cube ->
+          cube_codes.(cube_off.(s) + i) <-
+            Cube_kernel.codes_array (Cube.kernel cube))
+        cubes_of.(s))
+    ids;
   t.built_revision <- Network.revision net;
   t.slot <- slot;
   t.node_of <- node_of;
@@ -118,6 +131,7 @@ let build t =
   t.fanouts_of <- fanouts_of;
   t.cubes_of <- cubes_of;
   t.cube_off <- cube_off;
+  t.cube_codes <- cube_codes;
   t.node_val <- Bytes.make (max 1 nslots) v_unknown;
   t.cube_val <- Bytes.make (max 1 !total_cubes) v_unknown;
   t.queue <- Array.make (max 1 nslots) 0;
@@ -168,6 +182,7 @@ let create ?(region = fun _ -> true) ?(frozen = fun _ -> false)
       fanouts_of = [||];
       cubes_of = [||];
       cube_off = [||];
+      cube_codes = [||];
       base_queue = [||];
       node_val = Bytes.empty;
       cube_val = Bytes.empty;
@@ -271,49 +286,64 @@ let set_cube t id i v =
     push_trail t (t.nslots + t.cube_off.(s) + i);
     if t.region id then enqueue_slot t s
 
-(* Value of a literal of node [id]'s cube under current fanin values. *)
-let literal_value t s lit =
-  let fanin = t.fanins_of.(s).(Literal.var lit) in
-  match node_value t fanin with
+(* Value of the literal with [code] under current fanin values; the
+   code's variable indexes the node's fanin array, its low bit is the
+   phase (even = positive, as in {!Twolevel.Literal}). *)
+let code_value t fanins code =
+  match node_value t fanins.(code lsr 1) with
   | None -> None
-  | Some v -> Some (v = Literal.is_pos lit)
+  | Some v -> Some (v = (code land 1 = 0))
 
 (* All local deductions for one logic node. *)
 let process t s =
   let id = t.node_of.(s) in
   if Bytes.get t.is_input s = '\000' && t.region id then begin
-    let cube_array = t.cubes_of.(s) in
     let fanins = t.fanins_of.(s) in
-    let n = Array.length cube_array in
+    let off = t.cube_off.(s) in
+    let n = Array.length t.cubes_of.(s) in
     (* Cube-level rules. *)
     for i = 0 to n - 1 do
-      let lits = Cube.literals cube_array.(i) in
-      let values = List.map (literal_value t s) lits in
-      let any_false = List.exists (fun v -> v = Some false) values in
-      let all_true = List.for_all (fun v -> v = Some true) values in
-      if any_false then set_cube t id i false
-      else if all_true then set_cube t id i true;
+      let codes = t.cube_codes.(off + i) in
+      let m = Array.length codes in
+      let any_false = ref false in
+      let all_true = ref true in
+      for k = 0 to m - 1 do
+        match code_value t fanins codes.(k) with
+        | Some false ->
+          any_false := true;
+          all_true := false
+        | Some true -> ()
+        | None -> all_true := false
+      done;
+      if !any_false then set_cube t id i false
+      else if !all_true then set_cube t id i true;
       (match cube_value_slot t s i with
       | Some true ->
         (* AND at 1: every literal must hold. *)
-        List.iter
-          (fun lit ->
-            set_node t fanins.(Literal.var lit) (Literal.is_pos lit))
-          lits
+        for k = 0 to m - 1 do
+          let code = codes.(k) in
+          set_node t fanins.(code lsr 1) (code land 1 = 0)
+        done
       | Some false ->
         (* AND at 0 with a single free literal and all others true: the
-           free literal must fail. *)
-        let unknown =
-          List.filter (fun lit -> literal_value t s lit = None) lits
-        in
-        (match unknown with
-        | [ lit ]
-          when List.for_all
-                 (fun l ->
-                   Literal.equal l lit || literal_value t s l = Some true)
-                 lits ->
-          set_node t fanins.(Literal.var lit) (not (Literal.is_pos lit))
-        | _ -> ())
+           free literal must fail. Values are re-read — the Some-true
+           branch of earlier cubes may have pinned fanins since the
+           any_false/all_true scan. *)
+        let unknowns = ref 0 in
+        let unknown_at = ref (-1) in
+        let others_true = ref true in
+        for k = 0 to m - 1 do
+          match code_value t fanins codes.(k) with
+          | None ->
+            incr unknowns;
+            unknown_at := k
+          | Some true -> ()
+          | Some false -> others_true := false
+        done;
+        if !unknowns = 1 && !others_true then begin
+          let code = codes.(!unknown_at) in
+          set_node t fanins.(code lsr 1) (code land 1 = 1)
+        end
       | None -> ())
     done;
     (* Node-level rules (skipped for fault-carrying nodes). *)
@@ -324,7 +354,10 @@ let process t s =
       if any_one then set_node t id true;
       if all_zero then set_node t id false;
       (match node_value_slot t s with
-      | Some false -> Array.iteri (fun i _ -> set_cube t id i false) cube_array
+      | Some false ->
+        for i = 0 to n - 1 do
+          set_cube t id i false
+        done
       | Some true ->
         let live =
           Array.to_list (Array.mapi (fun i v -> (i, v)) cube_vals)
@@ -409,17 +442,22 @@ let justification_options t : option_assignments list list =
         (* AND at 0 with several free literals. *)
         for i = 0 to n - 1 do
           if cube_value_slot t s i = Some false then begin
-            let lits = Cube.literals cube_array.(i) in
-            let free = List.filter (fun l -> literal_value t s l = None) lits in
-            let falsified =
-              List.exists (fun l -> literal_value t s l = Some false) lits
-            in
-            if (not falsified) && List.length free >= 2 then begin
+            let codes = t.cube_codes.(t.cube_off.(s) + i) in
+            let free = ref [] in
+            let falsified = ref false in
+            Array.iter
+              (fun code ->
+                match code_value t t.fanins_of.(s) code with
+                | None -> free := code :: !free
+                | Some false -> falsified := true
+                | Some true -> ())
+              codes;
+            let free = List.rev !free in
+            if (not !falsified) && List.length free >= 2 then begin
               let fanins = t.fanins_of.(s) in
               options :=
                 List.map
-                  (fun l ->
-                    [ `Node (fanins.(Literal.var l), not (Literal.is_pos l)) ])
+                  (fun code -> [ `Node (fanins.(code lsr 1), code land 1 = 1) ])
                   free
                 :: !options
             end

@@ -3,10 +3,12 @@
     A node's cover speaks about its private fanin variables; to compare
     cubes of {e different} nodes (the containment tests at the heart of the
     SOS relation and of extended division's validity filter) each cube is
-    lifted to a set of (fanin node id, phase) pairs. *)
+    lifted to a set of (fanin node id, phase) pairs, packed as a
+    {!Twolevel.Cube_kernel} bitvector so containment is a word-parallel
+    subset test. *)
 
 type t
-(** A product of network signals; ordered, duplicate-free. *)
+(** A product of network signals; duplicate-free, packed. *)
 
 val of_node_cube :
   Logic_network.Network.t -> Logic_network.Network.node_id -> Twolevel.Cube.t -> t

@@ -37,6 +37,24 @@ let collect ?(gdc = false) ?(learn_depth = 0) ?budget ?counters net ~f ~pool =
         List.mapi (fun j _ -> (m, j)) (Cover.cubes (Network.cover net m)))
       pool
   in
+  (* Lifted divisor cubes, memoised per (node, cube index) and keyed on
+     the network revision: every wire of [f] runs the same SOS validity
+     filter against the same pool, so lifting inside the per-wire
+     predicate would redo identical work |wires| times. *)
+  let lift_cache = Hashtbl.create (List.length pool_cubes) in
+  let lift_revision = ref (Network.revision net) in
+  let lifted_pool_cube m j =
+    if Network.revision net <> !lift_revision then begin
+      Hashtbl.reset lift_cache;
+      lift_revision := Network.revision net
+    end;
+    match Hashtbl.find_opt lift_cache (m, j) with
+    | Some c -> c
+    | None ->
+      let c = Net_cube.of_cube_index net m j in
+      Hashtbl.add lift_cache (m, j) c;
+      c
+  in
   (* One arena shared by every wire of [f]: region and frozen are the
      same for all of them, only the activation assignments differ. *)
   let engine = Atpg.Imply.create ~region ~frozen ?budget ?counters net in
@@ -83,7 +101,7 @@ let collect ?(gdc = false) ?(learn_depth = 0) ?budget ?counters net ~f ~pool =
       let valid =
         List.exists
           (fun (m, j) ->
-            Net_cube.contained_by wire_cube (Net_cube.of_cube_index net m j))
+            Net_cube.contained_by wire_cube (lifted_pool_cube m j))
           candidates
       in
       { wire; wire_cube; candidates; valid; conflicted = false }

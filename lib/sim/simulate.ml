@@ -3,21 +3,23 @@ module Network = Logic_network.Network
 
 type valuation = (Network.node_id, int64 array) Hashtbl.t
 
-(* Bit-parallel evaluation of one SOP cover. The literal list of each cube
-   is converted to an array once, outside the word loop. *)
+(* Bit-parallel evaluation of one SOP cover. Each cube's packed kernel is
+   decoded to a flat code array once, outside the word loop; the code's
+   variable ([code lsr 1]) indexes the fanin rows and its low bit selects
+   the phase. *)
 let eval_cover ~words cover ~fanin_values =
   let out = Array.make words 0L in
   List.iter
     (fun cube ->
-      let lits = Array.of_list (Cube.literals cube) in
+      let codes = Cube_kernel.codes_array (Cube.kernel cube) in
       for w = 0 to words - 1 do
         let acc = ref Int64.minus_one in
         Array.iter
-          (fun lit ->
-            let fv = fanin_values.(Literal.var lit).(w) in
-            let fv = if Literal.is_pos lit then fv else Int64.lognot fv in
+          (fun code ->
+            let fv = fanin_values.(code lsr 1).(w) in
+            let fv = if code land 1 = 0 then fv else Int64.lognot fv in
             acc := Int64.logand !acc fv)
-          lits;
+          codes;
         out.(w) <- Int64.logor out.(w) !acc
       done)
     (Cover.cubes cover);

@@ -10,6 +10,16 @@ module Lit_count = Logic_network.Lit_count
    identities justify. *)
 let divide f d =
   let d_support = Cover.support d in
+  (* O(1) membership for the shrink loop: support vars are network-lifted
+     ids, so a bool table over [0 .. max var] replaces List.mem. *)
+  let in_d_support =
+    match List.rev d_support with
+    | [] -> fun _ -> false
+    | max_v :: _ ->
+      let tbl = Array.make (max_v + 1) false in
+      List.iter (fun v -> tbl.(v) <- true) d_support;
+      fun v -> v <= max_v && tbl.(v)
+  in
   let f1, r =
     List.partition
       (fun c -> List.exists (Cube.contained_by c) (Cover.cubes d))
@@ -22,7 +32,7 @@ let divide f d =
       let rec go cube = function
         | [] -> cube
         | lit :: rest ->
-          if List.mem (Literal.var lit) d_support then begin
+          if in_d_support (Literal.var lit) then begin
             let candidate = Cube.remove_literal lit cube in
             if Cover.contains f (Cover.product_cube candidate d) then
               go candidate rest

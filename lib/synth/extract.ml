@@ -72,11 +72,7 @@ let extract_cube net c =
             (List.map
                (fun host ->
                  if Cube.contained_by host c then begin
-                   let stripped =
-                     List.fold_left
-                       (fun acc lit -> Cube.remove_literal lit acc)
-                       host (Cube.literals c)
-                   in
+                   let stripped = Cube.remove_all host c in
                    match Cube.add_literal (Literal.pos g) stripped with
                    | Some cube -> cube
                    | None -> host

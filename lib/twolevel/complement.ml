@@ -11,13 +11,13 @@ let most_binate_var cubes =
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun cube ->
-      List.iter
-        (fun lit ->
+      Cube.fold_literals
+        (fun () lit ->
           let v = Literal.var lit in
           let p, n = Option.value (Hashtbl.find_opt tbl v) ~default:(0, 0) in
           if Literal.is_pos lit then Hashtbl.replace tbl v (p + 1, n)
           else Hashtbl.replace tbl v (p, n + 1))
-        (Cube.literals cube))
+        () cube)
     cubes;
   Hashtbl.fold
     (fun v (p, n) best ->

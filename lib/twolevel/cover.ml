@@ -61,11 +61,7 @@ let cofactor_cube c t =
     (* cube cofactored by c: 0 if they conflict, else drop c's literals. *)
     match Cube.intersect cube c with
     | None -> None
-    | Some _ ->
-      Some
-        (List.fold_left
-           (fun acc lit -> Cube.remove_literal lit acc)
-           cube (Cube.literals c))
+    | Some _ -> Some (Cube.remove_all cube c)
   in
   canonical (List.filter_map cof t)
 
@@ -121,7 +117,9 @@ let rename_vars f t =
   in
   canonical (List.filter_map rename t)
 
-let compare = Stdlib.compare
+(* Cube order is the kernel's list-lexicographic order, so this matches
+   the seed's [Stdlib.compare] on sorted literal-code lists exactly. *)
+let compare = List.compare Cube.compare
 
 let equal t1 t2 = compare t1 t2 = 0
 

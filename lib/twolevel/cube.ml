@@ -1,102 +1,90 @@
-(* A cube is a strictly increasing list of literal codes with distinct
-   variables. Sortedness makes subset tests and merges linear. *)
-type t = int list
+(* A cube is a packed Cube_kernel code set: two bits per variable, at most
+   one phase of each variable present. All predicates are the kernel's
+   word-parallel loops; this module only translates between literals and
+   codes. *)
+type t = Cube_kernel.t
 
-let top = []
+let top = Cube_kernel.top
 
-let rec normalise = function
-  | [] -> Some []
-  | [ l ] -> Some [ l ]
-  | l1 :: (l2 :: _ as rest) ->
-    if l1 = l2 then normalise rest
-    else if l1 / 2 = l2 / 2 then None
-    else begin
-      match normalise rest with
-      | None -> None
-      | Some rest' -> Some (l1 :: rest')
-    end
-
-let of_literals lits =
-  normalise (List.sort_uniq Int.compare (List.map Literal.code lits))
+let of_literals lits = Cube_kernel.of_codes (List.map Literal.code lits)
 
 let of_literals_exn lits =
   match of_literals lits with
   | Some c -> c
   | None -> invalid_arg "Cube.of_literals_exn: contradictory literals"
 
-let literals t = List.map Literal.of_code t
+let kernel t = t
 
-let size = List.length
+let of_kernel_exn k =
+  match Cube_kernel.of_codes (Cube_kernel.codes k) with
+  | Some c -> c
+  | None -> invalid_arg "Cube.of_kernel_exn: contradictory code set"
 
-let is_top t = t = []
+let fold_literals f acc t =
+  Cube_kernel.fold_codes (fun acc code -> f acc (Literal.of_code code)) acc t
 
-let mem lit t = List.mem (Literal.code lit) t
+let literals t = List.rev (fold_literals (fun acc lit -> lit :: acc) [] t)
 
-let mem_var v t = List.exists (fun code -> code / 2 = v) t
+let size = Cube_kernel.size
+
+let hash = Cube_kernel.hash
+
+let is_top = Cube_kernel.is_top
+
+let mem lit t = Cube_kernel.mem_code (Literal.code lit) t
+
+let mem_var v t = Cube_kernel.mem_var v t
 
 let phase_of_var t v =
-  List.find_map
-    (fun code -> if code / 2 = v then Some (code land 1 = 0) else None)
-    t
+  if Cube_kernel.mem_code (2 * v) t then Some true
+  else if Cube_kernel.mem_code ((2 * v) + 1) t then Some false
+  else None
 
-(* lits(c2) ⊆ lits(c1), both sorted. *)
-let rec subset small big =
-  match (small, big) with
-  | [], _ -> true
-  | _ :: _, [] -> false
-  | s :: srest, b :: brest ->
-    if s = b then subset srest brest
-    else if b < s then subset small brest
-    else false
+let contained_by c1 c2 = Cube_kernel.subset c2 c1
 
-let contained_by c1 c2 = subset c2 c1
+let intersect = Cube_kernel.merge
 
-let rec merge c1 c2 =
-  match (c1, c2) with
-  | [], c | c, [] -> Some c
-  | l1 :: r1, l2 :: r2 ->
-    if l1 = l2 then Option.map (fun rest -> l1 :: rest) (merge r1 r2)
-    else if l1 / 2 = l2 / 2 then None
-    else if l1 < l2 then Option.map (fun rest -> l1 :: rest) (merge r1 c2)
-    else Option.map (fun rest -> l2 :: rest) (merge c1 r2)
+let distance = Cube_kernel.distance
 
-let intersect = merge
+let remove_var = Cube_kernel.remove_var
 
-let distance c1 c2 =
-  let rec go acc c1 c2 =
-    match (c1, c2) with
-    | [], _ | _, [] -> acc
-    | l1 :: r1, l2 :: r2 ->
-      if l1 / 2 = l2 / 2 then go (if l1 = l2 then acc else acc + 1) r1 r2
-      else if l1 < l2 then go acc r1 c2
-      else go acc c1 r2
-  in
-  go 0 c1 c2
+let remove_literal lit t = Cube_kernel.remove_code (Literal.code lit) t
 
-let remove_var v t = List.filter (fun code -> code / 2 <> v) t
+let remove_all t strip = Cube_kernel.diff t strip
 
-let remove_literal lit t = List.filter (fun code -> code <> Literal.code lit) t
-
-let add_literal lit t = merge [ Literal.code lit ] t
+let add_literal lit t = Cube_kernel.add_code (Literal.code lit) t
 
 let cofactor lit t =
   let code = Literal.code lit in
-  if List.mem (code lxor 1) t then None
-  else Some (List.filter (fun c -> c <> code) t)
+  if Cube_kernel.mem_code (code lxor 1) t then None
+  else Some (Cube_kernel.remove_code code t)
 
-let algebraic_div c d = if subset d c then Some (List.filter (fun l -> not (List.mem l d)) c) else None
+let algebraic_div c d =
+  if Cube_kernel.subset d c then Some (Cube_kernel.diff c d) else None
 
-let common c1 c2 = List.filter (fun l -> List.mem l c2) c1
+let common = Cube_kernel.inter
 
-let support t = List.sort_uniq Int.compare (List.map (fun code -> code / 2) t)
+let support t =
+  List.rev
+    (Cube_kernel.fold_codes
+       (fun acc code ->
+         let v = code lsr 1 in
+         match acc with
+         | v' :: _ when v' = v -> acc
+         | _ -> v :: acc)
+       [] t)
 
 let eval assign t =
-  List.for_all (fun code -> assign (code / 2) = (code land 1 = 0)) t
+  Cube_kernel.for_all_codes
+    (fun code -> assign (code lsr 1) = (code land 1 = 0))
+    t
 
-let compare = Stdlib.compare
+let compare = Cube_kernel.compare
 
-let equal c1 c2 = c1 = c2
+let equal = Cube_kernel.equal
 
 let to_string ?names t =
   if is_top t then "1"
-  else String.concat "" (List.map (fun c -> Literal.to_string ?names (Literal.of_code c)) t)
+  else
+    String.concat ""
+      (List.map (fun lit -> Literal.to_string ?names lit) (literals t))

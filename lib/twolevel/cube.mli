@@ -9,7 +9,11 @@
 
     Containment follows the paper's convention: cube [c1] {e is contained by}
     cube [c2] when onset(c1) ⊆ onset(c2), i.e. when [c2]'s literals are a
-    subset of [c1]'s. *)
+    subset of [c1]'s.
+
+    Cubes are stored as packed {!Cube_kernel} bitvectors (two bits per
+    variable), so containment, intersection and distance are word-parallel
+    bitwise loops rather than literal-list walks. *)
 
 type t
 
@@ -26,8 +30,22 @@ val of_literals_exn : Literal.t list -> t
 val literals : t -> Literal.t list
 (** Sorted literal list. *)
 
+val fold_literals : ('a -> Literal.t -> 'a) -> 'a -> t -> 'a
+(** Left fold over the literals in increasing code order, without
+    materialising the list. *)
+
+val kernel : t -> Cube_kernel.t
+(** The packed representation itself (zero-cost view). *)
+
+val of_kernel_exn : Cube_kernel.t -> t
+(** Re-admit a packed code set as a cube.
+    @raise Invalid_argument if it holds both phases of a variable. *)
+
 val size : t -> int
 (** Number of literals. *)
+
+val hash : t -> int
+(** Precomputed hash of the packed words. *)
 
 val is_top : t -> bool
 
@@ -53,6 +71,10 @@ val remove_var : int -> t -> t
 
 val remove_literal : Literal.t -> t -> t
 (** Drop the exact literal if present. *)
+
+val remove_all : t -> t -> t
+(** [remove_all c strip] drops every literal of [strip] from [c] in one
+    word-parallel pass (the n-ary form of {!remove_literal}). *)
 
 val add_literal : Literal.t -> t -> t option
 (** AND a single literal into the cube. *)

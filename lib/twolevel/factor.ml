@@ -39,11 +39,11 @@ let best_literal cover =
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun cube ->
-      List.iter
-        (fun lit ->
+      Cube.fold_literals
+        (fun () lit ->
           let n = Option.value (Hashtbl.find_opt tbl lit) ~default:0 in
           Hashtbl.replace tbl lit (n + 1))
-        (Cube.literals cube))
+        () cube)
     (Cover.cubes cover);
   Hashtbl.fold
     (fun lit n best ->

@@ -8,12 +8,7 @@ let make_cube_free cover =
   if Cube.is_top c then (c, cover)
   else
     let stripped =
-      List.map
-        (fun cube ->
-          List.fold_left
-            (fun acc lit -> Cube.remove_literal lit acc)
-            cube (Cube.literals c))
-        (Cover.cubes cover)
+      List.map (fun cube -> Cube.remove_all cube c) (Cover.cubes cover)
     in
     (c, Cover.of_cubes stripped)
 
@@ -29,7 +24,11 @@ let literal_quotient lit cover =
        (Cover.cubes cover))
 
 let literal_universe cover =
-  let lits = List.concat_map Cube.literals (Cover.cubes cover) in
+  let lits =
+    List.fold_left
+      (fun acc cube -> Cube.fold_literals (fun acc l -> l :: acc) acc cube)
+      [] (Cover.cubes cover)
+  in
   List.sort_uniq Literal.compare lits
 
 (* KERNEL1 (Brayton-McMullen): recursively divide by literals in increasing

@@ -9,7 +9,7 @@ let occurrences cubes =
     Int_map.add v entry map
   in
   List.fold_left
-    (fun map cube -> List.fold_left add map (Cube.literals cube))
+    (fun map cube -> Cube.fold_literals add map cube)
     Int_map.empty cubes
 
 let cofactor_cubes lit cubes = List.filter_map (Cube.cofactor lit) cubes

@@ -1,6 +1,21 @@
+type span = { wall_seconds : float; cpu_seconds : float }
+
 let time f =
   let start = Unix.gettimeofday () in
   let result = f () in
   (result, Unix.gettimeofday () -. start)
+
+let time_cpu f =
+  let start = Sys.time () in
+  let result = f () in
+  (result, Sys.time () -. start)
+
+let time_span f =
+  let wall_start = Unix.gettimeofday () in
+  let cpu_start = Sys.time () in
+  let result = f () in
+  let cpu_seconds = Sys.time () -. cpu_start in
+  let wall_seconds = Unix.gettimeofday () -. wall_start in
+  (result, { wall_seconds; cpu_seconds })
 
 let seconds_to_string s = Printf.sprintf "%.2f" s

@@ -1,8 +1,22 @@
-(** Wall-clock timing for the CPU columns of the experiment tables. *)
+(** Timing for the CPU columns of the experiment tables.
+
+    Wall-clock and process-CPU time differ as soon as the driver runs
+    jobs in parallel or the machine is loaded, so benchmark records keep
+    both and regression gates compare the one they actually label. *)
+
+type span = { wall_seconds : float; cpu_seconds : float }
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed
     wall-clock seconds. *)
+
+val time_cpu : (unit -> 'a) -> 'a * float
+(** Like {!time} but measuring processor time ([Sys.time]) of this
+    process: insensitive to machine load, blind to child processes and
+    to wall-time spent blocked. *)
+
+val time_span : (unit -> 'a) -> 'a * span
+(** Measure both clocks around one run. *)
 
 val seconds_to_string : float -> string
 (** Format seconds with two decimals, e.g. ["0.13"]. *)

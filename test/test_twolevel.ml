@@ -472,6 +472,409 @@ let prop_reduce_preserves =
     ~print:print_cover gen_cover (fun f ->
       same_function f (Minimize.reduce f))
 
+(* ------------------------------------------------------------------ *)
+(* Differential suite: packed Cube_kernel vs the seed's list cubes     *)
+(* ------------------------------------------------------------------ *)
+
+(* The seed's list-based cube algebra, ported verbatim as an in-test
+   oracle: a cube is a strictly increasing list of literal codes, a
+   cover a sorted duplicate-free list of such cubes. Every packed-kernel
+   operation must agree with it exactly — including tie-breaking and
+   ordering, since cover canonicalisation order feeds cube indices all
+   over the network layers. *)
+module Oracle = struct
+  module Int_map = Map.Make (Int)
+
+  let rec normalise = function
+    | [] -> Some []
+    | [ l ] -> Some [ l ]
+    | l1 :: (l2 :: _ as rest) ->
+      if l1 = l2 then normalise rest
+      else if l1 / 2 = l2 / 2 then None
+      else begin
+        match normalise rest with
+        | None -> None
+        | Some rest' -> Some (l1 :: rest')
+      end
+
+  let rec subset small big =
+    match (small, big) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | s :: srest, b :: brest ->
+      if s = b then subset srest brest
+      else if b < s then subset small brest
+      else false
+
+  let contained_by c1 c2 = subset c2 c1
+
+  let rec merge c1 c2 =
+    match (c1, c2) with
+    | [], c | c, [] -> Some c
+    | l1 :: r1, l2 :: r2 ->
+      if l1 = l2 then Option.map (fun rest -> l1 :: rest) (merge r1 r2)
+      else if l1 / 2 = l2 / 2 then None
+      else if l1 < l2 then Option.map (fun rest -> l1 :: rest) (merge r1 c2)
+      else Option.map (fun rest -> l2 :: rest) (merge c1 r2)
+
+  let distance c1 c2 =
+    let rec go acc c1 c2 =
+      match (c1, c2) with
+      | [], _ | _, [] -> acc
+      | l1 :: r1, l2 :: r2 ->
+        if l1 / 2 = l2 / 2 then go (if l1 = l2 then acc else acc + 1) r1 r2
+        else if l1 < l2 then go acc r1 c2
+        else go acc c1 r2
+    in
+    go 0 c1 c2
+
+  let common c1 c2 = List.filter (fun l -> List.mem l c2) c1
+
+  let cofactor code cube =
+    if List.mem (code lxor 1) cube then None
+    else Some (List.filter (fun c -> c <> code) cube)
+
+  let canonical cubes = List.sort_uniq Stdlib.compare cubes
+
+  (* Seed tautology check: unate reduction, then binate split. *)
+  let occurrences cubes =
+    let add map code =
+      let v = code / 2 in
+      let p, n = Option.value (Int_map.find_opt v map) ~default:(0, 0) in
+      let entry = if code land 1 = 0 then (p + 1, n) else (p, n + 1) in
+      Int_map.add v entry map
+    in
+    List.fold_left (fun map cube -> List.fold_left add map cube) Int_map.empty
+      cubes
+
+  let cofactor_cubes code cubes = List.filter_map (cofactor code) cubes
+
+  let rec tautology cubes =
+    if List.exists (fun c -> c = []) cubes then true
+    else
+      match cubes with
+      | [] -> false
+      | _ ->
+        let occ = occurrences cubes in
+        let unate =
+          Int_map.fold
+            (fun v (p, n) acc ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                if p = 0 then Some (2 * v)
+                else if n = 0 then Some ((2 * v) + 1)
+                else None)
+            occ None
+        in
+        begin
+          match unate with
+          | Some against -> tautology (cofactor_cubes against cubes)
+          | None ->
+            let v, _ =
+              Int_map.fold
+                (fun v (p, n) (best_v, best_c) ->
+                  if p + n > best_c then (v, p + n) else (best_v, best_c))
+                occ (-1, -1)
+            in
+            tautology (cofactor_cubes (2 * v) cubes)
+            && tautology (cofactor_cubes ((2 * v) + 1) cubes)
+        end
+
+  (* Seed complement: split on the most binate variable (same Hashtbl
+     insertion sequence as the production module, so fold order and thus
+     variable choice agree). *)
+  let most_binate_var cubes =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun cube ->
+        List.iter
+          (fun code ->
+            let v = code / 2 in
+            let p, n = Option.value (Hashtbl.find_opt tbl v) ~default:(0, 0) in
+            if code land 1 = 0 then Hashtbl.replace tbl v (p + 1, n)
+            else Hashtbl.replace tbl v (p, n + 1))
+          cube)
+      cubes;
+    Hashtbl.fold
+      (fun v (p, n) best ->
+        let score = (min p n * 1000) + p + n in
+        match best with
+        | Some (_, best_score) when best_score >= score -> best
+        | _ -> Some (v, score))
+      tbl None
+
+  let add_literal code cube = merge [ code ] cube
+
+  let rec complement cubes =
+    if List.exists (fun c -> c = []) cubes then []
+    else
+      match cubes with
+      | [] -> [ [] ]
+      | [ c ] -> canonical (List.map (fun code -> [ code lxor 1 ]) c)
+      | _ ->
+        let v =
+          match most_binate_var cubes with Some (v, _) -> v | None -> assert false
+        in
+        let pos = 2 * v and neg = (2 * v) + 1 in
+        let cpos = complement (cofactor_cubes pos cubes) in
+        let cneg = complement (cofactor_cubes neg cubes) in
+        let attach code branch =
+          List.filter_map (fun c -> add_literal code c) branch
+        in
+        attach pos cpos @ attach neg cneg
+
+  (* Seed KERNEL1. *)
+  let common_cube cover =
+    match cover with [] -> [] | first :: rest -> List.fold_left common first rest
+
+  let make_cube_free cover =
+    let c = common_cube cover in
+    if c = [] then (c, cover)
+    else
+      ( c,
+        canonical
+          (List.map (fun cube -> List.filter (fun l -> not (List.mem l c)) cube)
+             cover) )
+
+  let is_cube_free cover = List.length cover >= 2 && common_cube cover = []
+
+  let literal_quotient lit cover =
+    canonical
+      (List.filter_map
+         (fun c ->
+           if List.mem lit c then Some (List.filter (fun l -> l <> lit) c)
+           else None)
+         cover)
+
+  let distinct_kernels cover =
+    let lits =
+      Array.of_list (List.sort_uniq Int.compare (List.concat cover))
+    in
+    let index_of lit =
+      let rec go i = if lits.(i) = lit then i else go (i + 1) in
+      go 0
+    in
+    let results = ref [] in
+    let rec explore start cokernel g =
+      if is_cube_free g then results := g :: !results;
+      for i = start to Array.length lits - 1 do
+        let lit = lits.(i) in
+        let occurrences =
+          List.length (List.filter (List.mem lit) g)
+        in
+        if occurrences >= 2 then begin
+          let c, q_free = make_cube_free (literal_quotient lit g) in
+          let duplicate = List.exists (fun l -> index_of l < i) c in
+          if not duplicate then begin
+            match add_literal lit cokernel with
+            | None -> ()
+            | Some ck_with_lit ->
+              begin
+                match merge ck_with_lit c with
+                | None -> ()
+                | Some ck -> explore (i + 1) ck q_free
+              end
+          end
+        end
+      done
+    in
+    explore 0 [] cover;
+    List.sort_uniq Stdlib.compare !results
+end
+
+(* Conversions between code lists and the packed representation. *)
+let cube_of_codes codes =
+  Cube.of_literals (List.map Literal.of_code codes)
+
+let codes_of_cube c = List.map Literal.code (Cube.literals c)
+
+let cover_of_code_lists lists =
+  Cover.of_cubes
+    (List.map
+       (fun codes ->
+         match cube_of_codes codes with
+         | Some c -> c
+         | None -> Alcotest.fail "generator produced a contradictory cube")
+       lists)
+
+let diff_cases = 1000
+
+(* Random raw literal-code lists (possibly unsorted, duplicated or
+   contradictory) plus normalised cubes over enough variables to span
+   several kernel words. *)
+let gen_codes rng ~nvars ~max_size =
+  List.init
+    (Rar_util.Rng.int rng (max_size + 1))
+    (fun _ ->
+      (2 * Rar_util.Rng.int rng nvars) + if Rar_util.Rng.bool rng then 1 else 0)
+
+let gen_cube_codes rng ~nvars ~max_size =
+  let rec retry () =
+    match Oracle.normalise (List.sort_uniq Int.compare (gen_codes rng ~nvars ~max_size)) with
+    | Some codes -> codes
+    | None -> retry ()
+  in
+  retry ()
+
+let diff_nvars = 70 (* 140 bits: three kernel words *)
+
+let test_diff_normalise () =
+  let rng = Rar_util.Rng.create 11 in
+  for _ = 1 to diff_cases do
+    let raw = gen_codes rng ~nvars:diff_nvars ~max_size:12 in
+    let oracle =
+      Oracle.normalise (List.sort_uniq Int.compare raw)
+    in
+    let packed =
+      Option.map codes_of_cube
+        (Cube.of_literals (List.map Literal.of_code raw))
+    in
+    Alcotest.(check (option (list int))) "normalise agrees" oracle packed
+  done
+
+let test_diff_containment () =
+  let rng = Rar_util.Rng.create 12 in
+  for case = 1 to diff_cases do
+    let a = gen_cube_codes rng ~nvars:diff_nvars ~max_size:10 in
+    (* Half the cases test a genuinely related pair: b extends a, so the
+       true branch of containment is exercised, not just random misses. *)
+    let b =
+      if case mod 2 = 0 then gen_cube_codes rng ~nvars:diff_nvars ~max_size:10
+      else
+        match
+          Oracle.merge a (gen_cube_codes rng ~nvars:diff_nvars ~max_size:4)
+        with
+        | Some ext -> ext
+        | None -> a
+    in
+    let ca = Option.get (cube_of_codes a) and cb = Option.get (cube_of_codes b) in
+    Alcotest.(check bool) "contained_by agrees" (Oracle.contained_by b a)
+      (Cube.contained_by cb ca);
+    Alcotest.(check bool) "contained_by sym agrees" (Oracle.contained_by a b)
+      (Cube.contained_by ca cb)
+  done
+
+let test_diff_intersect () =
+  let rng = Rar_util.Rng.create 13 in
+  for _ = 1 to diff_cases do
+    let a = gen_cube_codes rng ~nvars:diff_nvars ~max_size:10 in
+    let b = gen_cube_codes rng ~nvars:diff_nvars ~max_size:10 in
+    let oracle = Oracle.merge a b in
+    let packed =
+      Option.map codes_of_cube
+        (Cube.intersect (Option.get (cube_of_codes a))
+           (Option.get (cube_of_codes b)))
+    in
+    Alcotest.(check (option (list int))) "intersect agrees" oracle packed
+  done
+
+let test_diff_distance () =
+  let rng = Rar_util.Rng.create 14 in
+  for _ = 1 to diff_cases do
+    let a = gen_cube_codes rng ~nvars:diff_nvars ~max_size:10 in
+    let b = gen_cube_codes rng ~nvars:diff_nvars ~max_size:10 in
+    Alcotest.(check int) "distance agrees" (Oracle.distance a b)
+      (Cube.distance (Option.get (cube_of_codes a))
+         (Option.get (cube_of_codes b)))
+  done
+
+(* Cover canonicalisation order decides cube indices network-wide, so the
+   packed compare must reproduce Stdlib.compare on sorted code lists. *)
+let test_diff_compare () =
+  let rng = Rar_util.Rng.create 15 in
+  for _ = 1 to diff_cases do
+    let a = gen_cube_codes rng ~nvars:diff_nvars ~max_size:8 in
+    let b = gen_cube_codes rng ~nvars:diff_nvars ~max_size:8 in
+    let sign n = Stdlib.compare n 0 in
+    Alcotest.(check int) "compare agrees"
+      (sign (Stdlib.compare a b))
+      (sign
+         (Cube.compare (Option.get (cube_of_codes a))
+            (Option.get (cube_of_codes b))));
+    Alcotest.(check int) "compare reflexive" 0
+      (Cube.compare (Option.get (cube_of_codes a))
+         (Option.get (cube_of_codes a)))
+  done
+
+let gen_cover_codes rng ~nvars ~max_cubes ~max_size =
+  Oracle.canonical
+    (List.init
+       (Rar_util.Rng.int rng (max_cubes + 1))
+       (fun _ -> gen_cube_codes rng ~nvars ~max_size))
+
+let test_diff_tautology () =
+  let rng = Rar_util.Rng.create 16 in
+  for _ = 1 to diff_cases do
+    let cubes = gen_cover_codes rng ~nvars:5 ~max_cubes:8 ~max_size:3 in
+    Alcotest.(check bool) "tautology agrees" (Oracle.tautology cubes)
+      (Cover.is_tautology (cover_of_code_lists cubes))
+  done
+
+let test_diff_complement () =
+  let rng = Rar_util.Rng.create 17 in
+  for _ = 1 to diff_cases do
+    let cubes = gen_cover_codes rng ~nvars:5 ~max_cubes:6 ~max_size:3 in
+    let oracle = Oracle.canonical (Oracle.complement cubes) in
+    let packed =
+      List.map codes_of_cube
+        (Cover.cubes (Complement.cover (cover_of_code_lists cubes)))
+    in
+    Alcotest.(check (list (list int))) "complement agrees" oracle packed
+  done
+
+let test_diff_kernels () =
+  let rng = Rar_util.Rng.create 18 in
+  for _ = 1 to diff_cases do
+    let cubes = gen_cover_codes rng ~nvars:8 ~max_cubes:6 ~max_size:4 in
+    let oracle = Oracle.distinct_kernels cubes in
+    let packed =
+      List.map
+        (fun k -> List.map codes_of_cube (Cover.cubes k))
+        (Kernel.distinct_kernels (cover_of_code_lists cubes))
+    in
+    Alcotest.(check (list (list (list int)))) "distinct kernels agree" oracle
+      packed
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Grep gate: no list-walk cube logic outside Cube_kernel              *)
+(* ------------------------------------------------------------------ *)
+
+(* The refactored view modules must stay thin: any reappearance of
+   list-merge cube code (recursive list walks, List.mem/List.filter over
+   literal lists) belongs in Cube_kernel instead. Source files are
+   declared as dune deps of this test, so the paths resolve inside
+   _build. *)
+let test_no_list_cube_logic () =
+  let forbidden = [ "List.mem"; "List.filter"; "let rec" ] in
+  let read path =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      if i + nn > nh then false
+      else if String.sub hay i nn = needle then true
+      else go (i + 1)
+    in
+    go 0
+  in
+  List.iter
+    (fun path ->
+      let text = read path in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s free of %S" path needle)
+            false (contains text needle))
+        forbidden)
+    [ "../lib/twolevel/cube.ml"; "../lib/core/net_cube.ml" ]
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -536,6 +939,25 @@ let () =
         [
           Alcotest.test_case "parser" `Quick test_parse;
           Alcotest.test_case "operators" `Quick test_parse_spaces_and_ops;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "normalise vs oracle" `Quick test_diff_normalise;
+          Alcotest.test_case "containment vs oracle" `Quick
+            test_diff_containment;
+          Alcotest.test_case "intersect vs oracle" `Quick test_diff_intersect;
+          Alcotest.test_case "distance vs oracle" `Quick test_diff_distance;
+          Alcotest.test_case "compare order preserved" `Quick
+            test_diff_compare;
+          Alcotest.test_case "tautology vs oracle" `Quick test_diff_tautology;
+          Alcotest.test_case "complement vs oracle" `Quick
+            test_diff_complement;
+          Alcotest.test_case "kernels vs oracle" `Quick test_diff_kernels;
+        ] );
+      ( "gates",
+        [
+          Alcotest.test_case "no list cube logic in views" `Quick
+            test_no_list_cube_logic;
         ] );
       ("properties", qcheck_cases);
     ]
