@@ -1,4 +1,4 @@
-.PHONY: all test bench tracecheck cubeops ci doc clean
+.PHONY: all test bench tracecheck memocheck cubeops ci doc clean
 
 all:
 	dune build @all
@@ -12,6 +12,12 @@ test:
 tracecheck:
 	dune exec bench/main.exe -- tracecheck quick
 
+# Division-memo soundness gate: every quick (circuit, method) cell must
+# be byte-identical with the memo on and off, with memo_hits > 0
+# overall when on and the memo counters untouched when off.
+memocheck:
+	dune exec bench/main.exe -- memocheck quick
+
 # Packed cube kernel vs the seed's list cubes: containment and
 # intersection throughput on synthetic multi-word covers.
 cubeops:
@@ -19,15 +25,17 @@ cubeops:
 
 # Full local CI: build, tests, the jobs=1 vs jobs=max determinism gate
 # (literal totals must be identical), the degraded-run/trace gate, the
-# cube-kernel microbenchmark, and the quick machine-readable perf
-# snapshot (writes BENCH_resub.json for cross-PR trajectory tracking;
-# fails if total cpu_seconds regresses >20% vs the previous snapshot at
-# jobs=1).
+# memo bit-identity gate, the cube-kernel microbenchmark, and the quick
+# machine-readable perf snapshot (writes BENCH_resub.json for cross-PR
+# trajectory tracking; fails if total cpu_seconds — including the
+# multi-pass script benchmark — regresses >20% vs the previous snapshot
+# at jobs=1).
 ci:
 	dune build @all
 	dune runtest
 	dune exec bench/main.exe -- jobscheck quick
 	dune exec bench/main.exe -- tracecheck quick
+	dune exec bench/main.exe -- memocheck quick
 	dune exec bench/main.exe -- cubeops
 	dune exec bench/main.exe -- bench quick
 

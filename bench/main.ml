@@ -9,9 +9,10 @@
      main.exe bench quick     write the BENCH_resub.json perf snapshot
      main.exe jobscheck quick parallel-vs-sequential determinism gate
      main.exe tracecheck quick degraded-run + trace JSON-lines gate
+     main.exe memocheck quick memo-on vs --no-memo bit-identity gate
      main.exe cubeops         packed-kernel vs list-cube microbenchmark
    Sections: fig1 fig2 table1 fig4 table2 table3 table4 table5 ablation
-   bech bench jobscheck tracecheck cubeops
+   bech bench jobscheck tracecheck memocheck cubeops
    Options (key=value): jobs=N (bench parallelism, default 1; snapshots at
    jobs=1 are also gated >20%% CPU-regression against the previous file),
    sim-seed=N (signature-filter seed). *)
@@ -621,6 +622,154 @@ let previous_total_cpu path =
 
 let cpu_regression_limit = 1.20
 
+(* ------------------------------------------------------------------ *)
+(* Multi-pass script benchmark: later-pass CPU with and without memo   *)
+(* ------------------------------------------------------------------ *)
+
+type script_bench_cell = {
+  sb_method : string;
+  sb_full_on : float;  (* whole fixpoint, memo on (the shipped config) *)
+  sb_late_on : float;  (* passes >= 2 only, memo on *)
+  sb_late_off : float;  (* passes >= 2 only, memo off *)
+  sb_pass_on : int list;  (* per-pass divisions_attempted, memo on *)
+  sb_pass_off : int list;
+}
+
+(* Later-pass CPU is (full fixpoint) - (the same run capped at one
+   pass), measured separately with the memo on and off. Pass 1 always
+   attempts every pair; the later passes mostly re-prove quiescence,
+   which is exactly the work the memo replays from its table. *)
+let script_bench_measure rows =
+  let measure meth ~use_memo ~max_passes =
+    let once () =
+      let cpu = ref 0.0 in
+      let agg = Rar_util.Counters.create () in
+      List.iter
+        (fun row ->
+          let net = Suite.build row in
+          Synth.Script.run net Synth.Script.script_a;
+          let counters = Rar_util.Counters.create () in
+          let (), secs =
+            Rar_util.Stopwatch.time_cpu (fun () ->
+                match meth with
+                | `Sis ->
+                  ignore
+                    (Synth.Resub.run ~use_memo ?max_passes ~counters net)
+                | `Ext ->
+                  let config =
+                    {
+                      Booldiv.Substitute.extended_config with
+                      use_memo;
+                      max_passes =
+                        (match max_passes with
+                        | Some n -> n
+                        | None ->
+                          Booldiv.Substitute.extended_config
+                            .Booldiv.Substitute.max_passes);
+                    }
+                  in
+                  ignore (Booldiv.Substitute.run ~config ~counters net))
+          in
+          cpu := !cpu +. secs;
+          Rar_util.Counters.accumulate agg counters)
+        rows;
+      (!cpu, agg.Rar_util.Counters.pass_divisions)
+    in
+    (* min of two runs: the division counts are deterministic, the CPU
+       figure is contention-noisy and feeds a 20% regression gate. *)
+    let cpu1, divs = once () in
+    let cpu2, _ = once () in
+    (Float.min cpu1 cpu2, divs)
+  in
+  let cell name meth =
+    let full_on, pass_on = measure meth ~use_memo:true ~max_passes:None in
+    let p1_on, _ = measure meth ~use_memo:true ~max_passes:(Some 1) in
+    let full_off, pass_off = measure meth ~use_memo:false ~max_passes:None in
+    let p1_off, _ = measure meth ~use_memo:false ~max_passes:(Some 1) in
+    {
+      sb_method = name;
+      sb_full_on = full_on;
+      sb_late_on = Float.max 0.0 (full_on -. p1_on);
+      sb_late_off = Float.max 0.0 (full_off -. p1_off);
+      sb_pass_on = pass_on;
+      sb_pass_off = pass_off;
+    }
+  in
+  [ cell "sis" `Sis; cell "ext" `Ext ]
+
+(* Keys deliberately avoid the "cpu_seconds" substring (see the totals
+   parser above); "full_fixpoint_seconds" has its own regression parser. *)
+let script_bench_json cells =
+  let ints l = String.concat ", " (List.map string_of_int l) in
+  let cell c =
+    Printf.sprintf
+      "{\"method\": %S, \"full_fixpoint_seconds\": %.6f, \
+       \"late_pass_seconds\": {\"with_memo\": %.6f, \"without_memo\": \
+       %.6f}, \"late_pass_reduction_pct\": %.1f, \"pass_divisions\": \
+       {\"with_memo\": [%s], \"without_memo\": [%s]}}"
+      c.sb_method c.sb_full_on c.sb_late_on c.sb_late_off
+      (if c.sb_late_off > 0.0 then
+         (1.0 -. (c.sb_late_on /. c.sb_late_off)) *. 100.0
+       else 0.0)
+      (ints c.sb_pass_on) (ints c.sb_pass_off)
+  in
+  Printf.sprintf "{\"script\": \"a\", \"methods\": [%s]}"
+    (String.concat ", " (List.map cell cells))
+
+let print_script_bench cells =
+  Printf.printf "multi-pass script benchmark (script A, quiescence passes):\n";
+  List.iter
+    (fun c ->
+      Printf.printf
+        "  %-4s passes >=2: %.3fs memo / %.3fs no-memo (%.0f%% less cpu)  \
+         divisions %s -> %s\n"
+        c.sb_method c.sb_late_on c.sb_late_off
+        (if c.sb_late_off > 0.0 then
+           (1.0 -. (c.sb_late_on /. c.sb_late_off)) *. 100.0
+         else 0.0)
+        ("[" ^ String.concat ", " (List.map string_of_int c.sb_pass_off) ^ "]")
+        ("[" ^ String.concat ", " (List.map string_of_int c.sb_pass_on) ^ "]"))
+    cells
+
+(* The previous snapshot's summed script-benchmark fixpoint CPU: the
+   "full_fixpoint_seconds" key appears only in the script_bench record. *)
+let previous_script_cpu path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let content =
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let key = "\"full_fixpoint_seconds\": " in
+    let sum = ref 0.0 and found = ref false in
+    let rec scan i =
+      if i + String.length key > String.length content then ()
+      else if String.sub content i (String.length key) = key then begin
+        let j = i + String.length key in
+        let k = ref j in
+        while
+          !k < String.length content
+          && (match content.[!k] with
+             | '0' .. '9' | '.' | '-' | 'e' | '+' -> true
+             | _ -> false)
+        do
+          incr k
+        done;
+        (match float_of_string_opt (String.sub content j (!k - j)) with
+        | Some v ->
+          sum := !sum +. v;
+          found := true
+        | None -> ());
+        scan !k
+      end
+      else scan (i + 1)
+    in
+    scan 0;
+    if !found then Some !sum else None
+
 (* Emits one JSON record per (circuit, method) cell plus per-method
    totals: factored literals, CPU and wall seconds, verification status,
    and the divisor-filter counters, so successive PRs can diff resub
@@ -633,8 +782,11 @@ let cpu_regression_limit = 1.20
 let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed rows =
   section "bench - machine-readable resub snapshot";
   let baseline_cpu = if jobs = 1 then previous_total_cpu path else None in
+  let baseline_script = if jobs = 1 then previous_script_cpu path else None in
   let cubeops = cubeops_measure () in
   print_cubeops cubeops;
+  let script_cells = script_bench_measure rows in
+  print_script_bench script_cells;
   let cells =
     List.map
       (fun row ->
@@ -707,8 +859,10 @@ let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed rows =
      parser above sums every "cpu_seconds" after it, and these throughput
      figures deliberately use different key names. *)
   Buffer.add_string buffer
-    (Printf.sprintf "  \"cubeops\": %s,\n  \"circuits\": [\n"
-       (cubeops_json cubeops));
+    (Printf.sprintf "  \"cubeops\": %s,\n  \"script_bench\": %s,\n  \
+                     \"circuits\": [\n"
+       (cubeops_json cubeops)
+       (script_bench_json script_cells));
   List.iteri
     (fun i (circuit, init, per_method) ->
       Buffer.add_string buffer
@@ -745,7 +899,7 @@ let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed rows =
         acc +. s.Rar_util.Stopwatch.cpu_seconds)
       0.0 totals
   in
-  match baseline_cpu with
+  (match baseline_cpu with
   | None -> ()
   | Some old_cpu ->
     Printf.printf "total cpu: %.2fs (previous snapshot: %.2fs)\n" new_cpu
@@ -753,6 +907,21 @@ let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed rows =
     if old_cpu > 0.0 && new_cpu > old_cpu *. cpu_regression_limit then begin
       Printf.printf
         "PERF REGRESSION: total cpu_seconds grew by more than %.0f%%\n"
+        ((cpu_regression_limit -. 1.0) *. 100.0);
+      exit 3
+    end);
+  let script_cpu =
+    List.fold_left (fun acc c -> acc +. c.sb_full_on) 0.0 script_cells
+  in
+  match baseline_script with
+  | None -> ()
+  | Some old_cpu ->
+    Printf.printf "script bench cpu: %.2fs (previous snapshot: %.2fs)\n"
+      script_cpu old_cpu;
+    if old_cpu > 0.0 && script_cpu > old_cpu *. cpu_regression_limit then begin
+      Printf.printf
+        "PERF REGRESSION: multi-pass script benchmark cpu grew by more \
+         than %.0f%%\n"
         ((cpu_regression_limit -. 1.0) *. 100.0);
       exit 3
     end
@@ -840,6 +1009,11 @@ let trace_check rows =
     rows;
   Rar_util.Trace.close trace;
   let lines = ref 0 and bad = ref 0 and degrade_events = ref 0 in
+  let memo_events = ref 0 and checkpoint_events = ref 0 in
+  let starts_with prefix line =
+    String.length line >= String.length prefix
+    && String.sub line 0 (String.length prefix) = prefix
+  in
   let ic = open_in path in
   (try
      while true do
@@ -850,21 +1024,25 @@ let trace_check rows =
        | Error msg ->
          incr bad;
          if !bad <= 5 then Printf.printf "  line %d: %s\n" !lines msg);
-       if
-         String.length line >= 20
-         && String.sub line 0 20 = "{\"event\": \"degrade\","
-       then incr degrade_events
+       if starts_with "{\"event\": \"degrade\"," line then
+         incr degrade_events;
+       if starts_with "{\"event\": \"memo\"," line then incr memo_events;
+       if starts_with "{\"event\": \"checkpoint\"," line then
+         incr checkpoint_events
      done
    with End_of_file -> ());
   close_in ic;
   Sys.remove path;
-  Printf.printf "trace: %d line(s), %d malformed, %d degrade event(s)\n"
-    !lines !bad !degrade_events;
+  Printf.printf
+    "trace: %d line(s), %d malformed, %d degrade, %d memo, %d checkpoint \
+     event(s)\n"
+    !lines !bad !degrade_events !memo_events !checkpoint_events;
   Printf.printf "degradations tallied in counters: %d\n"
     counters.Rar_util.Counters.degradations;
   if
     !bad > 0 || !failures > 0 || !degrade_events = 0
     || counters.Rar_util.Counters.degradations = 0
+    || !memo_events = 0 || !checkpoint_events = 0
   then begin
     Printf.printf "tracecheck FAILED\n";
     exit 5
@@ -872,7 +1050,61 @@ let trace_check rows =
   else
     Printf.printf
       "tracecheck: degraded runs equivalent, trace well-formed, \
-       degradations recorded\n"
+       degradations, memo and checkpoint passes recorded\n"
+
+(* ------------------------------------------------------------------ *)
+(* memocheck - division memo must be invisible in results              *)
+(* ------------------------------------------------------------------ *)
+
+(* The memo may skip a division attempt only when the recorded failure
+   is provably a replay, so memo-on and memo-off runs must produce
+   byte-identical networks. Gate: every (circuit, method) cell matches,
+   the memo-on sweep actually skipped work somewhere (memo_hits > 0),
+   and the memo-off sweep never ticked the memo counters. *)
+let memo_check rows =
+  section "memocheck - memo-on vs --no-memo bit-identity gate";
+  let failures = ref 0 in
+  let hits_on = ref 0 and hits_off = ref 0 and misses_off = ref 0 in
+  List.iter
+    (fun row ->
+      let base = Suite.build row in
+      Synth.Script.run base Synth.Script.script_a;
+      List.iter
+        (fun (name, meth) ->
+          let once use_memo =
+            let scratch = Network.copy base in
+            let counters = Rar_util.Counters.create () in
+            Synth.Script.resub_command ~use_memo ~counters meth scratch;
+            (scratch, counters)
+          in
+          let net_on, c_on = once true in
+          let net_off, c_off = once false in
+          hits_on := !hits_on + c_on.Rar_util.Counters.memo_hits;
+          hits_off := !hits_off + c_off.Rar_util.Counters.memo_hits;
+          misses_off := !misses_off + c_off.Rar_util.Counters.memo_misses;
+          let same =
+            Network.to_string net_on = Network.to_string net_off
+            && Lit_count.factored net_on = Lit_count.factored net_off
+          in
+          if not same then incr failures;
+          Printf.printf "  %-12s %-8s %4d lits  %s  (%d hits)\n"
+            row.Suite.name name
+            (Lit_count.factored net_on)
+            (if same then "identical" else "DIVERGED")
+            c_on.Rar_util.Counters.memo_hits)
+        Synth.Script.resub_methods)
+    rows;
+  Printf.printf "memo hits: %d with memo, %d without (misses without: %d)\n"
+    !hits_on !hits_off !misses_off;
+  if !failures > 0 || !hits_on = 0 || !hits_off > 0 || !misses_off > 0
+  then begin
+    Printf.printf "memocheck FAILED\n";
+    exit 6
+  end
+  else
+    Printf.printf
+      "memocheck: all cells bit-identical; memo active when on, inert \
+       when off\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel benches - one per table                                    *)
@@ -992,6 +1224,7 @@ let () =
   if selected "bech" then bechamel ();
   if List.mem "jobscheck" explicit then jobs_check rows;
   if List.mem "tracecheck" explicit then trace_check rows;
+  if List.mem "memocheck" explicit then memo_check rows;
   if List.mem "cubeops" explicit then cubeops_report ();
   (* JSON snapshot only on explicit request: it is a CI artifact, not part
      of the default figure/table regeneration. *)

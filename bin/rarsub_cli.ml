@@ -129,8 +129,8 @@ let resubs =
   @ [ ("rar", `Other (fun net -> ignore (Rewiring.Rar.optimize net))) ]
 
 let optimize_cmd =
-  let run circuit file script method_name no_filter jobs sim_seed fault_budget
-      deadline trace_file output verify verbose =
+  let run circuit file script method_name no_filter no_memo jobs sim_seed
+      fault_budget deadline trace_file output verify verbose =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
@@ -166,9 +166,9 @@ let optimize_cmd =
         match List.assoc method_name resubs with
         | `Other command -> command
         | `Method meth ->
-          Synth.Script.resub_command ~use_filter:(not no_filter) ~jobs
-            ~sim_seed ?fault_fuel:fault_budget ?deadline_at ~trace ~counters
-            meth
+          Synth.Script.resub_command ~use_filter:(not no_filter)
+            ~use_memo:(not no_memo) ~jobs ~sim_seed ?fault_fuel:fault_budget
+            ?deadline_at ~trace ~counters meth
       in
       Printf.printf "initial: %d factored literals\n" (Lit_count.factored net);
       let (), script_time =
@@ -219,6 +219,15 @@ let optimize_cmd =
           ~doc:
             "Disable the simulation-signature divisor filter (seed-style \
              exhaustive candidate ranking) for A/B comparisons.")
+  in
+  let no_memo_flag =
+    Arg.(
+      value & flag
+      & info [ "no-memo" ]
+          ~doc:
+            "Disable the division-failure memo (re-attempt every pair on \
+             every pass, as the seed did) for A/B comparisons. Final \
+             networks are bit-identical either way.")
   in
   let jobs_arg =
     Arg.(
@@ -287,8 +296,9 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Optimise a circuit with a script and a method.")
     Term.(
       const run $ circuit_arg $ file_arg $ script_arg $ method_arg
-      $ no_filter_flag $ jobs_arg $ sim_seed_arg $ fault_budget_arg
-      $ deadline_arg $ trace_arg $ output_arg $ verify_flag $ verbose_flag)
+      $ no_filter_flag $ no_memo_flag $ jobs_arg $ sim_seed_arg
+      $ fault_budget_arg $ deadline_arg $ trace_arg $ output_arg
+      $ verify_flag $ verbose_flag)
 
 let () =
   let info =

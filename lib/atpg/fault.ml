@@ -37,7 +37,20 @@ let wire_to_string net = function
 
 let cube_array net id = Array.of_list (Cover.cubes (Network.cover net id))
 
-let activation_assignments net wire =
+let wire_node = function
+  | Literal_wire { node; _ } | Cube_wire { node; _ } -> node
+
+(* Activation splits into a part shared by every wire of the same cube
+   (the node's other cubes forced off) and a wire-local part; callers
+   using {!Imply.checkpoint} assert the shared part once per cube and
+   branch per wire, everyone else gets the concatenation below. *)
+let cube_context_assignments net ~node ~cube =
+  let cubes = cube_array net node in
+  List.filter_map
+    (fun i -> if i = cube then None else Some (Cube (node, i, false)))
+    (List.init (Array.length cubes) Fun.id)
+
+let local_activation_assignments net wire =
   match wire with
   | Literal_wire { node; cube; lit } ->
     let cubes = cube_array net node in
@@ -49,21 +62,16 @@ let activation_assignments net wire =
           else Some (Node (fanins.(Literal.var l), Literal.is_pos l)))
         (Cube.literals cubes.(cube))
     in
-    let other_cubes =
-      List.filter_map
-        (fun i -> if i = cube then None else Some (Cube (node, i, false)))
-        (List.init (Array.length cubes) Fun.id)
-    in
-    (Node (fanins.(Literal.var lit), not (Literal.is_pos lit)) :: siblings)
-    @ other_cubes
-  | Cube_wire { node; cube } ->
-    let cubes = cube_array net node in
-    let other_cubes =
-      List.filter_map
-        (fun i -> if i = cube then None else Some (Cube (node, i, false)))
-        (List.init (Array.length cubes) Fun.id)
-    in
-    Cube (node, cube, true) :: other_cubes
+    Node (fanins.(Literal.var lit), not (Literal.is_pos lit)) :: siblings
+  | Cube_wire { node; cube } -> [ Cube (node, cube, true) ]
+
+let wire_cube = function
+  | Literal_wire { cube; _ } | Cube_wire { cube; _ } -> cube
+
+let activation_assignments net wire =
+  let node = wire_node wire in
+  local_activation_assignments net wire
+  @ cube_context_assignments net ~node ~cube:(wire_cube wire)
 
 (* Nodes through which every path from [id] to a primary output passes.
    D(x) = {x} ∪ ⋂ over predecessors-in-TFO(id); result = ⋂ over

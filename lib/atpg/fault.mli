@@ -30,7 +30,28 @@ type assignment =
 val activation_assignments : Logic_network.Network.t -> wire -> assignment list
 (** Mandatory assignments to excite the fault and push its effect through
     the faulty node's own OR structure: the tested literal at its faulty
-    value, sibling literals at 1, sibling cubes at 0. *)
+    value, sibling literals at 1, sibling cubes at 0. Equals
+    {!local_activation_assignments} followed by
+    {!cube_context_assignments} for the wire's cube. *)
+
+val wire_node : wire -> Logic_network.Network.node_id
+
+val wire_cube : wire -> int
+(** Index of the cube the wire lives in. *)
+
+val cube_context_assignments :
+  Logic_network.Network.t ->
+  node:Logic_network.Network.node_id ->
+  cube:int ->
+  assignment list
+(** The cube-shared slice of activation: the node's other cubes forced
+    to 0. Identical for every wire of the same cube, so callers using
+    {!Imply.checkpoint} assert it once per cube. *)
+
+val local_activation_assignments :
+  Logic_network.Network.t -> wire -> assignment list
+(** The wire-specific slice of activation: the tested literal at its
+    faulty value plus its sibling literals (or the tested cube at 1). *)
 
 val dominators :
   Logic_network.Network.t ->

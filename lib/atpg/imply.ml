@@ -34,6 +34,9 @@ type t = {
   (* Structure mirrors the network at [built_revision]; [reset] rebuilds
      it when the network has mutated since. Shared by learn-copies. *)
   mutable built_revision : int;
+  (* Bumped by every build/reset: marks taken before the bump are stale
+     (their trail positions no longer mean anything). *)
+  mutable generation : int;
   mutable slot : int array;  (* node id -> slot (-1 when unknown) *)
   mutable node_of : int array;  (* slot -> node id *)
   mutable nslots : int;
@@ -123,6 +126,7 @@ let build t =
         cubes_of.(s))
     ids;
   t.built_revision <- Network.revision net;
+  t.generation <- t.generation + 1;
   t.slot <- slot;
   t.node_of <- node_of;
   t.nslots <- nslots;
@@ -174,6 +178,7 @@ let create ?(region = fun _ -> true) ?(frozen = fun _ -> false)
       budget;
       counters;
       built_revision = -1;
+      generation = 0;
       slot = [||];
       node_of = [||];
       nslots = 0;
@@ -201,6 +206,7 @@ let reset ?frozen t =
   (match frozen with Some f -> t.frozen <- f | None -> ());
   if Network.revision t.net <> t.built_revision then build t
   else begin
+    t.generation <- t.generation + 1;
     (* Undo the trail, flush the queue, and re-arm the constants'
        pending fanouts — O(assignments + queue), not O(network). *)
     for k = t.trail_len - 1 downto 0 do
@@ -387,6 +393,49 @@ let run t =
   done
 
 let set_budget t budget = t.budget <- budget
+
+let propagate t = run t
+
+(* --- Trail checkpoints ------------------------------------------------- *)
+
+type mark = { m_trail : int; m_generation : int; m_revision : int }
+
+let checkpoint t =
+  if t.q_len > 0 then
+    invalid_arg "Imply.checkpoint: pending implications (propagate first)";
+  { m_trail = t.trail_len; m_generation = t.generation;
+    m_revision = t.built_revision }
+
+let pop_to t mark =
+  if
+    mark.m_generation <> t.generation
+    || mark.m_revision <> t.built_revision
+    || Network.revision t.net <> t.built_revision
+    || mark.m_trail > t.trail_len
+  then false
+  else begin
+    (* Rewind the assignments above the mark, then flush whatever an
+       aborted propagation (conflict, exhausted budget) left queued —
+       the shared context below the mark had an empty queue. *)
+    for k = t.trail_len - 1 downto mark.m_trail do
+      let e = t.trail.(k) in
+      if e < t.nslots then Bytes.set t.node_val e v_unknown
+      else Bytes.set t.cube_val (e - t.nslots) v_unknown
+    done;
+    t.trail_len <- mark.m_trail;
+    let cap = Array.length t.queue in
+    while t.q_len > 0 do
+      let s = t.queue.(t.q_head) in
+      Bytes.set t.queued s '\000';
+      t.q_head <- (if t.q_head + 1 >= cap then 0 else t.q_head + 1);
+      t.q_len <- t.q_len - 1
+    done;
+    t.q_head <- 0;
+    (match t.counters with
+    | Some c -> c.Counters.imply_checkpoints <- c.Counters.imply_checkpoints + 1
+    | None -> ());
+    true
+  end
 
 let assign_node t id v =
   set_node t id v;

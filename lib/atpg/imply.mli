@@ -67,6 +67,33 @@ val reset : ?frozen:(Logic_network.Network.node_id -> bool) -> t -> unit
 val assign_node : t -> Logic_network.Network.node_id -> bool -> unit
 (** Assume a node value and propagate to fixpoint. @raise Conflict *)
 
+val propagate : t -> unit
+(** Drain the pending implication queue to fixpoint (the constants'
+    fanouts are left pending after {!create}/{!reset}; callers that want
+    a {!checkpoint} right after a reset must drain them first).
+    @raise Conflict *)
+
+type mark
+(** A position on the undo trail (see {!checkpoint}). *)
+
+val checkpoint : t -> mark
+(** Capture the current trail position so a caller can assert a shared
+    context once and branch per sub-case by popping back, instead of a
+    full {!reset} + replay per sub-case. The implication queue must be
+    empty (propagation at fixpoint) — otherwise the queued work would be
+    double-counted by every branch; raises [Invalid_argument] if not.
+    Marks obey a stack discipline: popping to a mark invalidates any
+    mark taken above it. *)
+
+val pop_to : t -> mark -> bool
+(** Rewind the trail to the mark, erasing every assignment made above it
+    and flushing whatever an aborted propagation (conflict, exhausted
+    budget) left queued. Returns [false] — leaving the engine untouched
+    — when the mark is stale: a {!reset} or structural rebuild happened
+    after {!checkpoint}, or the underlying network has mutated (the
+    caller should rebuild its context via {!reset}). Counted as an
+    [imply_checkpoints] in the engine's counters. *)
+
 val assign_cube : t -> Logic_network.Network.node_id -> int -> bool -> unit
 (** Assume a value for the [i]-th cube (in {!Twolevel.Cover.cubes} order)
     of a node and propagate. @raise Conflict *)

@@ -1,0 +1,72 @@
+module Network = Logic_network.Network
+module Dirty = Logic_network.Dirty
+module Node_set = Network.Node_set
+
+type phase = Pos | Neg | Both
+
+type meth = Algebraic | Boolean
+
+type target = Divisor of Network.node_id * phase | Pool of Network.node_id list
+
+type reads = All_nodes | Nodes of Network.node_id array
+
+type entry = { at : int; reads : reads; burn : int }
+
+type dividend_entry = { d_at : int; d_burn : int; d_units : int }
+
+type key = Network.node_id * meth * target
+
+type t = {
+  dirty : Dirty.t;
+  table : (key, entry) Hashtbl.t;
+  dividends : (Network.node_id, dividend_entry) Hashtbl.t;
+}
+
+let reads_of_set s = Nodes (Array.of_list (Node_set.elements s))
+
+let all_nodes = All_nodes
+
+let create dirty =
+  { dirty; table = Hashtbl.create 997; dividends = Hashtbl.create 97 }
+
+let dirty t = t.dirty
+
+let fresh t at = function
+  | All_nodes -> Dirty.clock t.dirty = at
+  | Nodes arr ->
+    let ok = ref true in
+    let i = ref 0 in
+    let n = Array.length arr in
+    while !ok && !i < n do
+      if Dirty.stamp t.dirty arr.(!i) > at then ok := false;
+      incr i
+    done;
+    !ok
+
+let replay_failure t ~f target ~meth =
+  let key = (f, meth, target) in
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some e ->
+    if fresh t e.at e.reads then Some e.burn
+    else begin
+      Hashtbl.remove t.table key;
+      None
+    end
+
+let record_failure t ~f target ~meth ~reads ~burn =
+  Hashtbl.replace t.table (f, meth, target)
+    { at = Dirty.clock t.dirty; reads; burn }
+
+let replay_dividend t ~f =
+  match Hashtbl.find_opt t.dividends f with
+  | None -> None
+  | Some e ->
+    if Dirty.clock t.dirty = e.d_at then Some (e.d_burn, e.d_units)
+    else begin
+      Hashtbl.remove t.dividends f;
+      None
+    end
+
+let record_dividend t ~f ~at ~burn ~units =
+  Hashtbl.replace t.dividends f { d_at = at; d_burn = burn; d_units = units }

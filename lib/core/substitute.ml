@@ -1,6 +1,7 @@
 open Twolevel
 module Network = Logic_network.Network
 module Fanin_cache = Logic_network.Fanin_cache
+module Dirty = Logic_network.Dirty
 module Lit_count = Logic_network.Lit_count
 module Signature = Logic_sim.Signature
 module Counters = Rar_util.Counters
@@ -26,6 +27,7 @@ type config = {
   max_passes : int;
   jobs : int;
   sim_seed : int;
+  use_memo : bool;
 }
 
 let basic_config =
@@ -41,6 +43,7 @@ let basic_config =
     max_passes = 4;
     jobs = 1;
     sim_seed = Signature.default_seed;
+    use_memo = true;
   }
 
 let extended_config = { basic_config with mode = Extended }
@@ -343,6 +346,98 @@ let run ?(config = extended_config) ?fault_fuel ?deadline_at
     make_attempts ~config ?fault_fuel ?deadline_at ~trace ~counters ~sigs
       ~committed ~verbose:true net
   in
+  let dirty = if config.use_memo then Some (Dirty.create net) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Dirty.detach dirty)
+  @@ fun () ->
+  let memo = Option.map Division_memo.create dirty in
+  let unit_target = function
+    | Div d -> Division_memo.Divisor (d, Division_memo.Both)
+    | Ext pool -> Division_memo.Pool pool
+  in
+  (* What a Boolean unit can read. Non-GDC implications are confined to
+     the dividend/divisor region, but redundancy removal inside a
+     division consults dominators and fault propagation across the
+     dividend's transitive fanout, and the signature phase gates read
+     both full fanin cones — so the bound is TFI(f) ∪ TFI(divisors) ∪
+     TFO(f). Under GDC the implication region is the whole network, so
+     only a fully unchanged network proves a replay. *)
+  (* TFI(f) ∪ TFO(f) is shared by every unit of one dividend scan and
+     the transitive fanout has no cross-call cache, so memoise it per
+     (dividend, clock) — a commit moves the clock and drops the entry. *)
+  let base_cache = ref None in
+  let dividend_base m f =
+    let c = Dirty.clock (Division_memo.dirty m) in
+    match !base_cache with
+    | Some (f', c', s) when f' = f && c' = c -> s
+    | _ ->
+      let s =
+        Network.Node_set.union
+          (Fanin_cache.transitive_fanin cache f)
+          (Network.transitive_fanout net [ f ])
+      in
+      base_cache := Some (f, c, s);
+      s
+  in
+  let unit_reads m f u =
+    if config.gdc then Division_memo.all_nodes
+    else begin
+      let base = dividend_base m f in
+      let s =
+        match u with
+        | Div d ->
+          Network.Node_set.union base (Fanin_cache.transitive_fanin cache d)
+        | Ext pool ->
+          List.fold_left
+            (fun acc d ->
+              Network.Node_set.union acc
+                (Fanin_cache.transitive_fanin cache d))
+            base pool
+      in
+      Division_memo.reads_of_set s
+    end
+  in
+  (* Memoised unit attempt: skipped when the memo proves the recorded
+     failure would replay, reserving the recorded id burn so the
+     allocator (and hence every later node name) stays in lockstep with
+     a memo-off run. Real attempts run under the dirty tracker's
+     speculation guard: a failed unit mutates and restores the network,
+     and those paired events must not move any stamps. *)
+  let attempt_unit f u =
+    match memo with
+    | None -> run_unit f u
+    | Some m -> (
+      let target = unit_target u in
+      match
+        Division_memo.replay_failure m ~f target ~meth:Division_memo.Boolean
+      with
+      | Some burn ->
+        counters.Counters.memo_hits <- counters.Counters.memo_hits + 1;
+        if burn > 0 then Network.reserve_ids net burn;
+        false
+      | None ->
+        counters.Counters.memo_misses <- counters.Counters.memo_misses + 1;
+        let id0 = Network.id_limit net in
+        let ok =
+          Dirty.speculating (Division_memo.dirty m) ~committed:Fun.id
+            (fun () -> run_unit f u)
+        in
+        if not ok then
+          Division_memo.record_failure m ~f target
+            ~meth:Division_memo.Boolean ~reads:(unit_reads m f u)
+            ~burn:(Network.id_limit net - id0);
+        ok)
+  in
+  let unit_replays m f u =
+    match
+      Division_memo.replay_failure m ~f (unit_target u)
+        ~meth:Division_memo.Boolean
+    with
+    | Some burn ->
+      counters.Counters.memo_hits <- counters.Counters.memo_hits + 1;
+      if burn > 0 then Network.reserve_ids net burn;
+      true
+    | None -> false
+  in
   let jobs = max 1 config.jobs in
   let wpool = if jobs > 1 then Some (Pool.create ~jobs) else None in
   Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown wpool)
@@ -383,6 +478,14 @@ let run ?(config = extended_config) ?fault_fuel ?deadline_at
      with a sequential run; the winner is re-executed on the real network
      (its snapshot matched, so the outcome is identical); later units are
      discarded as speculative waste and retried against the new state. *)
+  let split_at n l =
+    let rec go acc n = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: tl -> go (x :: acc) (n - 1) tl
+    in
+    go [] n l
+  in
   let parallel_rounds pool_t changed f units =
     let rec rounds units =
       let units =
@@ -392,15 +495,27 @@ let run ?(config = extended_config) ?fault_fuel ?deadline_at
             units
         else []
       in
+      (* Peel off units whose failure the memo can replay before paying
+         for a speculative batch: replays are resolved on the spot (in
+         rank order, so the id-burn reserves land in sequence). *)
+      let units =
+        match memo with
+        | None -> units
+        | Some m ->
+          List.filter (fun u -> not (unit_replays m f u)) units
+      in
       match units with
       | [] -> ()
       | _ ->
         let batch_n = min (Pool.jobs pool_t) (List.length units) in
-        let batch = List.filteri (fun i _ -> i < batch_n) units in
-        let rest = List.filteri (fun i _ -> i >= batch_n) units in
+        let batch, rest = split_at batch_n units in
+        (* One frozen snapshot per round; each worker copies from it
+           rather than from the live network ({!Network.copy} is a pure
+           read of its source, so concurrent copies are race-free). *)
+        let snap = Network.copy net in
         let thunks =
           List.map
-            (fun u -> eval_speculative ~snap:(Network.copy net) f u)
+            (fun u () -> eval_speculative ~snap:(Network.copy snap) f u ())
             batch
         in
         let results = Pool.run pool_t thunks in
@@ -411,9 +526,23 @@ let run ?(config = extended_config) ?fault_fuel ?deadline_at
             if not ok then begin
               Counters.accumulate counters wc;
               if burn > 0 then Network.reserve_ids net burn;
+              (* Entries resolved before any commit this round ran against
+                 the live network state, so their failures are recordable;
+                 entries after a commit are re-rounded, never resolved. *)
+              (match memo with
+              | Some m
+                when Network.mem net f
+                     && (match u with
+                        | Div d -> Network.mem net d
+                        | Ext _ -> true) ->
+                counters.Counters.memo_misses <-
+                  counters.Counters.memo_misses + 1;
+                Division_memo.record_failure m ~f (unit_target u)
+                  ~meth:Division_memo.Boolean ~reads:(unit_reads m f u) ~burn
+              | _ -> ());
               resolve tl
             end
-            else if run_unit f u then begin
+            else if attempt_unit f u then begin
               changed := true;
               List.iter
                 (fun (_, (_, _, _, secs)) ->
@@ -442,37 +571,90 @@ let run ?(config = extended_config) ?fault_fuel ?deadline_at
     | Basic -> [])
     @ List.map (fun d -> Div d) divisors
   in
+  let scan_dividend changed f =
+    let divisors =
+      rank_divisors ~counters ~cache ?sigs net f
+        ~use_complement:config.use_complement ~limit:config.max_divisors
+    in
+    match wpool with
+    | Some pool_t -> parallel_rounds pool_t changed f (units_of divisors)
+    | None ->
+      List.iter
+        (fun u ->
+          let alive =
+            Network.mem net f
+            &&
+            match u with Div d -> Network.mem net d | Ext _ -> true
+          in
+          if alive && attempt_unit f u then changed := true)
+        (units_of divisors)
+  in
   let pass () =
     let changed = ref false in
     let nodes = List.sort Int.compare (Network.logic_ids net) in
     List.iter
       (fun f ->
-        if Network.mem net f then begin
-          let divisors =
-            rank_divisors ~counters ~cache ?sigs net f
-              ~use_complement:config.use_complement
-              ~limit:config.max_divisors
-          in
-          match wpool with
-          | Some pool_t ->
-            parallel_rounds pool_t changed f (units_of divisors)
-          | None ->
-            List.iter
-              (fun u ->
-                let alive =
-                  Network.mem net f
-                  &&
-                  match u with
-                  | Div d -> Network.mem net d
-                  | Ext _ -> true
-                in
-                if alive && run_unit f u then changed := true)
-              (units_of divisors)
-        end)
+        if Network.mem net f then
+          match memo with
+          | None -> scan_dividend changed f
+          | Some m -> (
+            (* Dividend-level fast path: if nothing the whole scan read
+               (or wrote) has moved since it last ran to quiescence,
+               every per-unit failure inside would replay individually —
+               skip the scan outright, reserving its total id burn. *)
+            match Division_memo.replay_dividend m ~f with
+            | Some (burn, units) ->
+              counters.Counters.memo_hits <-
+                counters.Counters.memo_hits + units;
+              if burn > 0 then Network.reserve_ids net burn
+            | None ->
+              let clock0 = Dirty.clock (Division_memo.dirty m) in
+              let id0 = Network.id_limit net in
+              let hits0 = counters.Counters.memo_hits in
+              let misses0 = counters.Counters.memo_misses in
+              scan_dividend changed f;
+              if
+                Dirty.clock (Division_memo.dirty m) = clock0
+                && Network.mem net f
+              then
+                Division_memo.record_dividend m ~f ~at:clock0
+                  ~burn:(Network.id_limit net - id0)
+                  ~units:
+                    (counters.Counters.memo_hits - hits0
+                    + (counters.Counters.memo_misses - misses0))))
       nodes;
     !changed
   in
-  let rec loop remaining = if remaining > 0 && pass () then loop (remaining - 1) in
+  let rec loop remaining =
+    if remaining > 0 then begin
+      let div0 = counters.Counters.divisions_attempted in
+      let hits0 = counters.Counters.memo_hits in
+      let misses0 = counters.Counters.memo_misses in
+      let cp0 = counters.Counters.imply_checkpoints in
+      let rs0 = counters.Counters.imply_resets in
+      let again = pass () in
+      counters.Counters.passes <- counters.Counters.passes + 1;
+      counters.Counters.pass_divisions <-
+        counters.Counters.pass_divisions
+        @ [ counters.Counters.divisions_attempted - div0 ];
+      if Trace.enabled trace then begin
+        Trace.emit trace "memo"
+          [
+            ("driver", Trace.String "substitute");
+            ("pass", Trace.Int counters.Counters.passes);
+            ("hits", Trace.Int (counters.Counters.memo_hits - hits0));
+            ("misses", Trace.Int (counters.Counters.memo_misses - misses0));
+          ];
+        Trace.emit trace "checkpoint"
+          [
+            ("pass", Trace.Int counters.Counters.passes);
+            ("pops", Trace.Int (counters.Counters.imply_checkpoints - cp0));
+            ("resets", Trace.Int (counters.Counters.imply_resets - rs0));
+          ]
+      end;
+      if again then loop (remaining - 1)
+    end
+  in
   Trace.span trace "substitute"
     ~fields:
       [

@@ -39,6 +39,14 @@ type config = {
   sim_seed : int;
       (** signature-filter RNG seed (default
           {!Logic_sim.Signature.default_seed}) *)
+  use_memo : bool;
+      (** memoise failed division attempts in a {!Division_memo} keyed
+          on dirty-tracker stamps and skip provable replays on later
+          passes (on in every stock configuration). The final network is
+          bit-identical either way — skipped attempts reserve the same
+          node-id burn their recorded run consumed — only the
+          [memo_hits]/[memo_misses] counters and per-pass division
+          counts differ. *)
 }
 
 val basic_config : config

@@ -56,57 +56,112 @@ let collect ?(gdc = false) ?(learn_depth = 0) ?budget ?counters net ~f ~pool =
       c
   in
   (* One arena shared by every wire of [f]: region and frozen are the
-     same for all of them, only the activation assignments differ. *)
+     same for all of them, only the activation assignments differ.
+     Wires of the same cube additionally share the "other cubes at 0"
+     context, so it is asserted once per cube behind a trail checkpoint
+     and each wire branches from there with a pop instead of a full
+     reset + replay. *)
   let engine = Atpg.Imply.create ~region ~frozen ?budget ?counters net in
   let degraded = ref false in
-  let entry_of_wire wire =
-    let cube_index =
-      match wire with
-      | Atpg.Fault.Literal_wire { cube; _ } -> cube
-      | Atpg.Fault.Cube_wire _ -> assert false
+  (* Sticky, like the budget itself: once a wire exhausts it, every
+     later assignment would re-raise immediately. *)
+  let exhausted = ref false in
+  let assign = function
+    | Atpg.Fault.Node (id, v) -> Atpg.Imply.assign_node engine id v
+    | Atpg.Fault.Cube (id, i, v) -> Atpg.Imply.assign_cube engine id i v
+  in
+  let exhausted_entry wire wire_cube =
+    (* The implication budget ran out mid-table: this wire (and, since
+       exhaustion is sticky, the remaining ones) contributes no votes.
+       The table is merely truncated — every recorded entry is still a
+       sound implication result. *)
+    degraded := true;
+    { wire; wire_cube; candidates = []; valid = false; conflicted = false }
+  in
+  let conflicted_entry wire wire_cube =
+    { wire; wire_cube; candidates = []; valid = false; conflicted = true }
+  in
+  let ok_entry wire wire_cube =
+    let candidates =
+      List.filter
+        (fun (m, j) -> Atpg.Imply.cube_value engine m j = Some false)
+        pool_cubes
     in
-    let wire_cube = Net_cube.of_cube_index net f cube_index in
-    Atpg.Imply.reset engine;
-    let outcome =
+    (* SOS validity: some candidate cube must contain the wire's cube so
+       the cube lands in the f1 region of the eventual core divisor. *)
+    let valid =
+      List.exists
+        (fun (m, j) -> Net_cube.contained_by wire_cube (lifted_pool_cube m j))
+        candidates
+    in
+    { wire; wire_cube; candidates; valid; conflicted = false }
+  in
+  let entry_of_wire mark wire =
+    let wire_cube =
+      Net_cube.of_cube_index net f (Atpg.Fault.wire_cube wire)
+    in
+    if !exhausted then exhausted_entry wire wire_cube
+    else begin
+      (* collect is read-only on the network, so the mark cannot go
+         stale between wires. *)
+      let popped = Atpg.Imply.pop_to engine mark in
+      assert popped;
       match
-        List.iter
-          (function
-            | Atpg.Fault.Node (id, v) -> Atpg.Imply.assign_node engine id v
-            | Atpg.Fault.Cube (id, i, v) -> Atpg.Imply.assign_cube engine id i v)
-          (Atpg.Fault.activation_assignments net wire);
+        List.iter assign (Atpg.Fault.local_activation_assignments net wire);
         if learn_depth > 0 then Atpg.Imply.learn ~depth:learn_depth engine
       with
-      | () -> `Ok
-      | exception Atpg.Imply.Conflict _ -> `Conflict
-      | exception Rar_util.Budget.Exhausted _ -> `Exhausted
-    in
-    match outcome with
-    | `Exhausted ->
-      (* The implication budget ran out mid-table: this wire (and, since
-         exhaustion is sticky, the remaining ones) contributes no votes.
-         The table is merely truncated — every recorded entry is still a
-         sound implication result. *)
-      degraded := true;
-      { wire; wire_cube; candidates = []; valid = false; conflicted = false }
-    | `Conflict ->
-      { wire; wire_cube; candidates = []; valid = false; conflicted = true }
-    | `Ok ->
-      let candidates =
-        List.filter
-          (fun (m, j) -> Atpg.Imply.cube_value engine m j = Some false)
-          pool_cubes
-      in
-      (* SOS validity: some candidate cube must contain the wire's cube so
-         the cube lands in the f1 region of the eventual core divisor. *)
-      let valid =
-        List.exists
-          (fun (m, j) ->
-            Net_cube.contained_by wire_cube (lifted_pool_cube m j))
-          candidates
-      in
-      { wire; wire_cube; candidates; valid; conflicted = false }
+      | () -> ok_entry wire wire_cube
+      | exception Atpg.Imply.Conflict _ -> conflicted_entry wire wire_cube
+      | exception Rar_util.Budget.Exhausted _ ->
+        exhausted := true;
+        exhausted_entry wire wire_cube
+    end
   in
-  let entries = List.map entry_of_wire literal_wires in
+  (* Group the (cube-major ordered) wires by cube, preserving order. *)
+  let groups =
+    List.fold_left
+      (fun groups wire ->
+        let cube = Atpg.Fault.wire_cube wire in
+        match groups with
+        | (c, wires) :: rest when c = cube -> (c, wires @ [ wire ]) :: rest
+        | _ -> (cube, [ wire ]) :: groups)
+      [] literal_wires
+    |> List.rev
+  in
+  let entry_group (cube, wires) =
+    if !exhausted then
+      List.map
+        (fun w ->
+          exhausted_entry w (Net_cube.of_cube_index net f (Atpg.Fault.wire_cube w)))
+        wires
+    else begin
+      Atpg.Imply.reset engine;
+      match
+        Atpg.Imply.propagate engine;
+        List.iter assign (Atpg.Fault.cube_context_assignments net ~node:f ~cube)
+      with
+      | () ->
+        let mark = Atpg.Imply.checkpoint engine in
+        List.map (entry_of_wire mark) wires
+      | exception Atpg.Imply.Conflict _ ->
+        (* The shared context alone is inconsistent: every wire of the
+           cube would derive the same conflict (each wire's activation
+           set is a superset of the context). *)
+        List.map
+          (fun w ->
+            conflicted_entry w
+              (Net_cube.of_cube_index net f (Atpg.Fault.wire_cube w)))
+          wires
+      | exception Rar_util.Budget.Exhausted _ ->
+        exhausted := true;
+        List.map
+          (fun w ->
+            exhausted_entry w
+              (Net_cube.of_cube_index net f (Atpg.Fault.wire_cube w)))
+          wires
+    end
+  in
+  let entries = List.concat_map entry_group groups in
   (match (!degraded, counters) with
   | true, Some c ->
     c.Rar_util.Counters.degradations <- c.Rar_util.Counters.degradations + 1

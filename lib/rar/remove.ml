@@ -1,5 +1,6 @@
 open Twolevel
 module Network = Logic_network.Network
+module Node_set = Network.Node_set
 
 let remove_wire net wire =
   match wire with
@@ -14,12 +15,22 @@ let remove_wire net wire =
     Network.set_function net node ~fanins:(Network.fanins net node)
       (Cover.of_cubes remaining)
 
-let run ?use_dominators ?learn_depth ?region ?budget ?counters
+let run ?(use_dominators = true) ?(learn_depth = 0) ?region ?budget ?counters
     ?(node_filter = fun _ -> true) net =
-  (* One implication arena for the whole fixpoint: each redundancy test
-     resets it (O(assignments)); a removal mutates the network, which the
-     next reset detects by revision and absorbs as a rebuild. *)
+  (* One implication arena for the whole fixpoint. Every wire of a node
+     shares the same frozen set (the node's transitive fanout) and the
+     same dominator-side-input requirements, so that context is asserted
+     once per node behind a trail checkpoint and each wire branches from
+     it with a pop; only a removal — which mutates the network — forces
+     the next reset to rebuild. *)
   let engine = Atpg.Imply.create ?region ?counters net in
+  let budget_of () =
+    match budget with Some b -> b | None -> Rar_util.Budget.unlimited
+  in
+  let assign = function
+    | Atpg.Fault.Node (id, v) -> Atpg.Imply.assign_node engine id v
+    | Atpg.Fault.Cube (id, i, v) -> Atpg.Imply.assign_cube engine id i v
+  in
   let removed = ref 0 in
   let exhausted = ref None in
   let changed = ref true in
@@ -33,32 +44,66 @@ let run ?use_dominators ?learn_depth ?region ?budget ?counters
              every hit. *)
           let rec scan () =
             let wires = Atpg.Fault.all_wires net id in
-            match
-              List.find_opt
-                (fun w ->
-                  !exhausted = None
-                  &&
+            if wires <> [] then begin
+              let tfo = Network.transitive_fanout net [ id ] in
+              let frozen n = Node_set.mem n tfo in
+              Atpg.Imply.reset ~frozen engine;
+              Atpg.Imply.set_budget engine (budget_of ());
+              match
+                Atpg.Imply.propagate engine;
+                if use_dominators then
+                  List.iter assign (Atpg.Fault.propagation_assignments net id)
+              with
+              | exception Atpg.Imply.Conflict _ ->
+                (* The node-shared context alone is inconsistent: every
+                   wire's activation set is a superset, so each wire is
+                   redundant. Remove the first and rescan (indices
+                   shift), exactly as a per-wire conflict would. *)
+                remove_wire net (List.hd wires);
+                incr removed;
+                changed := true;
+                scan ()
+              | exception Rar_util.Budget.Exhausted reason ->
+                (* Budget ran out mid-scan. Exhaustion is sticky, so
+                   further tests cannot succeed: stop the fixpoint here.
+                   Every wire already removed was individually proven
+                   redundant, so the partial result is sound — the cover
+                   is merely less minimal. *)
+                exhausted := Some reason
+              | () ->
+                let mark = Atpg.Imply.checkpoint engine in
+                let test_wire w =
+                  (* No mutation happens between the checkpoint and the
+                     tests, so the mark cannot go stale. *)
+                  let popped = Atpg.Imply.pop_to engine mark in
+                  assert popped;
                   match
-                    Atpg.Fault.redundant_result ?use_dominators ?learn_depth
-                      ?region ~engine ?budget ?counters net w
+                    List.iter assign
+                      (Atpg.Fault.cube_context_assignments net ~node:id
+                         ~cube:(Atpg.Fault.wire_cube w));
+                    List.iter assign
+                      (Atpg.Fault.local_activation_assignments net w);
+                    if learn_depth > 0 then
+                      Atpg.Imply.learn ~depth:learn_depth engine
                   with
-                  | Ok verdict -> verdict
-                  | Error reason ->
-                    (* Budget ran out mid-scan. Exhaustion is sticky, so
-                       further tests cannot succeed: stop the fixpoint
-                       here. Every wire already removed was individually
-                       proven redundant, so the partial result is sound —
-                       the cover is merely less minimal. *)
+                  | () -> false
+                  | exception Atpg.Imply.Conflict _ -> true
+                  | exception Rar_util.Budget.Exhausted reason ->
                     exhausted := Some reason;
-                    false)
-                wires
-            with
-            | Some w ->
-              remove_wire net w;
-              incr removed;
-              changed := true;
-              scan ()
-            | None -> ()
+                    false
+                in
+                (match
+                   List.find_opt
+                     (fun w -> !exhausted = None && test_wire w)
+                     wires
+                 with
+                | Some w ->
+                  remove_wire net w;
+                  incr removed;
+                  changed := true;
+                  scan ()
+                | None -> ())
+            end
           in
           scan ()
         end)

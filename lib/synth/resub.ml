@@ -1,6 +1,8 @@
 open Twolevel
 module Network = Logic_network.Network
 module Fanin_cache = Logic_network.Fanin_cache
+module Dirty = Logic_network.Dirty
+module Division_memo = Booldiv.Division_memo
 module Lit_count = Logic_network.Lit_count
 module Signature = Logic_sim.Signature
 module Counters = Rar_util.Counters
@@ -33,31 +35,30 @@ let attempt net ~f ~d_cover ~d_lit =
       end
   end
 
-let try_substitute ?(use_complement = true) ?cache net ~f ~d =
+(* Structural rejection shared by the plain and the memoised paths: a
+   pair passing it is safe to attempt in either polarity. *)
+let pair_guarded ?cache net ~f ~d =
   let depends_on d f =
     match cache with
     | Some c -> Fanin_cache.depends_on c d ~on:f
     | None -> Network.depends_on net d f
   in
-  if
-    f = d
-    || Network.is_input net f
-    || Network.is_input net d
-    || depends_on d f
-  then false
-  else begin
-    let d_cover = Lift.cover net d in
-    let direct = attempt net ~f ~d_cover ~d_lit:(Literal.pos d) in
-    if direct then true
-    else if use_complement then begin
-      match Complement.cover_limited ~limit:complement_limit d_cover with
-      | None -> false
-      | Some d_not ->
-        attempt net ~f ~d_cover:(Minimize.simplify d_not)
-          ~d_lit:(Literal.neg d)
-    end
-    else false
-  end
+  f = d || Network.is_input net f || Network.is_input net d || depends_on d f
+
+let attempt_direct net ~f ~d =
+  attempt net ~f ~d_cover:(Lift.cover net d) ~d_lit:(Literal.pos d)
+
+let attempt_complement net ~f ~d =
+  match Complement.cover_limited ~limit:complement_limit (Lift.cover net d) with
+  | None -> false
+  | Some d_not ->
+    attempt net ~f ~d_cover:(Minimize.simplify d_not) ~d_lit:(Literal.neg d)
+
+let try_substitute ?(use_complement = true) ?cache net ~f ~d =
+  if pair_guarded ?cache net ~f ~d then false
+  else if attempt_direct net ~f ~d then true
+  else if use_complement then attempt_complement net ~f ~d
+  else false
 
 (* Candidate divisors for one dividend. Unfiltered (the seed behaviour)
    every logic node is tried in id order; with the signature engine,
@@ -93,7 +94,7 @@ let candidates ~counters ~cache ?sigs ~use_complement ~max_candidates net
 
 let run ?(use_complement = true) ?(use_filter = true)
     ?(max_candidates = default_max_candidates) ?(max_passes = 4) ?(jobs = 1)
-    ?(sim_seed = Signature.default_seed) ?deadline_at
+    ?(sim_seed = Signature.default_seed) ?(use_memo = true) ?deadline_at
     ?(trace = Trace.disabled) ?counters net =
   let counters =
     match counters with Some c -> c | None -> Counters.create ()
@@ -127,23 +128,107 @@ let run ?(use_complement = true) ?(use_filter = true)
   in
   Fun.protect ~finally:(fun () -> Option.iter Signature.detach sigs)
   @@ fun () ->
+  let dirty = if use_memo then Some (Dirty.create net) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Dirty.detach dirty)
+  @@ fun () ->
+  let memo = Option.map Division_memo.create dirty in
   let jobs = max 1 jobs in
   let wpool = if jobs > 1 then Some (Pool.create ~jobs) else None in
   Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown wpool)
   @@ fun () ->
   let substitutions = ref 0 in
+  let tick_division () =
+    counters.Counters.divisions_attempted <-
+      counters.Counters.divisions_attempted + 1
+  in
   let attempt_on ~counters net f d =
     Counters.timed counters `Division @@ fun () ->
     counters.Counters.divisions_attempted <-
       counters.Counters.divisions_attempted + 1;
     try_substitute ~use_complement net ~f ~d
   in
+  (* What a pair attempt can read: both fanin cones (covers, fanins and
+     the cycle check all stay inside them). Computed on demand — the
+     fanin cache flushes itself on mutation, so the sets are current. *)
+  (* An algebraic attempt reads only the two lifted covers — cover and
+     fanin array of [f] and of [d] ({!Lift.cover}) — and any change to
+     either stamps the node itself, so {f, d} is the whole read set.
+     The structural guard (cycle check over the fanin cone) is
+     re-evaluated live before every replay, so it needs no stamps. *)
+  let pair_reads f d =
+    Division_memo.reads_of_set
+      (Network.Node_set.add f (Network.Node_set.singleton d))
+  in
+  let record_pair_failure m f d =
+    let reads = pair_reads f d in
+    Division_memo.record_failure m ~f
+      (Division_memo.Divisor (d, Division_memo.Pos))
+      ~meth:Division_memo.Algebraic ~reads ~burn:0;
+    if use_complement then
+      Division_memo.record_failure m ~f
+        (Division_memo.Divisor (d, Division_memo.Neg))
+        ~meth:Division_memo.Algebraic ~reads ~burn:0
+  in
+  (* Memoised pair attempt: each polarity is skipped when the memo
+     proves the recorded failure would replay (reserving its recorded
+     id burn — zero for algebraic attempts — to keep the allocator in
+     lockstep with a memo-off run). Real attempts run under the dirty
+     tracker's speculation guard so a mutate-and-restore failure moves
+     no stamps. *)
   let commit_real f d =
     let ok =
-      Counters.timed counters `Division @@ fun () ->
-      counters.Counters.divisions_attempted <-
-        counters.Counters.divisions_attempted + 1;
-      try_substitute ~use_complement ~cache net ~f ~d
+      match memo with
+      | None ->
+        Counters.timed counters `Division @@ fun () ->
+        tick_division ();
+        try_substitute ~use_complement ~cache net ~f ~d
+      | Some m ->
+        if pair_guarded ~cache net ~f ~d then begin
+          tick_division ();
+          false
+        end
+        else begin
+          let ran = ref false in
+          let phase_attempt ph real =
+            match
+              Division_memo.replay_failure m ~f
+                (Division_memo.Divisor (d, ph))
+                ~meth:Division_memo.Algebraic
+            with
+            | Some burn ->
+              counters.Counters.memo_hits <- counters.Counters.memo_hits + 1;
+              if burn > 0 then Network.reserve_ids net burn;
+              false
+            | None ->
+              ran := true;
+              counters.Counters.memo_misses <-
+                counters.Counters.memo_misses + 1;
+              let id0 = Network.id_limit net in
+              let committed =
+                Counters.timed counters `Division @@ fun () ->
+                Dirty.speculating (Division_memo.dirty m) ~committed:Fun.id
+                  real
+              in
+              if not committed then
+                Division_memo.record_failure m ~f
+                  (Division_memo.Divisor (d, ph))
+                  ~meth:Division_memo.Algebraic ~reads:(pair_reads f d)
+                  ~burn:(Network.id_limit net - id0);
+              committed
+          in
+          let ok =
+            phase_attempt Division_memo.Pos (fun () ->
+                attempt_direct net ~f ~d)
+          in
+          let ok =
+            ok
+            || use_complement
+               && phase_attempt Division_memo.Neg (fun () ->
+                      attempt_complement net ~f ~d)
+          in
+          if !ran then tick_division ();
+          ok
+        end
     in
     if ok then begin
       incr substitutions;
@@ -151,32 +236,71 @@ let run ?(use_complement = true) ?(use_filter = true)
     end;
     ok
   in
+  (* Whether the memo proves both polarities of the pair are failure
+     replays, so the pair needs no worker at all. Burns are reserved
+     only once both polarities check out. *)
+  let pair_replays m f d =
+    if pair_guarded ~cache net ~f ~d then false
+    else begin
+      let lookup ph =
+        Division_memo.replay_failure m ~f
+          (Division_memo.Divisor (d, ph))
+          ~meth:Division_memo.Algebraic
+      in
+      match (lookup Division_memo.Pos, use_complement) with
+      | None, _ -> false
+      | Some b1, false ->
+        counters.Counters.memo_hits <- counters.Counters.memo_hits + 1;
+        if b1 > 0 then Network.reserve_ids net b1;
+        true
+      | Some b1, true -> (
+        match lookup Division_memo.Neg with
+        | None -> false
+        | Some b2 ->
+          counters.Counters.memo_hits <- counters.Counters.memo_hits + 2;
+          if b1 + b2 > 0 then Network.reserve_ids net (b1 + b2);
+          true)
+    end
+  in
+  let rec split_at n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: tl -> split_at (n - 1) (x :: acc) tl
+  in
   (* Speculative rounds over the ranked divisors of one node (algebraic
      attempts never consume node ids nor add nodes on failure, so —
      unlike the Boolean driver — there is no allocator state to replay).
-     Workers score private snapshots without the shared fanin cache or
-     signature engine; the first success in rank order is re-executed on
-     the real network, later evaluations count as speculative waste. *)
+     One snapshot is taken per round and each worker copies it privately
+     inside its own domain ({!Network.copy} only reads the source, so
+     concurrent copies of one frozen snapshot are safe); workers score
+     without the shared fanin cache or signature engine, the first
+     success in rank order is re-executed on the real network, later
+     evaluations count as speculative waste. *)
   let parallel_rounds pool_t changed f divisors =
     let rec rounds ds =
       let ds =
         if Network.mem net f then List.filter (Network.mem net) ds else []
       in
+      (* Peel the pairs the memo proves are failure replays before
+         spending any worker on them. *)
+      let ds =
+        match memo with
+        | None -> ds
+        | Some m -> List.filter (fun d -> not (pair_replays m f d)) ds
+      in
       match ds with
       | [] -> ()
       | _ ->
         let batch_n = min (Pool.jobs pool_t) (List.length ds) in
-        let batch = List.filteri (fun i _ -> i < batch_n) ds in
-        let rest = List.filteri (fun i _ -> i >= batch_n) ds in
+        let batch, rest = split_at batch_n [] ds in
+        let snap = Network.copy net in
         let thunks =
           List.map
-            (fun d ->
-              let snap = Network.copy net in
-              fun () ->
-                let t0 = Unix.gettimeofday () in
-                let wc = Counters.create () in
-                let ok = attempt_on ~counters:wc snap f d in
-                (ok, wc, Unix.gettimeofday () -. t0))
+            (fun d () ->
+              let t0 = Unix.gettimeofday () in
+              let wc = Counters.create () in
+              let ok = attempt_on ~counters:wc (Network.copy snap) f d in
+              (ok, wc, Unix.gettimeofday () -. t0))
             batch
         in
         let results = Pool.run pool_t thunks in
@@ -186,6 +310,14 @@ let run ?(use_complement = true) ?(use_filter = true)
           | (d, (ok, wc, _secs)) :: tl ->
             if not ok then begin
               Counters.accumulate counters wc;
+              (* The worker saw a snapshot byte-identical to the current
+                 network (nothing committed since), so the failure is
+                 recordable against the current clock. Entries behind a
+                 commit never reach this branch — they are re-rounded. *)
+              (match memo with
+              | Some m when not (pair_guarded ~cache net ~f ~d) ->
+                record_pair_failure m f d
+              | Some _ | None -> ());
               resolve tl
             end
             else if commit_real f d then begin
@@ -205,31 +337,73 @@ let run ?(use_complement = true) ?(use_filter = true)
     in
     rounds divisors
   in
+  let scan_dividend changed ~nodes f =
+    let divisors =
+      candidates ~counters ~cache ?sigs ~use_complement ~max_candidates net
+        ~f ~nodes
+    in
+    match wpool with
+    | Some pool_t -> parallel_rounds pool_t changed f divisors
+    | None ->
+      List.iter
+        (fun d ->
+          if Network.mem net f && Network.mem net d then
+            if commit_real f d then changed := true)
+        divisors
+  in
   let pass () =
     let changed = ref false in
     let nodes = List.sort Int.compare (Network.logic_ids net) in
     List.iter
       (fun f ->
         if (not (past_deadline ())) && Network.mem net f then begin
-          let divisors =
-            candidates ~counters ~cache ?sigs ~use_complement
-              ~max_candidates net ~f ~nodes
-          in
-          match wpool with
-          | Some pool_t -> parallel_rounds pool_t changed f divisors
-          | None ->
-            List.iter
-              (fun d ->
-                if Network.mem net f && Network.mem net d then
-                  if commit_real f d then changed := true)
-              divisors
+          match memo with
+          | None -> scan_dividend changed ~nodes f
+          | Some m -> (
+            match Division_memo.replay_dividend m ~f with
+            | Some (burn, units) ->
+              (* Nothing anywhere committed since this dividend's scan:
+                 every unit of it is individually a provable replay. *)
+              counters.Counters.memo_hits <-
+                counters.Counters.memo_hits + units;
+              if burn > 0 then Network.reserve_ids net burn
+            | None ->
+              let d = Division_memo.dirty m in
+              let clock0 = Dirty.clock d in
+              let id0 = Network.id_limit net in
+              let hits0 = counters.Counters.memo_hits in
+              let misses0 = counters.Counters.memo_misses in
+              scan_dividend changed ~nodes f;
+              if Dirty.clock d = clock0 then
+                Division_memo.record_dividend m ~f ~at:clock0
+                  ~burn:(Network.id_limit net - id0)
+                  ~units:
+                    (counters.Counters.memo_hits - hits0
+                    + (counters.Counters.memo_misses - misses0)))
         end)
       nodes;
     !changed
   in
   let rec loop remaining =
-    if remaining > 0 && (not (past_deadline ())) && pass () then
-      loop (remaining - 1)
+    if remaining > 0 && not (past_deadline ()) then begin
+      let div0 = counters.Counters.divisions_attempted in
+      let hits0 = counters.Counters.memo_hits in
+      let misses0 = counters.Counters.memo_misses in
+      let continue = pass () in
+      counters.Counters.passes <- counters.Counters.passes + 1;
+      counters.Counters.pass_divisions <-
+        counters.Counters.pass_divisions
+        @ [ counters.Counters.divisions_attempted - div0 ];
+      if Trace.enabled trace then
+        Trace.emit trace "memo"
+          [
+            ("driver", Trace.String "resub");
+            ("pass", Trace.Int counters.Counters.passes);
+            ("hits", Trace.Int (counters.Counters.memo_hits - hits0));
+            ("misses", Trace.Int (counters.Counters.memo_misses - misses0));
+          ];
+      if continue then loop (remaining - 1)
+    end
   in
   Trace.span trace "resub"
     ~fields:[ ("jobs", Trace.Int jobs) ]

@@ -33,6 +33,7 @@ val run :
   ?max_passes:int ->
   ?jobs:int ->
   ?sim_seed:int ->
+  ?use_memo:bool ->
   ?deadline_at:float ->
   ?trace:Rar_util.Trace.t ->
   ?counters:Rar_util.Counters.t ->
@@ -48,6 +49,12 @@ val run :
     order, so the result is bit-identical to a sequential run; [sim_seed]
     (default {!Logic_sim.Signature.default_seed}) seeds the signature
     filter.
+
+    [use_memo] (default [true]) memoises failed attempts in a
+    {!Booldiv.Division_memo} keyed on dirty-tracker stamps, skipping
+    provable replays on later passes; the final network is bit-identical
+    to a [use_memo:false] run (skips reserve the same id burn), only
+    [memo_hits]/[memo_misses] and the per-pass division counts differ.
 
     [deadline_at] (absolute {!Unix.gettimeofday} instant) stops the
     remaining passes once crossed — committed rewrites stand, the cut is

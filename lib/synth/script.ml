@@ -68,12 +68,12 @@ let resub_methods =
   [ ("sis", Algebraic); ("basic", Basic); ("ext", Ext); ("ext-gdc", Ext_gdc) ]
 
 let resub_command ?(use_filter = true) ?(jobs = 1)
-    ?(sim_seed = Logic_sim.Signature.default_seed) ?fault_fuel ?deadline_at
-    ?trace ?counters meth net =
+    ?(sim_seed = Logic_sim.Signature.default_seed) ?(use_memo = true)
+    ?fault_fuel ?deadline_at ?trace ?counters meth net =
   match meth with
   | Algebraic ->
     ignore
-      (Resub.run ~use_complement:true ~use_filter ~jobs ~sim_seed
+      (Resub.run ~use_complement:true ~use_filter ~jobs ~sim_seed ~use_memo
          ?deadline_at ?trace ?counters net)
   | Basic | Ext | Ext_gdc ->
     let base =
@@ -83,7 +83,7 @@ let resub_command ?(use_filter = true) ?(jobs = 1)
       | Ext_gdc | Algebraic -> Booldiv.Substitute.extended_gdc_config
     in
     let config =
-      { base with Booldiv.Substitute.use_filter; jobs; sim_seed }
+      { base with Booldiv.Substitute.use_filter; jobs; sim_seed; use_memo }
     in
     ignore
       (Booldiv.Substitute.run ~config ?fault_fuel ?deadline_at ?trace

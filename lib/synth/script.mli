@@ -57,6 +57,7 @@ val resub_command :
   ?use_filter:bool ->
   ?jobs:int ->
   ?sim_seed:int ->
+  ?use_memo:bool ->
   ?fault_fuel:int ->
   ?deadline_at:float ->
   ?trace:Rar_util.Trace.t ->
@@ -67,7 +68,9 @@ val resub_command :
     simulation-signature divisor filter (default on); [jobs] sets the
     speculative-evaluation parallelism (default 1; any value yields
     bit-identical networks); [sim_seed] seeds the signature filter
-    (default {!Logic_sim.Signature.default_seed}); [counters]
+    (default {!Logic_sim.Signature.default_seed}); [use_memo] (default
+    on) memoises failed division attempts across passes, producing
+    bit-identical networks with fewer replayed attempts; [counters]
     accumulates pair/division tallies across the run for reporting.
     [fault_fuel] / [deadline_at] bound the implication work per unit and
     the overall wall clock (see {!Booldiv.Substitute.run}); [trace]

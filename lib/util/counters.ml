@@ -3,10 +3,15 @@ type t = {
   mutable pairs_filtered : int;
   mutable divisions_attempted : int;
   mutable substitutions : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
   mutable imply_creates : int;
   mutable imply_resets : int;
+  mutable imply_checkpoints : int;
   mutable speculative_wasted : int;
   mutable degradations : int;
+  mutable passes : int;
+  mutable pass_divisions : int list;
   mutable filter_seconds : float;
   mutable division_seconds : float;
   mutable speculative_seconds : float;
@@ -18,24 +23,42 @@ let create () =
     pairs_filtered = 0;
     divisions_attempted = 0;
     substitutions = 0;
+    memo_hits = 0;
+    memo_misses = 0;
     imply_creates = 0;
     imply_resets = 0;
+    imply_checkpoints = 0;
     speculative_wasted = 0;
     degradations = 0;
+    passes = 0;
+    pass_divisions = [];
     filter_seconds = 0.0;
     division_seconds = 0.0;
     speculative_seconds = 0.0;
   }
+
+(* Per-pass division tallies from different circuits align by pass index
+   (pass 1 with pass 1, ...); runs with fewer passes contribute zero to
+   the tail. *)
+let rec sum_by_pass a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | x :: xs, y :: ys -> (x + y) :: sum_by_pass xs ys
 
 let accumulate dst src =
   dst.pairs_considered <- dst.pairs_considered + src.pairs_considered;
   dst.pairs_filtered <- dst.pairs_filtered + src.pairs_filtered;
   dst.divisions_attempted <- dst.divisions_attempted + src.divisions_attempted;
   dst.substitutions <- dst.substitutions + src.substitutions;
+  dst.memo_hits <- dst.memo_hits + src.memo_hits;
+  dst.memo_misses <- dst.memo_misses + src.memo_misses;
   dst.imply_creates <- dst.imply_creates + src.imply_creates;
   dst.imply_resets <- dst.imply_resets + src.imply_resets;
+  dst.imply_checkpoints <- dst.imply_checkpoints + src.imply_checkpoints;
   dst.speculative_wasted <- dst.speculative_wasted + src.speculative_wasted;
   dst.degradations <- dst.degradations + src.degradations;
+  dst.passes <- max dst.passes src.passes;
+  dst.pass_divisions <- sum_by_pass dst.pass_divisions src.pass_divisions;
   dst.filter_seconds <- dst.filter_seconds +. src.filter_seconds;
   dst.division_seconds <- dst.division_seconds +. src.division_seconds;
   dst.speculative_seconds <- dst.speculative_seconds +. src.speculative_seconds
@@ -56,23 +79,33 @@ let timed t field f =
         t.speculative_seconds <- t.speculative_seconds +. elapsed)
     f
 
+let pass_divisions_string t =
+  String.concat ", " (List.map string_of_int t.pass_divisions)
+
 let to_string t =
   Printf.sprintf
-    "pairs %d (filtered %d), divisions %d, substitutions %d, imply %d \
-     creates / %d resets, speculative %d wasted, degradations %d, filter \
-     %.2fs, division %.2fs, speculative %.2fs"
-    t.pairs_considered t.pairs_filtered t.divisions_attempted t.substitutions
-    t.imply_creates t.imply_resets t.speculative_wasted t.degradations
-    t.filter_seconds t.division_seconds t.speculative_seconds
+    "pairs %d (filtered %d), divisions %d (passes %d: [%s]), substitutions \
+     %d, memo %d hits / %d misses, imply %d creates / %d resets / %d \
+     checkpoints, speculative %d wasted, degradations %d, filter %.2fs, \
+     division %.2fs, speculative %.2fs"
+    t.pairs_considered t.pairs_filtered t.divisions_attempted t.passes
+    (pass_divisions_string t) t.substitutions t.memo_hits t.memo_misses
+    t.imply_creates t.imply_resets t.imply_checkpoints t.speculative_wasted
+    t.degradations t.filter_seconds t.division_seconds t.speculative_seconds
 
 let to_json t =
   Printf.sprintf
     "{\"pairs_considered\": %d, \"pairs_filtered\": %d, \
      \"divisions_attempted\": %d, \"substitutions\": %d, \
+     \"memo_hits\": %d, \"memo_misses\": %d, \
      \"imply_creates\": %d, \"imply_resets\": %d, \
+     \"imply_checkpoints\": %d, \
      \"speculative_wasted\": %d, \"degradations\": %d, \
+     \"passes\": %d, \"pass_divisions\": [%s], \
      \"filter_seconds\": %.6f, \"division_seconds\": %.6f, \
      \"speculative_seconds\": %.6f}"
     t.pairs_considered t.pairs_filtered t.divisions_attempted t.substitutions
-    t.imply_creates t.imply_resets t.speculative_wasted t.degradations
-    t.filter_seconds t.division_seconds t.speculative_seconds
+    t.memo_hits t.memo_misses t.imply_creates t.imply_resets
+    t.imply_checkpoints t.speculative_wasted t.degradations t.passes
+    (pass_divisions_string t) t.filter_seconds t.division_seconds
+    t.speculative_seconds

@@ -18,10 +18,17 @@ type t = {
   mutable pairs_filtered : int;  (** rejected before any division *)
   mutable divisions_attempted : int;
   mutable substitutions : int;  (** committed rewrites *)
+  mutable memo_hits : int;
+      (** division attempts skipped because the memo proved the previous
+          failure would replay unchanged *)
+  mutable memo_misses : int;
+      (** division attempts that ran for real while the memo was on *)
   mutable imply_creates : int;
       (** implication arenas built (or rebuilt after a mutation) *)
   mutable imply_resets : int;
       (** trail-based arena reuses between redundancy tests *)
+  mutable imply_checkpoints : int;
+      (** trail rewinds to a checkpoint instead of a full reset+replay *)
   mutable speculative_wasted : int;
       (** parallel division evaluations discarded because an
           earlier-ranked candidate committed first *)
@@ -29,6 +36,10 @@ type t = {
       (** budget exhaustions absorbed by falling back to a weaker result
           (redundancy scan cut short, vote table truncated, unit
           skipped) instead of aborting the run *)
+  mutable passes : int;  (** fixpoint passes executed by the driver *)
+  mutable pass_divisions : int list;
+      (** divisions_attempted per pass, oldest pass first; when
+          accumulated across circuits the lists are summed index-wise *)
   mutable filter_seconds : float;
   mutable division_seconds : float;
   mutable speculative_seconds : float;

@@ -818,6 +818,172 @@ let test_engine_reuse_redundant_verdicts () =
         (Fault.all_wires net id))
     (Network.logic_ids net)
 
+(* ------------------------------------------------------------------ *)
+(* Trail checkpoints                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared context asserted once, then two wires branched from the same
+   checkpoint: after popping, each branch must see exactly the state a
+   fresh reset + replay of the shared context would give. *)
+let test_checkpoint_branch_replay () =
+  let net =
+    Builder.of_spec
+      ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("g", "ab"); ("h", "gc") ]
+      ~outputs:[ "h" ]
+  in
+  let a = Builder.node net "a" and b = Builder.node net "b" in
+  let c = Builder.node net "c" and g = Builder.node net "g" in
+  let e = Imply.create net in
+  Imply.assign_node e g true;
+  Imply.propagate e;
+  let mark = Imply.checkpoint e in
+  (* Branch 1: assign c. *)
+  Imply.assign_node e c false;
+  Imply.propagate e;
+  Alcotest.(check (option bool)) "branch1 sees c" (Some false)
+    (Imply.node_value e c);
+  (* Branch 2: popping must erase branch 1 but keep the shared context. *)
+  Alcotest.(check bool) "pop succeeds" true (Imply.pop_to e mark);
+  Alcotest.(check (option bool)) "c unwound" None (Imply.node_value e c);
+  Alcotest.(check (option bool)) "shared a kept" (Some true)
+    (Imply.node_value e a);
+  Alcotest.(check (option bool)) "shared b kept" (Some true)
+    (Imply.node_value e b);
+  Imply.assign_node e c true;
+  Imply.propagate e;
+  (* Reference: the same branch on a freshly reset engine. *)
+  let r = Imply.create net in
+  Imply.assign_node r g true;
+  Imply.assign_node r c true;
+  Imply.propagate r;
+  List.iter
+    (fun id ->
+      Alcotest.(check (option bool))
+        (Printf.sprintf "node %d matches fresh replay" id)
+        (Imply.node_value r id) (Imply.node_value e id))
+    [ a; b; c; g ]
+
+(* A reset invalidates marks taken before it, even when later asserts
+   regrow the trail past the mark's position. *)
+let test_checkpoint_stale_after_reset () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ] ~nodes:[ ("g", "ab") ]
+      ~outputs:[ "g" ]
+  in
+  let a = Builder.node net "a" and b = Builder.node net "b" in
+  let e = Imply.create net in
+  Imply.assign_node e a true;
+  Imply.propagate e;
+  let mark = Imply.checkpoint e in
+  Imply.reset e;
+  Alcotest.(check bool) "mark stale right after reset" false
+    (Imply.pop_to e mark);
+  Imply.assign_node e a true;
+  Imply.assign_node e b true;
+  Imply.propagate e;
+  (* Trail is now at least as long as at checkpoint time. *)
+  Alcotest.(check bool) "mark still stale after regrowth" false
+    (Imply.pop_to e mark)
+
+(* Mutating the network forces an arena rebuild on the next reset;
+   marks from the previous revision must go stale. *)
+let test_checkpoint_stale_after_revision () =
+  let net =
+    Builder.of_spec ~inputs:[ "a"; "b" ] ~nodes:[ ("g", "ab") ]
+      ~outputs:[ "g" ]
+  in
+  let a = Builder.node net "a" and g = Builder.node net "g" in
+  let e = Imply.create net in
+  Imply.assign_node e a true;
+  Imply.propagate e;
+  let mark = Imply.checkpoint e in
+  Network.set_function net g
+    ~fanins:(Network.fanins net g)
+    (Network.cover net g);
+  Imply.reset e;
+  Imply.assign_node e a true;
+  Imply.propagate e;
+  Alcotest.(check bool) "mark from previous revision stale" false
+    (Imply.pop_to e mark)
+
+(* Checkpoint with implications still queued is a caller bug. The only
+   public path to a pending queue is the constants' fanouts left queued
+   by create/reset until [propagate] drains them. *)
+let test_checkpoint_requires_propagated () =
+  let net = Network.create () in
+  let a = Network.add_input net "a" in
+  let k = Network.add_logic net ~name:"k" ~fanins:[||] Cover.one in
+  let g =
+    Network.add_logic net ~name:"g" ~fanins:[| k; a |]
+      (Cover.of_cubes
+         [ Cube.of_literals_exn [ Literal.pos 0; Literal.pos 1 ] ])
+  in
+  Network.add_output net "g" g;
+  let e = Imply.create net in
+  let pending = "Imply.checkpoint: pending implications (propagate first)" in
+  Alcotest.check_raises "rejected with constants still queued"
+    (Invalid_argument pending) (fun () -> ignore (Imply.checkpoint e));
+  Imply.propagate e;
+  Alcotest.(check (option bool)) "constant propagated" (Some true)
+    (Imply.node_value e k);
+  ignore (Imply.checkpoint e);
+  Imply.reset e;
+  Alcotest.check_raises "reset re-arms the constant queue"
+    (Invalid_argument pending) (fun () -> ignore (Imply.checkpoint e));
+  Imply.propagate e;
+  ignore (Imply.checkpoint e)
+
+(* Budget exhaustion mid-branch: popping back to the mark must leave the
+   shared context intact so the caller can continue with other wires. *)
+let test_checkpoint_budget_unwind () =
+  let net =
+    Builder.of_spec
+      ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("g", "ab"); ("h", "gc") ]
+      ~outputs:[ "h" ]
+  in
+  let a = Builder.node net "a" and c = Builder.node net "c" in
+  let e = Imply.create net in
+  Imply.assign_node e a true;
+  Imply.propagate e;
+  let mark = Imply.checkpoint e in
+  Imply.set_budget e (Rar_util.Budget.create ~fuel:1 ());
+  (match Imply.assign_node e c true with
+  | () -> ()
+  | exception Rar_util.Budget.Exhausted _ -> ());
+  Imply.set_budget e Rar_util.Budget.unlimited;
+  Alcotest.(check bool) "pop after exhaustion" true (Imply.pop_to e mark);
+  Alcotest.(check (option bool)) "branch unwound" None (Imply.node_value e c);
+  Alcotest.(check (option bool)) "shared context kept" (Some true)
+    (Imply.node_value e a);
+  Imply.assign_node e c true;
+  Imply.propagate e;
+  Alcotest.(check (option bool)) "engine usable after unwind" (Some true)
+    (Imply.node_value e c)
+
+(* Marks obey stack discipline: popping to an outer mark invalidates the
+   inner one. *)
+let test_checkpoint_stack_discipline () =
+  let net =
+    Builder.of_spec
+      ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("g", "abc") ]
+      ~outputs:[ "g" ]
+  in
+  let a = Builder.node net "a" and b = Builder.node net "b" in
+  let c = Builder.node net "c" in
+  let e = Imply.create net in
+  Imply.assign_node e a true;
+  let outer = Imply.checkpoint e in
+  Imply.assign_node e b true;
+  let inner = Imply.checkpoint e in
+  Imply.assign_node e c true;
+  Alcotest.(check bool) "pop inner" true (Imply.pop_to e inner);
+  Alcotest.(check bool) "pop outer" true (Imply.pop_to e outer);
+  Alcotest.(check (option bool)) "b unwound" None (Imply.node_value e b);
+  Alcotest.(check bool) "inner now below trail" false (Imply.pop_to e inner)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -885,6 +1051,20 @@ let () =
             test_arena_rebuild_on_mutation;
           Alcotest.test_case "pooled redundancy verdicts" `Quick
             test_engine_reuse_redundant_verdicts;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "branch replay" `Quick test_checkpoint_branch_replay;
+          Alcotest.test_case "stale after reset" `Quick
+            test_checkpoint_stale_after_reset;
+          Alcotest.test_case "stale after rebuild" `Quick
+            test_checkpoint_stale_after_revision;
+          Alcotest.test_case "requires drained queue" `Quick
+            test_checkpoint_requires_propagated;
+          Alcotest.test_case "budget unwind" `Quick
+            test_checkpoint_budget_unwind;
+          Alcotest.test_case "stack discipline" `Quick
+            test_checkpoint_stack_discipline;
         ] );
       ( "rar",
         [
