@@ -1,10 +1,17 @@
-.PHONY: all test bench tracecheck memocheck cubeops ci doc clean
+.PHONY: all test bench shardcheck tracecheck memocheck cubeops ci doc clean
 
 all:
 	dune build @all
 
 test:
 	dune runtest
+
+# Region-scheduler soundness gate: every quick (circuit, method) cell
+# must be byte-identical across jobs in {1, 2, 8} with the division
+# memo on and off, and the per-method literal totals must match the
+# pinned quick-suite figures (245/241/239/235).
+shardcheck:
+	dune exec bench/main.exe -- shardcheck quick
 
 # Degraded-run robustness gate: rerun the quick rows with a tiny fault
 # budget and a trace file, then lint every trace line as JSON and check
@@ -24,7 +31,8 @@ cubeops:
 	dune exec bench/main.exe -- cubeops
 
 # Full local CI: build, tests, the jobs=1 vs jobs=max determinism gate
-# (literal totals must be identical), the degraded-run/trace gate, the
+# (literal totals must be identical), the shardcheck jobs-x-memo grid
+# gate (pinned quick totals), the degraded-run/trace gate, the
 # memo bit-identity gate, the cube-kernel microbenchmark, and the quick
 # machine-readable perf snapshot (writes BENCH_resub.json for cross-PR
 # trajectory tracking; fails if total cpu_seconds — including the
@@ -34,6 +42,7 @@ ci:
 	dune build @all
 	dune runtest
 	dune exec bench/main.exe -- jobscheck quick
+	dune exec bench/main.exe -- shardcheck quick
 	dune exec bench/main.exe -- tracecheck quick
 	dune exec bench/main.exe -- memocheck quick
 	dune exec bench/main.exe -- cubeops

@@ -8,14 +8,17 @@
      main.exe quick           tables on the small row subset only
      main.exe bench quick     write the BENCH_resub.json perf snapshot
      main.exe jobscheck quick parallel-vs-sequential determinism gate
+     main.exe shardcheck quick totals gate across jobs x memo grid
      main.exe tracecheck quick degraded-run + trace JSON-lines gate
      main.exe memocheck quick memo-on vs --no-memo bit-identity gate
      main.exe cubeops         packed-kernel vs list-cube microbenchmark
    Sections: fig1 fig2 table1 fig4 table2 table3 table4 table5 ablation
-   bech bench jobscheck tracecheck memocheck cubeops
+   bech bench jobscheck shardcheck tracecheck memocheck cubeops
    Options (key=value): jobs=N (bench parallelism, default 1; snapshots at
-   jobs=1 are also gated >20%% CPU-regression against the previous file),
-   sim-seed=N (signature-filter seed). *)
+   jobs=1 are gated >20%% CPU-regression against the previous file, and
+   jobs>1 snapshots >20%% wall-clock regression against a previous
+   snapshot taken at the same job count), sim-seed=N (signature-filter
+   seed). *)
 
 open Twolevel
 module Network = Logic_network.Network
@@ -566,11 +569,11 @@ let cubeops_report () =
 (* bench - machine-readable perf snapshot (BENCH_resub.json)           *)
 (* ------------------------------------------------------------------ *)
 
-(* The previous snapshot's per-method total cpu_seconds, for the
-   regression gate. Parsed by hand (no JSON dependency): every
-   "cpu_seconds" occurrence after the "totals" marker belongs to a
+(* The previous snapshot's per-method totals for one timing key, for
+   the regression gates. Parsed by hand (no JSON dependency): every
+   occurrence of the key after the "totals" marker belongs to a
    per-method total record. *)
-let previous_total_cpu path =
+let previous_totals_sum ~key path =
   match open_in path with
   | exception Sys_error _ -> None
   | ic ->
@@ -593,7 +596,6 @@ let previous_total_cpu path =
     (match totals_at with
     | None -> None
     | Some start ->
-      let key = "\"cpu_seconds\": " in
       let sum = ref 0.0 and found = ref false in
       let rec scan i =
         if i + String.length key > String.length content then ()
@@ -619,6 +621,41 @@ let previous_total_cpu path =
       in
       scan start;
       if !found then Some !sum else None)
+
+let previous_total_cpu = previous_totals_sum ~key:"\"cpu_seconds\": "
+
+let previous_total_wall = previous_totals_sum ~key:"\"wall_seconds\": "
+
+(* The job count the previous snapshot was taken at: its first
+   "jobs" key. Wall-clock figures are only comparable between runs at
+   equal parallelism. *)
+let previous_jobs path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let content =
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let key = "\"jobs\": " in
+    let rec find i =
+      if i + String.length key > String.length content then None
+      else if String.sub content i (String.length key) = key then begin
+        let j = i + String.length key in
+        let k = ref j in
+        while
+          !k < String.length content
+          && (match content.[!k] with '0' .. '9' -> true | _ -> false)
+        do
+          incr k
+        done;
+        int_of_string_opt (String.sub content j (!k - j))
+      end
+      else find (i + 1)
+    in
+    find 0
 
 let cpu_regression_limit = 1.20
 
@@ -731,6 +768,91 @@ let print_script_bench cells =
         ("[" ^ String.concat ", " (List.map string_of_int c.sb_pass_on) ^ "]"))
     cells
 
+(* ------------------------------------------------------------------ *)
+(* Late-pass wall-clock scaling across job counts                      *)
+(* ------------------------------------------------------------------ *)
+
+type scaling_cell = { sc_jobs : int; sc_wall : float }
+
+let scaling_jobs = [ 1; 2; 4; 8 ]
+
+(* The quantity the region scheduler targets: wall-clock of the
+   quiescence passes (full fixpoint minus the same run capped at one
+   pass) of both drivers, at each job count. Late passes commit little
+   or nothing, so their whole-dividend scans parallelise without
+   re-rounds; pass 1 is commit-heavy and stays near-sequential. *)
+let scaling_measure rows =
+  let late_wall jobs =
+    let once max_passes =
+      let wall = ref 0.0 in
+      List.iter
+        (fun row ->
+          let net = Suite.build row in
+          Synth.Script.run net Synth.Script.script_a;
+          let time f =
+            let (), span = Rar_util.Stopwatch.time_span f in
+            wall := !wall +. span.Rar_util.Stopwatch.wall_seconds
+          in
+          time (fun () ->
+              ignore
+                (Synth.Resub.run ~jobs ?max_passes (Network.copy net)));
+          time (fun () ->
+              let config =
+                {
+                  Booldiv.Substitute.extended_config with
+                  jobs;
+                  max_passes =
+                    (match max_passes with
+                    | Some n -> n
+                    | None ->
+                      Booldiv.Substitute.extended_config
+                        .Booldiv.Substitute.max_passes);
+                }
+              in
+              ignore (Booldiv.Substitute.run ~config (Network.copy net))))
+        rows;
+      !wall
+    in
+    let late () = Float.max 0.0 (once None -. once (Some 1)) in
+    (* min of two: wall clock is the noisiest figure we record. *)
+    let a = late () in
+    let b = late () in
+    Float.min a b
+  in
+  List.map (fun j -> { sc_jobs = j; sc_wall = late_wall j }) scaling_jobs
+
+let scaling_speedup cells =
+  let base = (List.find (fun c -> c.sc_jobs = 1) cells).sc_wall in
+  List.map
+    (fun c -> (c, if c.sc_wall > 0.0 then base /. c.sc_wall else 0.0))
+    cells
+
+(* Key names avoid the "cpu_seconds" / "wall_seconds" /
+   "full_fixpoint_seconds" substrings the regression parsers scan for. *)
+let scaling_json cells =
+  Printf.sprintf "{\"host_cores\": %d, \"cells\": [%s]}"
+    (Domain.recommended_domain_count ())
+    (String.concat ", "
+       (List.map
+          (fun (c, speedup) ->
+            Printf.sprintf
+              "{\"jobs\": %d, \"late_pass_wall\": %.6f, \"speedup\": %.2f}"
+              c.sc_jobs c.sc_wall speedup)
+          (scaling_speedup cells)))
+
+let print_scaling cells =
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "late-pass wall-clock scaling (%d host core(s)):\n" cores;
+  List.iter
+    (fun (c, speedup) ->
+      Printf.printf "  jobs=%d  %.3fs wall  speedup %.2fx\n" c.sc_jobs
+        c.sc_wall speedup)
+    (scaling_speedup cells);
+  if cores < 2 then
+    Printf.printf
+      "  single-core host: speedup figures are advisory (determinism \
+       still gated)\n"
+
 (* The previous snapshot's summed script-benchmark fixpoint CPU: the
    "full_fixpoint_seconds" key appears only in the script_bench record. *)
 let previous_script_cpu path =
@@ -783,10 +905,21 @@ let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed rows =
   section "bench - machine-readable resub snapshot";
   let baseline_cpu = if jobs = 1 then previous_total_cpu path else None in
   let baseline_script = if jobs = 1 then previous_script_cpu path else None in
+  (* Parallel runs are gated on wall clock, the figure parallelism
+     actually improves — CPU time charges every domain and would punish
+     speculation. Only comparable against a snapshot at the same job
+     count. *)
+  let baseline_wall =
+    if jobs > 1 && previous_jobs path = Some jobs then
+      previous_total_wall path
+    else None
+  in
   let cubeops = cubeops_measure () in
   print_cubeops cubeops;
   let script_cells = script_bench_measure rows in
   print_script_bench script_cells;
+  let scaling_cells = scaling_measure rows in
+  print_scaling scaling_cells;
   let cells =
     List.map
       (fun row ->
@@ -859,10 +992,12 @@ let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed rows =
      parser above sums every "cpu_seconds" after it, and these throughput
      figures deliberately use different key names. *)
   Buffer.add_string buffer
-    (Printf.sprintf "  \"cubeops\": %s,\n  \"script_bench\": %s,\n  \
-                     \"circuits\": [\n"
+    (Printf.sprintf
+       "  \"cubeops\": %s,\n  \"script_bench\": %s,\n  \"scaling\": %s,\n  \
+        \"circuits\": [\n"
        (cubeops_json cubeops)
-       (script_bench_json script_cells));
+       (script_bench_json script_cells)
+       (scaling_json scaling_cells));
   List.iteri
     (fun i (circuit, init, per_method) ->
       Buffer.add_string buffer
@@ -908,6 +1043,26 @@ let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed rows =
       Printf.printf
         "PERF REGRESSION: total cpu_seconds grew by more than %.0f%%\n"
         ((cpu_regression_limit -. 1.0) *. 100.0);
+      exit 3
+    end);
+  (match baseline_wall with
+  | None -> ()
+  | Some old_wall ->
+    let new_wall =
+      List.fold_left
+        (fun acc (_, _, (s : Rar_util.Stopwatch.span), _, _) ->
+          acc +. s.Rar_util.Stopwatch.wall_seconds)
+        0.0 totals
+    in
+    Printf.printf "total wall: %.2fs (previous jobs=%d snapshot: %.2fs)\n"
+      new_wall jobs old_wall;
+    if old_wall > 0.0 && new_wall > old_wall *. cpu_regression_limit
+    then begin
+      Printf.printf
+        "PERF REGRESSION: total wall_seconds grew by more than %.0f%% at \
+         jobs=%d\n"
+        ((cpu_regression_limit -. 1.0) *. 100.0)
+        jobs;
       exit 3
     end);
   let script_cpu =
@@ -982,6 +1137,77 @@ let jobs_check rows =
       "jobscheck: all cells bit-identical and equivalence-checked\n"
 
 (* ------------------------------------------------------------------ *)
+(* shardcheck - jobs x memo grid must leave no byte behind             *)
+(* ------------------------------------------------------------------ *)
+
+(* The quick-suite per-method factored-literal totals after Script A.
+   These are the seed's sequential figures; any drift means the region
+   scheduler (or the shared memo under it) changed a result. *)
+let expected_quick_totals =
+  [ ("sis", 245); ("basic", 241); ("ext", 239); ("ext-gdc", 235) ]
+
+(* Stronger grid than jobscheck: every (circuit, method) cell is run at
+   jobs in {1, 2, 8} with the division memo on and off, and all six
+   networks must be byte-identical to the jobs=1 memo-on reference. On
+   the quick suite the per-method literal totals are additionally
+   pinned to the known-good figures above. *)
+let shard_check ~pinned rows =
+  section "shardcheck - totals gate across jobs {1,2,8} x memo {on,off}";
+  let grid =
+    [ (1, false); (2, true); (2, false); (8, true); (8, false) ]
+  in
+  let failures = ref 0 in
+  let totals = Hashtbl.create 7 in
+  List.iter
+    (fun row ->
+      let net = Suite.build row in
+      Synth.Script.run net Synth.Script.script_a;
+      List.iter
+        (fun (name, meth) ->
+          let reference = Network.copy net in
+          Synth.Script.resub_command ~jobs:1 ~use_memo:true meth reference;
+          let ref_str = Network.to_string reference in
+          let lits = Lit_count.factored reference in
+          Hashtbl.replace totals name
+            ((try Hashtbl.find totals name with Not_found -> 0) + lits);
+          let diverged =
+            List.filter
+              (fun (jobs, use_memo) ->
+                let scratch = Network.copy net in
+                Synth.Script.resub_command ~jobs ~use_memo meth scratch;
+                Network.to_string scratch <> ref_str)
+              grid
+          in
+          if diverged <> [] then begin
+            incr failures;
+            List.iter
+              (fun (jobs, use_memo) ->
+                Printf.printf "  %-12s %-8s DIVERGES at jobs=%d memo=%b\n"
+                  row.Suite.name name jobs use_memo)
+              diverged
+          end
+          else
+            Printf.printf "  %-12s %-8s %4d lits  identical across grid\n"
+              row.Suite.name name lits)
+        Synth.Script.resub_methods)
+    rows;
+  if pinned then
+    List.iter
+      (fun (name, expect) ->
+        let got = try Hashtbl.find totals name with Not_found -> 0 in
+        Printf.printf "  total %-8s %4d lits (expected %d)\n" name got
+          expect;
+        if got <> expect then incr failures)
+      expected_quick_totals;
+  if !failures > 0 then begin
+    Printf.printf "shardcheck: %d cell(s) FAILED\n" !failures;
+    exit 7
+  end
+  else
+    Printf.printf
+      "shardcheck: every cell byte-identical across the jobs x memo grid\n"
+
+(* ------------------------------------------------------------------ *)
 (* tracecheck - degraded runs must complete and trace valid JSON lines *)
 (* ------------------------------------------------------------------ *)
 
@@ -1038,10 +1264,10 @@ let trace_check rows =
      event(s)\n"
     !lines !bad !degrade_events !memo_events !checkpoint_events;
   Printf.printf "degradations tallied in counters: %d\n"
-    counters.Rar_util.Counters.degradations;
+    (Atomic.get counters.Rar_util.Counters.degradations);
   if
     !bad > 0 || !failures > 0 || !degrade_events = 0
-    || counters.Rar_util.Counters.degradations = 0
+    || Atomic.get counters.Rar_util.Counters.degradations = 0
     || !memo_events = 0 || !checkpoint_events = 0
   then begin
     Printf.printf "tracecheck FAILED\n";
@@ -1079,9 +1305,9 @@ let memo_check rows =
           in
           let net_on, c_on = once true in
           let net_off, c_off = once false in
-          hits_on := !hits_on + c_on.Rar_util.Counters.memo_hits;
-          hits_off := !hits_off + c_off.Rar_util.Counters.memo_hits;
-          misses_off := !misses_off + c_off.Rar_util.Counters.memo_misses;
+          hits_on := !hits_on + Atomic.get c_on.Rar_util.Counters.memo_hits;
+          hits_off := !hits_off + Atomic.get c_off.Rar_util.Counters.memo_hits;
+          misses_off := !misses_off + Atomic.get c_off.Rar_util.Counters.memo_misses;
           let same =
             Network.to_string net_on = Network.to_string net_off
             && Lit_count.factored net_on = Lit_count.factored net_off
@@ -1091,7 +1317,7 @@ let memo_check rows =
             row.Suite.name name
             (Lit_count.factored net_on)
             (if same then "identical" else "DIVERGED")
-            c_on.Rar_util.Counters.memo_hits)
+            (Atomic.get c_on.Rar_util.Counters.memo_hits))
         Synth.Script.resub_methods)
     rows;
   Printf.printf "memo hits: %d with memo, %d without (misses without: %d)\n"
@@ -1223,6 +1449,7 @@ let () =
   if selected "ablation" then ablations ();
   if selected "bech" then bechamel ();
   if List.mem "jobscheck" explicit then jobs_check rows;
+  if List.mem "shardcheck" explicit then shard_check ~pinned:quick rows;
   if List.mem "tracecheck" explicit then trace_check rows;
   if List.mem "memocheck" explicit then memo_check rows;
   if List.mem "cubeops" explicit then cubeops_report ();

@@ -180,7 +180,7 @@ let optimize_cmd =
       let (), resub_time = Rar_util.Stopwatch.time (fun () -> resub net) in
       Printf.printf "after %s: %d literals (%.2fs)\n" method_name
         (Lit_count.factored net) resub_time;
-      if counters.Rar_util.Counters.pairs_considered > 0 then
+      if Atomic.get counters.Rar_util.Counters.pairs_considered > 0 then
         Printf.printf "divisor filter (%s): %s\n"
           (if no_filter then "off" else "on")
           (Rar_util.Counters.to_string counters);

@@ -165,7 +165,7 @@ let build t =
     ids;
   t.base_queue <- Array.init t.q_len (fun i -> t.queue.(i));
   (match t.counters with
-  | Some c -> c.Counters.imply_creates <- c.Counters.imply_creates + 1
+  | Some c -> Counters.add c.Counters.imply_creates 1
   | None -> ())
 
 let create ?(region = fun _ -> true) ?(frozen = fun _ -> false)
@@ -230,7 +230,7 @@ let reset ?frozen t =
         t.q_len <- t.q_len + 1)
       t.base_queue;
     (match t.counters with
-    | Some c -> c.Counters.imply_resets <- c.Counters.imply_resets + 1
+    | Some c -> Counters.add c.Counters.imply_resets 1
     | None -> ())
   end
 
@@ -432,7 +432,7 @@ let pop_to t mark =
     done;
     t.q_head <- 0;
     (match t.counters with
-    | Some c -> c.Counters.imply_checkpoints <- c.Counters.imply_checkpoints + 1
+    | Some c -> Counters.add c.Counters.imply_checkpoints 1
     | None -> ());
     true
   end

@@ -16,7 +16,15 @@
     memo-on and memo-off runs bit-identical.
 
     The table's lifetime is one driver run: entries key on node ids,
-    which are never recycled within a run. *)
+    which are never recycled within a run.
+
+    The table is safe to share across worker domains: the failure table
+    is striped (a mutex per stripe, keys hashed onto stripes), the
+    dividend table sits behind one mutex, so a failure proven by one
+    region's worker is a hit in every other region. Freshness tests
+    read {!Logic_network.Dirty} stamps without locking them — sound
+    because the drivers only advance stamps on the scheduling domain,
+    never while a parallel batch is in flight. *)
 
 module Node_set = Logic_network.Network.Node_set
 

@@ -73,11 +73,9 @@ let rank_divisors ~counters ~cache ?sigs net f ~use_complement ~limit =
       (fun d ->
         if d = f then None
         else begin
-          counters.Counters.pairs_considered <-
-            counters.Counters.pairs_considered + 1;
+          Counters.add counters.Counters.pairs_considered 1;
           let reject () =
-            counters.Counters.pairs_filtered <-
-              counters.Counters.pairs_filtered + 1;
+            Counters.add counters.Counters.pairs_filtered 1;
             None
           in
           if Fanin_cache.depends_on cache d ~on:f then reject ()
@@ -193,8 +191,7 @@ let make_attempts ~config ?fault_fuel ?deadline_at ~trace ~counters ~sigs
   in
   let attempt_basic ?budget f d =
     Counters.timed counters `Division @@ fun () ->
-    counters.Counters.divisions_attempted <-
-      counters.Counters.divisions_attempted + 1;
+    Counters.add counters.Counters.divisions_attempted 1;
     let commit phase =
       phase_possible f d phase
       &&
@@ -251,8 +248,7 @@ let make_attempts ~config ?fault_fuel ?deadline_at ~trace ~counters ~sigs
     if not config.try_pos then false
     else
       Counters.timed counters `Division @@ fun () ->
-      counters.Counters.divisions_attempted <-
-        counters.Counters.divisions_attempted + 1;
+      Counters.add counters.Counters.divisions_attempted 1;
       if substitute_pos net ~f ~d then begin
         committed `Pos;
         true
@@ -261,8 +257,7 @@ let make_attempts ~config ?fault_fuel ?deadline_at ~trace ~counters ~sigs
   in
   let attempt_extended ?budget f pool =
     Counters.timed counters `Division @@ fun () ->
-    counters.Counters.divisions_attempted <-
-      counters.Counters.divisions_attempted + 1;
+    Counters.add counters.Counters.divisions_attempted 1;
     match
       Extended_division.try_run ~gdc ~learn_depth ?budget ~counters net ~f
         ~pool
@@ -320,6 +315,27 @@ let make_attempts ~config ?fault_fuel ?deadline_at ~trace ~counters ~sigs
         ];
     ok
 
+(* A worker's verdict on one dividend, scanned to quiescence (or to its
+   first would-be commit) on a private snapshot of the frozen live
+   network. *)
+type spec_reads =
+  | Spec_unbounded
+      (* the scan can read the whole network (GDC implications, or the
+         unfiltered A/B ranking): survives only while nothing commits *)
+  | Spec_region
+      (* not recomputed, but contained in the dividend's static region
+         by construction (dividend-level memo replay) *)
+  | Spec_set of Network.Node_set.t  (* explicit read closure *)
+
+type spec_result = {
+  spec_committed : bool;  (* the scan would commit at least one unit *)
+  spec_burn : int;  (* node ids the whole failed scan consumed *)
+  spec_units : int;  (* units resolved: memo hits + real attempts *)
+  spec_reads : spec_reads;
+  spec_counters : Counters.t;
+  spec_seconds : float;
+}
+
 let run ?(config = extended_config) ?fault_fuel ?deadline_at
     ?(trace = Trace.disabled) ?counters net =
   let counters =
@@ -340,7 +356,7 @@ let run ?(config = extended_config) ?fault_fuel ?deadline_at
     | `Basic -> incr basic_count
     | `Ext -> incr ext_count
     | `Pos -> incr pos_count);
-    counters.Counters.substitutions <- counters.Counters.substitutions + 1
+    Counters.add counters.Counters.substitutions 1
   in
   let run_unit =
     make_attempts ~config ?fault_fuel ?deadline_at ~trace ~counters ~sigs
@@ -378,23 +394,23 @@ let run ?(config = extended_config) ?fault_fuel ?deadline_at
       base_cache := Some (f, c, s);
       s
   in
+  (* Shared with the workers, which pass their own snapshot-bound cache
+     and precomputed base set. *)
+  let unit_reads_set ~cache base u =
+    match u with
+    | Div d ->
+      Network.Node_set.union base (Fanin_cache.transitive_fanin cache d)
+    | Ext pool ->
+      List.fold_left
+        (fun acc d ->
+          Network.Node_set.union acc (Fanin_cache.transitive_fanin cache d))
+        base pool
+  in
   let unit_reads m f u =
     if config.gdc then Division_memo.all_nodes
-    else begin
-      let base = dividend_base m f in
-      let s =
-        match u with
-        | Div d ->
-          Network.Node_set.union base (Fanin_cache.transitive_fanin cache d)
-        | Ext pool ->
-          List.fold_left
-            (fun acc d ->
-              Network.Node_set.union acc
-                (Fanin_cache.transitive_fanin cache d))
-            base pool
-      in
-      Division_memo.reads_of_set s
-    end
+    else
+      Division_memo.reads_of_set
+        (unit_reads_set ~cache (dividend_base m f) u)
   in
   (* Memoised unit attempt: skipped when the memo proves the recorded
      failure would replay, reserving the recorded id burn so the
@@ -411,11 +427,11 @@ let run ?(config = extended_config) ?fault_fuel ?deadline_at
         Division_memo.replay_failure m ~f target ~meth:Division_memo.Boolean
       with
       | Some burn ->
-        counters.Counters.memo_hits <- counters.Counters.memo_hits + 1;
+        Counters.add counters.Counters.memo_hits 1;
         if burn > 0 then Network.reserve_ids net burn;
         false
       | None ->
-        counters.Counters.memo_misses <- counters.Counters.memo_misses + 1;
+        Counters.add counters.Counters.memo_misses 1;
         let id0 = Network.id_limit net in
         let ok =
           Dirty.speculating (Division_memo.dirty m) ~committed:Fun.id
@@ -427,142 +443,10 @@ let run ?(config = extended_config) ?fault_fuel ?deadline_at
             ~burn:(Network.id_limit net - id0);
         ok)
   in
-  let unit_replays m f u =
-    match
-      Division_memo.replay_failure m ~f (unit_target u)
-        ~meth:Division_memo.Boolean
-    with
-    | Some burn ->
-      counters.Counters.memo_hits <- counters.Counters.memo_hits + 1;
-      if burn > 0 then Network.reserve_ids net burn;
-      true
-    | None -> false
-  in
   let jobs = max 1 config.jobs in
   let wpool = if jobs > 1 then Some (Pool.create ~jobs) else None in
   Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown wpool)
   @@ fun () ->
-  (* Speculative evaluation of one unit on a private snapshot. The worker
-     builds its own signature engine over the snapshot — signatures are a
-     deterministic function of (seed, node id), so its phase gates answer
-     exactly as the main engine would at the same network state. Returns
-     whether the unit would commit, the work tallies, the node ids the
-     attempt consumed on the snapshot, and the wall-clock spent. *)
-  let eval_speculative ~snap f task () =
-    let t0 = Unix.gettimeofday () in
-    let wcounters = Counters.create () in
-    let wsigs =
-      if config.use_filter then
-        Some (Signature.create ~seed:config.sim_seed snap)
-      else None
-    in
-    let ids_before = Network.id_limit snap in
-    (* Workers keep the trace disabled (like Logs): emission is
-       mutex-serialised but event interleaving from domains would be
-       nondeterministic; degradations still reach the main record via the
-       private counters. *)
-    let ok =
-      make_attempts ~config ?fault_fuel ?deadline_at ~trace:Trace.disabled
-        ~counters:wcounters ~sigs:wsigs
-        ~committed:(fun _ -> ()) ~verbose:false snap f task
-    in
-    Option.iter Signature.detach wsigs;
-    (ok, wcounters, Network.id_limit snap - ids_before,
-     Unix.gettimeofday () -. t0)
-  in
-  (* Parallel rounds over one node's ranked units, committing exactly what
-     the sequential greedy policy would: evaluate a rank-prefix batch
-     speculatively, then resolve in rank order — failed predecessors of
-     the first success contribute their tallies and replay their id burns
-     ({!Network.reserve_ids}) so the allocator stays id-for-id in step
-     with a sequential run; the winner is re-executed on the real network
-     (its snapshot matched, so the outcome is identical); later units are
-     discarded as speculative waste and retried against the new state. *)
-  let split_at n l =
-    let rec go acc n = function
-      | rest when n = 0 -> (List.rev acc, rest)
-      | [] -> (List.rev acc, [])
-      | x :: tl -> go (x :: acc) (n - 1) tl
-    in
-    go [] n l
-  in
-  let parallel_rounds pool_t changed f units =
-    let rec rounds units =
-      let units =
-        if Network.mem net f then
-          List.filter
-            (function Div d -> Network.mem net d | Ext _ -> true)
-            units
-        else []
-      in
-      (* Peel off units whose failure the memo can replay before paying
-         for a speculative batch: replays are resolved on the spot (in
-         rank order, so the id-burn reserves land in sequence). *)
-      let units =
-        match memo with
-        | None -> units
-        | Some m ->
-          List.filter (fun u -> not (unit_replays m f u)) units
-      in
-      match units with
-      | [] -> ()
-      | _ ->
-        let batch_n = min (Pool.jobs pool_t) (List.length units) in
-        let batch, rest = split_at batch_n units in
-        (* One frozen snapshot per round; each worker copies from it
-           rather than from the live network ({!Network.copy} is a pure
-           read of its source, so concurrent copies are race-free). *)
-        let snap = Network.copy net in
-        let thunks =
-          List.map
-            (fun u () -> eval_speculative ~snap:(Network.copy snap) f u ())
-            batch
-        in
-        let results = Pool.run pool_t thunks in
-        let rec resolve pending =
-          match pending with
-          | [] -> rounds rest
-          | (u, (ok, wc, burn, _secs)) :: tl ->
-            if not ok then begin
-              Counters.accumulate counters wc;
-              if burn > 0 then Network.reserve_ids net burn;
-              (* Entries resolved before any commit this round ran against
-                 the live network state, so their failures are recordable;
-                 entries after a commit are re-rounded, never resolved. *)
-              (match memo with
-              | Some m
-                when Network.mem net f
-                     && (match u with
-                        | Div d -> Network.mem net d
-                        | Ext _ -> true) ->
-                counters.Counters.memo_misses <-
-                  counters.Counters.memo_misses + 1;
-                Division_memo.record_failure m ~f (unit_target u)
-                  ~meth:Division_memo.Boolean ~reads:(unit_reads m f u) ~burn
-              | _ -> ());
-              resolve tl
-            end
-            else if attempt_unit f u then begin
-              changed := true;
-              List.iter
-                (fun (_, (_, _, _, secs)) ->
-                  counters.Counters.speculative_wasted <-
-                    counters.Counters.speculative_wasted + 1;
-                  counters.Counters.speculative_seconds <-
-                    counters.Counters.speculative_seconds +. secs)
-                tl;
-              rounds (List.map fst tl @ rest)
-            end
-            else
-              (* Defensive: the re-execution should mirror the snapshot
-                 verdict exactly; if it does not, fall through as a
-                 failure (the real network is still consistent). *)
-              resolve tl
-        in
-        resolve (List.combine batch results)
-    in
-    rounds units
-  in
   let units_of divisors =
     (match config.mode with
     | Extended ->
@@ -571,85 +455,355 @@ let run ?(config = extended_config) ?fault_fuel ?deadline_at
     | Basic -> [])
     @ List.map (fun d -> Div d) divisors
   in
+  (* The sequential scan of one dividend: rank its divisors, then run the
+     units in order against the live network. Every other execution path
+     — including the parallel scheduler's committing re-executions —
+     funnels through this, so there is exactly one definition of what a
+     scan does. *)
   let scan_dividend changed f =
     let divisors =
       rank_divisors ~counters ~cache ?sigs net f
         ~use_complement:config.use_complement ~limit:config.max_divisors
     in
-    match wpool with
-    | Some pool_t -> parallel_rounds pool_t changed f (units_of divisors)
-    | None ->
-      List.iter
-        (fun u ->
-          let alive =
-            Network.mem net f
-            &&
-            match u with Div d -> Network.mem net d | Ext _ -> true
-          in
-          if alive && attempt_unit f u then changed := true)
-        (units_of divisors)
+    List.iter
+      (fun u ->
+        let alive =
+          Network.mem net f
+          && match u with Div d -> Network.mem net d | Ext _ -> true
+        in
+        if alive && attempt_unit f u then changed := true)
+      (units_of divisors)
+  in
+  (* One driver step for one dividend, with the dividend-level memo fast
+     path: if nothing the whole scan read (or wrote) has moved since it
+     last ran to quiescence, every per-unit failure inside would replay
+     individually — skip the scan outright, reserving its total id
+     burn. *)
+  let process_dividend changed f =
+    if Network.mem net f then
+      match memo with
+      | None -> scan_dividend changed f
+      | Some m -> (
+        match Division_memo.replay_dividend m ~f with
+        | Some (burn, units) ->
+          Counters.add counters.Counters.memo_hits units;
+          if burn > 0 then Network.reserve_ids net burn
+        | None ->
+          let clock0 = Dirty.clock (Division_memo.dirty m) in
+          let id0 = Network.id_limit net in
+          let hits0 = Atomic.get counters.Counters.memo_hits in
+          let misses0 = Atomic.get counters.Counters.memo_misses in
+          scan_dividend changed f;
+          if
+            Dirty.clock (Division_memo.dirty m) = clock0
+            && Network.mem net f
+          then
+            Division_memo.record_dividend m ~f ~at:clock0
+              ~burn:(Network.id_limit net - id0)
+              ~units:
+                (Atomic.get counters.Counters.memo_hits - hits0
+                + (Atomic.get counters.Counters.memo_misses - misses0)))
+  in
+  (* ------------------------------------------------------------------ *)
+  (* jobs > 1: the region-sharded dividend scheduler. Whole dividends    *)
+  (* are scanned speculatively on private snapshots of the frozen live   *)
+  (* network and resolved here in ascending id order — the exact order   *)
+  (* the sequential pass visits them. A scan that found nothing          *)
+  (* resolves without touching the live network beyond replaying its id  *)
+  (* burn; a scan that would commit is discarded and re-executed         *)
+  (* through [process_dividend], i.e. the jobs=1 code path at the        *)
+  (* identical live state. The only way jobs>1 could diverge from        *)
+  (* jobs=1 is a fast-resolved scan whose live re-run would have         *)
+  (* committed; the survival test rules that out (DESIGN.md §12).        *)
+  (* ------------------------------------------------------------------ *)
+  let scan_speculative snap f =
+    let t0 = Unix.gettimeofday () in
+    let wc = Counters.create () in
+    let finish ~landed ~burn ~units ~reads =
+      {
+        spec_committed = landed;
+        spec_burn = burn;
+        spec_units = units;
+        spec_reads = reads;
+        spec_counters = wc;
+        spec_seconds = Unix.gettimeofday () -. t0;
+      }
+    in
+    if not (Network.mem snap f) then
+      finish ~landed:false ~burn:0 ~units:0
+        ~reads:(Spec_set Network.Node_set.empty)
+    else
+      let replay =
+        match memo with
+        | None -> None
+        | Some m -> Division_memo.replay_dividend m ~f
+      in
+      match replay with
+      | Some (burn, units) ->
+        (* A recorded quiescent replay at the frozen clock; its read
+           closure was not recomputed, so survival falls back to the
+           static region (which contains the closure by construction). *)
+        Counters.add wc.Counters.memo_hits units;
+        finish ~landed:false ~burn ~units ~reads:Spec_region
+      | None ->
+        let wcache = Fanin_cache.create snap in
+        let wsigs =
+          if config.use_filter then
+            Some (Signature.create ~seed:config.sim_seed snap)
+          else None
+        in
+        Fun.protect ~finally:(fun () -> Option.iter Signature.detach wsigs)
+        @@ fun () ->
+        let divisors =
+          rank_divisors ~counters:wc ~cache:wcache ?sigs:wsigs snap f
+            ~use_complement:config.use_complement ~limit:config.max_divisors
+        in
+        let base =
+          Network.Node_set.union
+            (Fanin_cache.transitive_fanin wcache f)
+            (Network.transitive_fanout snap [ f ])
+        in
+        (* What the whole scan could read: the dividend's structural
+           footprint (ranking rejections stay inside it) plus the ranked
+           divisors' fanin cones (units and phase gates read those). GDC
+           implications and the unfiltered ranking read the whole
+           network, so there the closure is unbounded. *)
+        let reads =
+          if config.gdc || wsigs = None then Spec_unbounded
+          else
+            Spec_set
+              (List.fold_left
+                 (fun acc d ->
+                   Network.Node_set.union acc
+                     (Fanin_cache.transitive_fanin wcache d))
+                 (Partition.footprint snap f)
+                 divisors)
+        in
+        let run_unit_snap =
+          make_attempts ~config ?fault_fuel ?deadline_at
+            ~trace:Trace.disabled ~counters:wc ~sigs:wsigs
+            ~committed:(fun _ -> ())
+            ~verbose:false snap
+        in
+        let id_start = Network.id_limit snap in
+        let landed = ref false in
+        let resolved = ref 0 in
+        List.iter
+          (fun u ->
+            let alive =
+              (not !landed)
+              && Network.mem snap f
+              && (match u with Div d -> Network.mem snap d | Ext _ -> true)
+            in
+            if alive then begin
+              incr resolved;
+              match memo with
+              | None -> if run_unit_snap f u then landed := true
+              | Some m -> (
+                let target = unit_target u in
+                match
+                  Division_memo.replay_failure m ~f target
+                    ~meth:Division_memo.Boolean
+                with
+                | Some burn ->
+                  Counters.add wc.Counters.memo_hits 1;
+                  if burn > 0 then Network.reserve_ids snap burn
+                | None ->
+                  Counters.add wc.Counters.memo_misses 1;
+                  let id0 = Network.id_limit snap in
+                  if run_unit_snap f u then landed := true
+                  else
+                    (* The snapshot is byte-identical to the live
+                       network (frozen while the batch runs), so this
+                       failure is a true fact at the frozen clock —
+                       recordable into the shared memo even if the scan
+                       itself is later discarded. *)
+                    Division_memo.record_failure m ~f target
+                      ~meth:Division_memo.Boolean
+                      ~reads:
+                        (if config.gdc then Division_memo.all_nodes
+                         else
+                           Division_memo.reads_of_set
+                             (unit_reads_set ~cache:wcache base u))
+                      ~burn:(Network.id_limit snap - id0))
+            end)
+          (units_of divisors);
+        finish ~landed:!landed
+          ~burn:(Network.id_limit snap - id_start)
+          ~units:!resolved ~reads
+  in
+  let pass_parallel pool_t changed nodes =
+    let jobs_n = Pool.jobs pool_t in
+    (* Static regions over the still-pending dividends; recomputed after
+       any commit (a rewrite can restructure cones across the old region
+       boundaries). *)
+    let part = ref None in
+    let rec drive pending =
+      match List.filter (Network.mem net) pending with
+      | [] -> ()
+      | pending ->
+        let p =
+          match !part with
+          | Some p -> p
+          | None ->
+            let p = Partition.shard net pending in
+            part := Some p;
+            p
+        in
+        let region_of f =
+          match Partition.region_of p f with
+          | r -> Some r
+          | exception Not_found -> None
+        in
+        (* Fill a batch up to [jobs_n] dividends, extending to twice
+           that while every member comes from a distinct region —
+           pairwise-disjoint footprints cannot invalidate one another,
+           so oversubscribing the pool with them is free. *)
+        let rec take acc regs all_distinct n rest =
+          match rest with
+          | [] -> (List.rev acc, [])
+          | f :: tl ->
+            if n >= 2 * jobs_n then (List.rev acc, rest)
+            else
+              let reg = region_of f in
+              let distinct =
+                all_distinct
+                &&
+                match reg with
+                | Some r -> not (List.mem r regs)
+                | None -> false
+              in
+              if n < jobs_n || distinct then
+                let regs =
+                  match reg with Some r -> r :: regs | None -> regs
+                in
+                take (f :: acc) regs distinct (n + 1) tl
+              else (List.rev acc, rest)
+        in
+        let batch, rest = take [] [] true 0 pending in
+        (* One frozen snapshot per batch; each worker copies from it
+           rather than from the live network ({!Network.copy} is a pure
+           read of its source, so concurrent copies are race-free). *)
+        let snap = Network.copy net in
+        let results =
+          Pool.run pool_t
+            (List.map
+               (fun f () -> scan_speculative (Network.copy snap) f)
+               batch)
+        in
+        let c_accum = ref Network.Node_set.empty in
+        let c_unbounded = ref false in
+        let committed_regions = ref [] in
+        let any_commit = ref false in
+        let re_round = ref [] in
+        List.iter2
+          (fun f r ->
+            let other_region () =
+              match region_of f with
+              | Some reg -> not (List.mem reg !committed_regions)
+              | None -> false
+            in
+            let survives =
+              (not !any_commit)
+              || (not !c_unbounded)
+                 && (match r.spec_reads with
+                    | Spec_unbounded -> false
+                    | Spec_region -> other_region ()
+                    | Spec_set reads ->
+                      other_region ()
+                      || Network.Node_set.disjoint !c_accum reads)
+            in
+            if not survives then begin
+              Counters.add counters.Counters.speculative_wasted 1;
+              Counters.add_seconds counters.Counters.speculative_seconds
+                r.spec_seconds;
+              re_round := f :: !re_round
+            end
+            else if r.spec_committed then begin
+              (* The prediction says this scan commits: discard the
+                 snapshot work and run the scan for real through the
+                 sequential path. The live state matches what the worker
+                 saw on everything the scan can read, so this is the
+                 jobs=1 execution, byte for byte. *)
+              Counters.add counters.Counters.speculative_wasted 1;
+              Counters.add_seconds counters.Counters.speculative_seconds
+                r.spec_seconds;
+              let subs0 = Atomic.get counters.Counters.substitutions in
+              process_dividend changed f;
+              if Atomic.get counters.Counters.substitutions > subs0 then begin
+                any_commit := true;
+                part := None;
+                (match r.spec_reads with
+                | Spec_set reads ->
+                  let post =
+                    if Network.mem net f then Partition.footprint net f
+                    else Network.Node_set.empty
+                  in
+                  c_accum :=
+                    Network.Node_set.union !c_accum
+                      (Network.Node_set.union reads post)
+                | Spec_region | Spec_unbounded -> c_unbounded := true);
+                match region_of f with
+                | Some reg -> committed_regions := reg :: !committed_regions
+                | None -> c_unbounded := true
+              end
+            end
+            else begin
+              (* A scan that found nothing, and whose re-run now would
+                 provably find nothing: consume its id burn so the
+                 allocator stays id-for-id with jobs=1, fold its
+                 tallies, and remember the quiescent scan. *)
+              Counters.accumulate counters r.spec_counters;
+              if r.spec_burn > 0 then Network.reserve_ids net r.spec_burn;
+              match memo with
+              | Some m when Network.mem net f ->
+                Division_memo.record_dividend m ~f
+                  ~at:(Dirty.clock (Division_memo.dirty m))
+                  ~burn:r.spec_burn ~units:r.spec_units
+              | _ -> ()
+            end)
+          batch results;
+        drive (List.rev !re_round @ rest)
+    in
+    drive nodes
   in
   let pass () =
     let changed = ref false in
     let nodes = List.sort Int.compare (Network.logic_ids net) in
-    List.iter
-      (fun f ->
-        if Network.mem net f then
-          match memo with
-          | None -> scan_dividend changed f
-          | Some m -> (
-            (* Dividend-level fast path: if nothing the whole scan read
-               (or wrote) has moved since it last ran to quiescence,
-               every per-unit failure inside would replay individually —
-               skip the scan outright, reserving its total id burn. *)
-            match Division_memo.replay_dividend m ~f with
-            | Some (burn, units) ->
-              counters.Counters.memo_hits <-
-                counters.Counters.memo_hits + units;
-              if burn > 0 then Network.reserve_ids net burn
-            | None ->
-              let clock0 = Dirty.clock (Division_memo.dirty m) in
-              let id0 = Network.id_limit net in
-              let hits0 = counters.Counters.memo_hits in
-              let misses0 = counters.Counters.memo_misses in
-              scan_dividend changed f;
-              if
-                Dirty.clock (Division_memo.dirty m) = clock0
-                && Network.mem net f
-              then
-                Division_memo.record_dividend m ~f ~at:clock0
-                  ~burn:(Network.id_limit net - id0)
-                  ~units:
-                    (counters.Counters.memo_hits - hits0
-                    + (counters.Counters.memo_misses - misses0))))
-      nodes;
+    (match wpool with
+    | Some pool_t -> pass_parallel pool_t changed nodes
+    | None -> List.iter (process_dividend changed) nodes);
     !changed
   in
   let rec loop remaining =
     if remaining > 0 then begin
-      let div0 = counters.Counters.divisions_attempted in
-      let hits0 = counters.Counters.memo_hits in
-      let misses0 = counters.Counters.memo_misses in
-      let cp0 = counters.Counters.imply_checkpoints in
-      let rs0 = counters.Counters.imply_resets in
+      let div0 = Atomic.get counters.Counters.divisions_attempted in
+      let hits0 = Atomic.get counters.Counters.memo_hits in
+      let misses0 = Atomic.get counters.Counters.memo_misses in
+      let cp0 = Atomic.get counters.Counters.imply_checkpoints in
+      let rs0 = Atomic.get counters.Counters.imply_resets in
       let again = pass () in
-      counters.Counters.passes <- counters.Counters.passes + 1;
+      Counters.add counters.Counters.passes 1;
       counters.Counters.pass_divisions <-
         counters.Counters.pass_divisions
-        @ [ counters.Counters.divisions_attempted - div0 ];
+        @ [ Atomic.get counters.Counters.divisions_attempted - div0 ];
       if Trace.enabled trace then begin
         Trace.emit trace "memo"
           [
             ("driver", Trace.String "substitute");
-            ("pass", Trace.Int counters.Counters.passes);
-            ("hits", Trace.Int (counters.Counters.memo_hits - hits0));
-            ("misses", Trace.Int (counters.Counters.memo_misses - misses0));
+            ("pass", Trace.Int (Atomic.get counters.Counters.passes));
+            ("hits", Trace.Int (Atomic.get counters.Counters.memo_hits - hits0));
+            ( "misses",
+              Trace.Int (Atomic.get counters.Counters.memo_misses - misses0) );
           ];
         Trace.emit trace "checkpoint"
           [
-            ("pass", Trace.Int counters.Counters.passes);
-            ("pops", Trace.Int (counters.Counters.imply_checkpoints - cp0));
-            ("resets", Trace.Int (counters.Counters.imply_resets - rs0));
+            ("pass", Trace.Int (Atomic.get counters.Counters.passes));
+            ( "pops",
+              Trace.Int (Atomic.get counters.Counters.imply_checkpoints - cp0)
+            );
+            ( "resets",
+              Trace.Int (Atomic.get counters.Counters.imply_resets - rs0) );
           ]
       end;
       if again then loop (remaining - 1)

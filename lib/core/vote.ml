@@ -164,7 +164,7 @@ let collect ?(gdc = false) ?(learn_depth = 0) ?budget ?counters net ~f ~pool =
   let entries = List.concat_map entry_group groups in
   (match (!degraded, counters) with
   | true, Some c ->
-    c.Rar_util.Counters.degradations <- c.Rar_util.Counters.degradations + 1
+    Rar_util.Counters.add c.Rar_util.Counters.degradations 1
   | _ -> ());
   entries
 

@@ -111,6 +111,6 @@ let run ?(use_dominators = true) ?(learn_depth = 0) ?region ?budget ?counters
   done;
   (match (!exhausted, counters) with
   | Some _, Some c ->
-    c.Rar_util.Counters.degradations <- c.Rar_util.Counters.degradations + 1
+    Rar_util.Counters.add c.Rar_util.Counters.degradations 1
   | _ -> ());
   !removed

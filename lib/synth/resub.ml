@@ -75,14 +75,12 @@ let candidates ~counters ~cache ?sigs ~use_complement ~max_candidates net
         (fun d ->
           if d = f || not (Network.mem net d) then None
           else begin
-            counters.Counters.pairs_considered <-
-              counters.Counters.pairs_considered + 1;
+            Counters.add counters.Counters.pairs_considered 1;
             if
               Fanin_cache.depends_on cache d ~on:f
               || not (Signature.compatible s ~use_complement ~f ~d)
             then begin
-              counters.Counters.pairs_filtered <-
-                counters.Counters.pairs_filtered + 1;
+              Counters.add counters.Counters.pairs_filtered 1;
               None
             end
             else Some (d, Signature.score s ~use_complement ~f ~d)
@@ -91,6 +89,20 @@ let candidates ~counters ~cache ?sigs ~use_complement ~max_candidates net
     in
     let sorted = List.sort (fun (_, a) (_, b) -> Int.compare b a) scored in
     List.filteri (fun i _ -> i < max_candidates) (List.map fst sorted)
+
+(* A worker's verdict on one dividend, scanned to quiescence (or to its
+   first would-be commit) on a private snapshot of the frozen live
+   network. Unlike the Boolean driver there is no read closure here:
+   algebraic candidate selection reads every node's signature with no
+   structural gate, so a speculative verdict only survives while
+   nothing at all has committed since its snapshot was taken. *)
+type spec_result = {
+  spec_committed : bool;
+  spec_burn : int;
+  spec_units : int;  (* memo hits + real attempts the scan resolved *)
+  spec_counters : Counters.t;
+  spec_seconds : float;
+}
 
 let run ?(use_complement = true) ?(use_filter = true)
     ?(max_candidates = default_max_candidates) ?(max_passes = 4) ?(jobs = 1)
@@ -112,8 +124,7 @@ let run ?(use_complement = true) ?(use_filter = true)
       || Unix.gettimeofday () > t
          && begin
               deadline_hit := true;
-              counters.Counters.degradations <-
-                counters.Counters.degradations + 1;
+              Counters.add counters.Counters.degradations 1;
               Trace.emit trace "degrade"
                 [
                   ("unit", Trace.String "resub");
@@ -137,19 +148,6 @@ let run ?(use_complement = true) ?(use_filter = true)
   Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown wpool)
   @@ fun () ->
   let substitutions = ref 0 in
-  let tick_division () =
-    counters.Counters.divisions_attempted <-
-      counters.Counters.divisions_attempted + 1
-  in
-  let attempt_on ~counters net f d =
-    Counters.timed counters `Division @@ fun () ->
-    counters.Counters.divisions_attempted <-
-      counters.Counters.divisions_attempted + 1;
-    try_substitute ~use_complement net ~f ~d
-  in
-  (* What a pair attempt can read: both fanin cones (covers, fanins and
-     the cycle check all stay inside them). Computed on demand — the
-     fanin cache flushes itself on mutation, so the sets are current. *)
   (* An algebraic attempt reads only the two lifted covers — cover and
      fanin array of [f] and of [d] ({!Lift.cover}) — and any change to
      either stamps the node itself, so {f, d} is the whole read set.
@@ -159,248 +157,277 @@ let run ?(use_complement = true) ?(use_filter = true)
     Division_memo.reads_of_set
       (Network.Node_set.add f (Network.Node_set.singleton d))
   in
-  let record_pair_failure m f d =
-    let reads = pair_reads f d in
-    Division_memo.record_failure m ~f
-      (Division_memo.Divisor (d, Division_memo.Pos))
-      ~meth:Division_memo.Algebraic ~reads ~burn:0;
-    if use_complement then
-      Division_memo.record_failure m ~f
-        (Division_memo.Divisor (d, Division_memo.Neg))
-        ~meth:Division_memo.Algebraic ~reads ~burn:0
+  (* One pair against [net], with per-phase memo replay/record — shared
+     by the live path and the workers. Each polarity is skipped when the
+     memo proves the recorded failure would replay (reserving its
+     recorded id burn — zero for algebraic attempts — to keep the
+     allocator in lockstep with a memo-off run). [speculating] wraps
+     real attempts: the live path buffers Dirty events there so a
+     mutate-and-restore failure moves no stamps; workers run bare on
+     snapshots that have no tracker attached. Failures recorded by a
+     worker land in the shared striped table at the frozen clock — true
+     facts even if the worker's whole scan is later discarded. *)
+  let pair_attempt_on net ~cache ~counters:c ~speculating f d =
+    match memo with
+    | None ->
+      Counters.timed c `Division @@ fun () ->
+      Counters.add c.Counters.divisions_attempted 1;
+      try_substitute ~use_complement ~cache net ~f ~d
+    | Some m ->
+      if pair_guarded ~cache net ~f ~d then begin
+        Counters.add c.Counters.divisions_attempted 1;
+        false
+      end
+      else begin
+        let ran = ref false in
+        let phase_attempt ph real =
+          match
+            Division_memo.replay_failure m ~f
+              (Division_memo.Divisor (d, ph))
+              ~meth:Division_memo.Algebraic
+          with
+          | Some burn ->
+            Counters.add c.Counters.memo_hits 1;
+            if burn > 0 then Network.reserve_ids net burn;
+            false
+          | None ->
+            ran := true;
+            Counters.add c.Counters.memo_misses 1;
+            let id0 = Network.id_limit net in
+            let landed =
+              Counters.timed c `Division @@ fun () -> speculating real
+            in
+            if not landed then
+              Division_memo.record_failure m ~f
+                (Division_memo.Divisor (d, ph))
+                ~meth:Division_memo.Algebraic ~reads:(pair_reads f d)
+                ~burn:(Network.id_limit net - id0);
+            landed
+        in
+        let ok =
+          phase_attempt Division_memo.Pos (fun () ->
+              attempt_direct net ~f ~d)
+        in
+        let ok =
+          ok
+          || use_complement
+             && phase_attempt Division_memo.Neg (fun () ->
+                    attempt_complement net ~f ~d)
+        in
+        if !ran then Counters.add c.Counters.divisions_attempted 1;
+        ok
+      end
   in
-  (* Memoised pair attempt: each polarity is skipped when the memo
-     proves the recorded failure would replay (reserving its recorded
-     id burn — zero for algebraic attempts — to keep the allocator in
-     lockstep with a memo-off run). Real attempts run under the dirty
-     tracker's speculation guard so a mutate-and-restore failure moves
-     no stamps. *)
   let commit_real f d =
     let ok =
-      match memo with
-      | None ->
-        Counters.timed counters `Division @@ fun () ->
-        tick_division ();
-        try_substitute ~use_complement ~cache net ~f ~d
-      | Some m ->
-        if pair_guarded ~cache net ~f ~d then begin
-          tick_division ();
-          false
-        end
-        else begin
-          let ran = ref false in
-          let phase_attempt ph real =
-            match
-              Division_memo.replay_failure m ~f
-                (Division_memo.Divisor (d, ph))
-                ~meth:Division_memo.Algebraic
-            with
-            | Some burn ->
-              counters.Counters.memo_hits <- counters.Counters.memo_hits + 1;
-              if burn > 0 then Network.reserve_ids net burn;
-              false
-            | None ->
-              ran := true;
-              counters.Counters.memo_misses <-
-                counters.Counters.memo_misses + 1;
-              let id0 = Network.id_limit net in
-              let committed =
-                Counters.timed counters `Division @@ fun () ->
-                Dirty.speculating (Division_memo.dirty m) ~committed:Fun.id
-                  real
-              in
-              if not committed then
-                Division_memo.record_failure m ~f
-                  (Division_memo.Divisor (d, ph))
-                  ~meth:Division_memo.Algebraic ~reads:(pair_reads f d)
-                  ~burn:(Network.id_limit net - id0);
-              committed
-          in
-          let ok =
-            phase_attempt Division_memo.Pos (fun () ->
-                attempt_direct net ~f ~d)
-          in
-          let ok =
-            ok
-            || use_complement
-               && phase_attempt Division_memo.Neg (fun () ->
-                      attempt_complement net ~f ~d)
-          in
-          if !ran then tick_division ();
-          ok
-        end
+      pair_attempt_on net ~cache ~counters
+        ~speculating:(fun real ->
+          match memo with
+          | Some m ->
+            Dirty.speculating (Division_memo.dirty m) ~committed:Fun.id real
+          | None -> real ())
+        f d
     in
     if ok then begin
       incr substitutions;
-      counters.Counters.substitutions <- counters.Counters.substitutions + 1
+      Counters.add counters.Counters.substitutions 1
     end;
     ok
   in
-  (* Whether the memo proves both polarities of the pair are failure
-     replays, so the pair needs no worker at all. Burns are reserved
-     only once both polarities check out. *)
-  let pair_replays m f d =
-    if pair_guarded ~cache net ~f ~d then false
-    else begin
-      let lookup ph =
-        Division_memo.replay_failure m ~f
-          (Division_memo.Divisor (d, ph))
-          ~meth:Division_memo.Algebraic
-      in
-      match (lookup Division_memo.Pos, use_complement) with
-      | None, _ -> false
-      | Some b1, false ->
-        counters.Counters.memo_hits <- counters.Counters.memo_hits + 1;
-        if b1 > 0 then Network.reserve_ids net b1;
-        true
-      | Some b1, true -> (
-        match lookup Division_memo.Neg with
-        | None -> false
-        | Some b2 ->
-          counters.Counters.memo_hits <- counters.Counters.memo_hits + 2;
-          if b1 + b2 > 0 then Network.reserve_ids net (b1 + b2);
-          true)
+  (* The sequential scan of one dividend; the parallel scheduler's
+     committing re-executions funnel through this too. *)
+  let scan_dividend changed ~nodes f =
+    let divisors =
+      candidates ~counters ~cache ?sigs ~use_complement ~max_candidates net
+        ~f ~nodes
+    in
+    List.iter
+      (fun d ->
+        if Network.mem net f && Network.mem net d then
+          if commit_real f d then changed := true)
+      divisors
+  in
+  (* One driver step for one dividend, with the dividend-level memo fast
+     path: nothing anywhere committed since this dividend's scan means
+     every unit of it is individually a provable replay. *)
+  let process_dividend changed ~nodes f =
+    if (not (past_deadline ())) && Network.mem net f then begin
+      match memo with
+      | None -> scan_dividend changed ~nodes f
+      | Some m -> (
+        match Division_memo.replay_dividend m ~f with
+        | Some (burn, units) ->
+          Counters.add counters.Counters.memo_hits units;
+          if burn > 0 then Network.reserve_ids net burn
+        | None ->
+          let d = Division_memo.dirty m in
+          let clock0 = Dirty.clock d in
+          let id0 = Network.id_limit net in
+          let hits0 = Atomic.get counters.Counters.memo_hits in
+          let misses0 = Atomic.get counters.Counters.memo_misses in
+          scan_dividend changed ~nodes f;
+          if Dirty.clock d = clock0 then
+            Division_memo.record_dividend m ~f ~at:clock0
+              ~burn:(Network.id_limit net - id0)
+              ~units:
+                (Atomic.get counters.Counters.memo_hits - hits0
+                + (Atomic.get counters.Counters.memo_misses - misses0)))
     end
+  in
+  (* jobs > 1: whole dividends are scanned speculatively on private
+     snapshots of the frozen live network (sharing the striped failure
+     memo), then resolved here in ascending id order — the order the
+     sequential pass visits them. A scan that found nothing resolves by
+     replaying its id burn; a scan that would commit is discarded and
+     re-executed through [process_dividend], the jobs=1 code path. Once
+     anything commits, the remaining verdicts of the batch are
+     re-rounded (see [spec_result] on why no finer survival test is
+     sound for the algebraic driver), so the live network evolves
+     byte-identically to a sequential run. *)
+  let scan_speculative snap ~nodes f =
+    let t0 = Unix.gettimeofday () in
+    let wc = Counters.create () in
+    let finish ~landed ~burn ~units =
+      {
+        spec_committed = landed;
+        spec_burn = burn;
+        spec_units = units;
+        spec_counters = wc;
+        spec_seconds = Unix.gettimeofday () -. t0;
+      }
+    in
+    if not (Network.mem snap f) then finish ~landed:false ~burn:0 ~units:0
+    else
+      let replay =
+        match memo with
+        | None -> None
+        | Some m -> Division_memo.replay_dividend m ~f
+      in
+      match replay with
+      | Some (burn, units) ->
+        Counters.add wc.Counters.memo_hits units;
+        finish ~landed:false ~burn ~units
+      | None ->
+        let wcache = Fanin_cache.create snap in
+        let wsigs =
+          if use_filter then Some (Signature.create ~seed:sim_seed snap)
+          else None
+        in
+        Fun.protect ~finally:(fun () -> Option.iter Signature.detach wsigs)
+        @@ fun () ->
+        let divisors =
+          candidates ~counters:wc ~cache:wcache ?sigs:wsigs ~use_complement
+            ~max_candidates snap ~f ~nodes
+        in
+        let id_start = Network.id_limit snap in
+        let landed = ref false in
+        List.iter
+          (fun d ->
+            if (not !landed) && Network.mem snap f && Network.mem snap d then
+              if
+                pair_attempt_on snap ~cache:wcache ~counters:wc
+                  ~speculating:(fun real -> real ())
+                  f d
+              then landed := true)
+          divisors;
+        finish ~landed:!landed
+          ~burn:(Network.id_limit snap - id_start)
+          ~units:
+            (Atomic.get wc.Counters.memo_hits
+            + Atomic.get wc.Counters.memo_misses)
   in
   let rec split_at n acc = function
     | rest when n = 0 -> (List.rev acc, rest)
     | [] -> (List.rev acc, [])
     | x :: tl -> split_at (n - 1) (x :: acc) tl
   in
-  (* Speculative rounds over the ranked divisors of one node (algebraic
-     attempts never consume node ids nor add nodes on failure, so —
-     unlike the Boolean driver — there is no allocator state to replay).
-     One snapshot is taken per round and each worker copies it privately
-     inside its own domain ({!Network.copy} only reads the source, so
-     concurrent copies of one frozen snapshot are safe); workers score
-     without the shared fanin cache or signature engine, the first
-     success in rank order is re-executed on the real network, later
-     evaluations count as speculative waste. *)
-  let parallel_rounds pool_t changed f divisors =
-    let rec rounds ds =
-      let ds =
-        if Network.mem net f then List.filter (Network.mem net) ds else []
-      in
-      (* Peel the pairs the memo proves are failure replays before
-         spending any worker on them. *)
-      let ds =
-        match memo with
-        | None -> ds
-        | Some m -> List.filter (fun d -> not (pair_replays m f d)) ds
-      in
-      match ds with
-      | [] -> ()
-      | _ ->
-        let batch_n = min (Pool.jobs pool_t) (List.length ds) in
-        let batch, rest = split_at batch_n [] ds in
-        let snap = Network.copy net in
-        let thunks =
-          List.map
-            (fun d () ->
-              let t0 = Unix.gettimeofday () in
-              let wc = Counters.create () in
-              let ok = attempt_on ~counters:wc (Network.copy snap) f d in
-              (ok, wc, Unix.gettimeofday () -. t0))
-            batch
-        in
-        let results = Pool.run pool_t thunks in
-        let rec resolve pending =
-          match pending with
-          | [] -> rounds rest
-          | (d, (ok, wc, _secs)) :: tl ->
-            if not ok then begin
-              Counters.accumulate counters wc;
-              (* The worker saw a snapshot byte-identical to the current
-                 network (nothing committed since), so the failure is
-                 recordable against the current clock. Entries behind a
-                 commit never reach this branch — they are re-rounded. *)
-              (match memo with
-              | Some m when not (pair_guarded ~cache net ~f ~d) ->
-                record_pair_failure m f d
-              | Some _ | None -> ());
-              resolve tl
-            end
-            else if commit_real f d then begin
-              changed := true;
-              List.iter
-                (fun (_, (_, _, secs)) ->
-                  counters.Counters.speculative_wasted <-
-                    counters.Counters.speculative_wasted + 1;
-                  counters.Counters.speculative_seconds <-
-                    counters.Counters.speculative_seconds +. secs)
-                tl;
-              rounds (List.map fst tl @ rest)
-            end
-            else resolve tl
-        in
-        resolve (List.combine batch results)
+  let pass_parallel pool_t changed ~nodes =
+    let rec drive pending =
+      if past_deadline () then ()
+      else
+        match List.filter (Network.mem net) pending with
+        | [] -> ()
+        | pending ->
+          let batch, rest = split_at (Pool.jobs pool_t) [] pending in
+          (* One frozen snapshot per batch; each worker copies from it
+             rather than from the live network ({!Network.copy} is a
+             pure read of its source, so concurrent copies are
+             race-free). *)
+          let snap = Network.copy net in
+          let results =
+            Pool.run pool_t
+              (List.map
+                 (fun f () -> scan_speculative (Network.copy snap) ~nodes f)
+                 batch)
+          in
+          let any_commit = ref false in
+          let re_round = ref [] in
+          List.iter2
+            (fun f r ->
+              if !any_commit then begin
+                Counters.add counters.Counters.speculative_wasted 1;
+                Counters.add_seconds counters.Counters.speculative_seconds
+                  r.spec_seconds;
+                re_round := f :: !re_round
+              end
+              else if r.spec_committed then begin
+                (* Discard the snapshot work and run the scan for real:
+                   the live state is what the worker saw, so this is the
+                   jobs=1 execution, byte for byte. *)
+                Counters.add counters.Counters.speculative_wasted 1;
+                Counters.add_seconds counters.Counters.speculative_seconds
+                  r.spec_seconds;
+                let subs0 = !substitutions in
+                process_dividend changed ~nodes f;
+                if !substitutions > subs0 then any_commit := true
+              end
+              else begin
+                (* Nothing committed since the snapshot, so the failed
+                   scan is exactly what the sequential sweep would have
+                   done here: consume its id burn, fold its tallies,
+                   remember the quiescent scan. *)
+                Counters.accumulate counters r.spec_counters;
+                if r.spec_burn > 0 then Network.reserve_ids net r.spec_burn;
+                match memo with
+                | Some m when Network.mem net f ->
+                  Division_memo.record_dividend m ~f
+                    ~at:(Dirty.clock (Division_memo.dirty m))
+                    ~burn:r.spec_burn ~units:r.spec_units
+                | _ -> ()
+              end)
+            batch results;
+          drive (List.rev !re_round @ rest)
     in
-    rounds divisors
-  in
-  let scan_dividend changed ~nodes f =
-    let divisors =
-      candidates ~counters ~cache ?sigs ~use_complement ~max_candidates net
-        ~f ~nodes
-    in
-    match wpool with
-    | Some pool_t -> parallel_rounds pool_t changed f divisors
-    | None ->
-      List.iter
-        (fun d ->
-          if Network.mem net f && Network.mem net d then
-            if commit_real f d then changed := true)
-        divisors
+    drive nodes
   in
   let pass () =
     let changed = ref false in
     let nodes = List.sort Int.compare (Network.logic_ids net) in
-    List.iter
-      (fun f ->
-        if (not (past_deadline ())) && Network.mem net f then begin
-          match memo with
-          | None -> scan_dividend changed ~nodes f
-          | Some m -> (
-            match Division_memo.replay_dividend m ~f with
-            | Some (burn, units) ->
-              (* Nothing anywhere committed since this dividend's scan:
-                 every unit of it is individually a provable replay. *)
-              counters.Counters.memo_hits <-
-                counters.Counters.memo_hits + units;
-              if burn > 0 then Network.reserve_ids net burn
-            | None ->
-              let d = Division_memo.dirty m in
-              let clock0 = Dirty.clock d in
-              let id0 = Network.id_limit net in
-              let hits0 = counters.Counters.memo_hits in
-              let misses0 = counters.Counters.memo_misses in
-              scan_dividend changed ~nodes f;
-              if Dirty.clock d = clock0 then
-                Division_memo.record_dividend m ~f ~at:clock0
-                  ~burn:(Network.id_limit net - id0)
-                  ~units:
-                    (counters.Counters.memo_hits - hits0
-                    + (counters.Counters.memo_misses - misses0)))
-        end)
-      nodes;
+    (match wpool with
+    | Some pool_t -> pass_parallel pool_t changed ~nodes
+    | None -> List.iter (fun f -> process_dividend changed ~nodes f) nodes);
     !changed
   in
   let rec loop remaining =
     if remaining > 0 && not (past_deadline ()) then begin
-      let div0 = counters.Counters.divisions_attempted in
-      let hits0 = counters.Counters.memo_hits in
-      let misses0 = counters.Counters.memo_misses in
+      let div0 = Atomic.get counters.Counters.divisions_attempted in
+      let hits0 = Atomic.get counters.Counters.memo_hits in
+      let misses0 = Atomic.get counters.Counters.memo_misses in
       let continue = pass () in
-      counters.Counters.passes <- counters.Counters.passes + 1;
+      Counters.add counters.Counters.passes 1;
       counters.Counters.pass_divisions <-
         counters.Counters.pass_divisions
-        @ [ counters.Counters.divisions_attempted - div0 ];
+        @ [ Atomic.get counters.Counters.divisions_attempted - div0 ];
       if Trace.enabled trace then
         Trace.emit trace "memo"
           [
             ("driver", Trace.String "resub");
-            ("pass", Trace.Int counters.Counters.passes);
-            ("hits", Trace.Int (counters.Counters.memo_hits - hits0));
-            ("misses", Trace.Int (counters.Counters.memo_misses - misses0));
+            ("pass", Trace.Int (Atomic.get counters.Counters.passes));
+            ( "hits",
+              Trace.Int (Atomic.get counters.Counters.memo_hits - hits0) );
+            ( "misses",
+              Trace.Int (Atomic.get counters.Counters.memo_misses - misses0)
+            );
           ];
       if continue then loop (remaining - 1)
     end

@@ -1,41 +1,59 @@
+(* Scalar tallies are [Atomic.t] so one record can be shared by the
+   sharded drivers' worker domains without losing updates; the
+   structured [pass_divisions] list stays single-writer (the driver's
+   fixpoint loop). Workers usually still tally into private records
+   folded in with [accumulate] — atomicity makes the shared-record path
+   (and careless direct use) safe rather than silently lossy. *)
+
 type t = {
-  mutable pairs_considered : int;
-  mutable pairs_filtered : int;
-  mutable divisions_attempted : int;
-  mutable substitutions : int;
-  mutable memo_hits : int;
-  mutable memo_misses : int;
-  mutable imply_creates : int;
-  mutable imply_resets : int;
-  mutable imply_checkpoints : int;
-  mutable speculative_wasted : int;
-  mutable degradations : int;
-  mutable passes : int;
+  pairs_considered : int Atomic.t;
+  pairs_filtered : int Atomic.t;
+  divisions_attempted : int Atomic.t;
+  substitutions : int Atomic.t;
+  memo_hits : int Atomic.t;
+  memo_misses : int Atomic.t;
+  imply_creates : int Atomic.t;
+  imply_resets : int Atomic.t;
+  imply_checkpoints : int Atomic.t;
+  speculative_wasted : int Atomic.t;
+  degradations : int Atomic.t;
+  passes : int Atomic.t;
   mutable pass_divisions : int list;
-  mutable filter_seconds : float;
-  mutable division_seconds : float;
-  mutable speculative_seconds : float;
+  filter_seconds : float Atomic.t;
+  division_seconds : float Atomic.t;
+  speculative_seconds : float Atomic.t;
 }
 
 let create () =
   {
-    pairs_considered = 0;
-    pairs_filtered = 0;
-    divisions_attempted = 0;
-    substitutions = 0;
-    memo_hits = 0;
-    memo_misses = 0;
-    imply_creates = 0;
-    imply_resets = 0;
-    imply_checkpoints = 0;
-    speculative_wasted = 0;
-    degradations = 0;
-    passes = 0;
+    pairs_considered = Atomic.make 0;
+    pairs_filtered = Atomic.make 0;
+    divisions_attempted = Atomic.make 0;
+    substitutions = Atomic.make 0;
+    memo_hits = Atomic.make 0;
+    memo_misses = Atomic.make 0;
+    imply_creates = Atomic.make 0;
+    imply_resets = Atomic.make 0;
+    imply_checkpoints = Atomic.make 0;
+    speculative_wasted = Atomic.make 0;
+    degradations = Atomic.make 0;
+    passes = Atomic.make 0;
     pass_divisions = [];
-    filter_seconds = 0.0;
-    division_seconds = 0.0;
-    speculative_seconds = 0.0;
+    filter_seconds = Atomic.make 0.0;
+    division_seconds = Atomic.make 0.0;
+    speculative_seconds = Atomic.make 0.0;
   }
+
+let add cell n = ignore (Atomic.fetch_and_add cell n : int)
+
+(* No fetch-and-add for boxed floats: retry a compare-and-set. Adds are
+   rare (one per timed region), so contention is negligible. *)
+let add_seconds cell dt =
+  let rec retry () =
+    let old = Atomic.get cell in
+    if not (Atomic.compare_and_set cell old (old +. dt)) then retry ()
+  in
+  retry ()
 
 (* Per-pass division tallies from different circuits align by pass index
    (pass 1 with pass 1, ...); runs with fewer passes contribute zero to
@@ -46,22 +64,23 @@ let rec sum_by_pass a b =
   | x :: xs, y :: ys -> (x + y) :: sum_by_pass xs ys
 
 let accumulate dst src =
-  dst.pairs_considered <- dst.pairs_considered + src.pairs_considered;
-  dst.pairs_filtered <- dst.pairs_filtered + src.pairs_filtered;
-  dst.divisions_attempted <- dst.divisions_attempted + src.divisions_attempted;
-  dst.substitutions <- dst.substitutions + src.substitutions;
-  dst.memo_hits <- dst.memo_hits + src.memo_hits;
-  dst.memo_misses <- dst.memo_misses + src.memo_misses;
-  dst.imply_creates <- dst.imply_creates + src.imply_creates;
-  dst.imply_resets <- dst.imply_resets + src.imply_resets;
-  dst.imply_checkpoints <- dst.imply_checkpoints + src.imply_checkpoints;
-  dst.speculative_wasted <- dst.speculative_wasted + src.speculative_wasted;
-  dst.degradations <- dst.degradations + src.degradations;
-  dst.passes <- max dst.passes src.passes;
+  add dst.pairs_considered (Atomic.get src.pairs_considered);
+  add dst.pairs_filtered (Atomic.get src.pairs_filtered);
+  add dst.divisions_attempted (Atomic.get src.divisions_attempted);
+  add dst.substitutions (Atomic.get src.substitutions);
+  add dst.memo_hits (Atomic.get src.memo_hits);
+  add dst.memo_misses (Atomic.get src.memo_misses);
+  add dst.imply_creates (Atomic.get src.imply_creates);
+  add dst.imply_resets (Atomic.get src.imply_resets);
+  add dst.imply_checkpoints (Atomic.get src.imply_checkpoints);
+  add dst.speculative_wasted (Atomic.get src.speculative_wasted);
+  add dst.degradations (Atomic.get src.degradations);
+  (let p = Atomic.get src.passes in
+   if p > Atomic.get dst.passes then Atomic.set dst.passes p);
   dst.pass_divisions <- sum_by_pass dst.pass_divisions src.pass_divisions;
-  dst.filter_seconds <- dst.filter_seconds +. src.filter_seconds;
-  dst.division_seconds <- dst.division_seconds +. src.division_seconds;
-  dst.speculative_seconds <- dst.speculative_seconds +. src.speculative_seconds
+  add_seconds dst.filter_seconds (Atomic.get src.filter_seconds);
+  add_seconds dst.division_seconds (Atomic.get src.division_seconds);
+  add_seconds dst.speculative_seconds (Atomic.get src.speculative_seconds)
 
 (* The elapsed time must land in its bucket also when [f] raises (a
    budget exhaustion or conflict escaping a division is normal control
@@ -73,10 +92,9 @@ let timed t field f =
     ~finally:(fun () ->
       let elapsed = Unix.gettimeofday () -. start in
       match field with
-      | `Filter -> t.filter_seconds <- t.filter_seconds +. elapsed
-      | `Division -> t.division_seconds <- t.division_seconds +. elapsed
-      | `Speculative ->
-        t.speculative_seconds <- t.speculative_seconds +. elapsed)
+      | `Filter -> add_seconds t.filter_seconds elapsed
+      | `Division -> add_seconds t.division_seconds elapsed
+      | `Speculative -> add_seconds t.speculative_seconds elapsed)
     f
 
 let pass_divisions_string t =
@@ -88,10 +106,21 @@ let to_string t =
      %d, memo %d hits / %d misses, imply %d creates / %d resets / %d \
      checkpoints, speculative %d wasted, degradations %d, filter %.2fs, \
      division %.2fs, speculative %.2fs"
-    t.pairs_considered t.pairs_filtered t.divisions_attempted t.passes
-    (pass_divisions_string t) t.substitutions t.memo_hits t.memo_misses
-    t.imply_creates t.imply_resets t.imply_checkpoints t.speculative_wasted
-    t.degradations t.filter_seconds t.division_seconds t.speculative_seconds
+    (Atomic.get t.pairs_considered)
+    (Atomic.get t.pairs_filtered)
+    (Atomic.get t.divisions_attempted)
+    (Atomic.get t.passes)
+    (pass_divisions_string t)
+    (Atomic.get t.substitutions)
+    (Atomic.get t.memo_hits) (Atomic.get t.memo_misses)
+    (Atomic.get t.imply_creates)
+    (Atomic.get t.imply_resets)
+    (Atomic.get t.imply_checkpoints)
+    (Atomic.get t.speculative_wasted)
+    (Atomic.get t.degradations)
+    (Atomic.get t.filter_seconds)
+    (Atomic.get t.division_seconds)
+    (Atomic.get t.speculative_seconds)
 
 let to_json t =
   Printf.sprintf
@@ -104,8 +133,18 @@ let to_json t =
      \"passes\": %d, \"pass_divisions\": [%s], \
      \"filter_seconds\": %.6f, \"division_seconds\": %.6f, \
      \"speculative_seconds\": %.6f}"
-    t.pairs_considered t.pairs_filtered t.divisions_attempted t.substitutions
-    t.memo_hits t.memo_misses t.imply_creates t.imply_resets
-    t.imply_checkpoints t.speculative_wasted t.degradations t.passes
-    (pass_divisions_string t) t.filter_seconds t.division_seconds
-    t.speculative_seconds
+    (Atomic.get t.pairs_considered)
+    (Atomic.get t.pairs_filtered)
+    (Atomic.get t.divisions_attempted)
+    (Atomic.get t.substitutions)
+    (Atomic.get t.memo_hits) (Atomic.get t.memo_misses)
+    (Atomic.get t.imply_creates)
+    (Atomic.get t.imply_resets)
+    (Atomic.get t.imply_checkpoints)
+    (Atomic.get t.speculative_wasted)
+    (Atomic.get t.degradations)
+    (Atomic.get t.passes)
+    (pass_divisions_string t)
+    (Atomic.get t.filter_seconds)
+    (Atomic.get t.division_seconds)
+    (Atomic.get t.speculative_seconds)

@@ -1,56 +1,69 @@
 (** Shared performance counters for the substitution pipelines.
 
-    One mutable record threaded through a resubstitution run so the cost
-    of divisor filtering and implication work is observable: how many
+    One record threaded through a resubstitution run so the cost of
+    divisor filtering and implication work is observable: how many
     (dividend, divisor) pairs were examined, how many the
     signature/structural filter rejected before any division ran, how
     many divisions were actually attempted and committed, how often the
-    implication arena was rebuilt from scratch versus reset in place, how
-    much speculative parallel work was discarded, and the wall-clock
+    implication arena was rebuilt from scratch versus reset in place,
+    how much speculative parallel work was discarded, and the wall-clock
     split between the phases.
 
-    The record is single-writer: parallel workers tally into private
-    records which the driver folds in with {!accumulate} after the
-    batch. *)
+    Every scalar tally is an {!Atomic.t}, so a single record is safe to
+    update from concurrent worker domains of the sharded drivers — no
+    update can be lost. Workers normally still tally into private
+    records which the driver folds in with {!accumulate} at region
+    commit (that keeps per-worker figures attributable); atomicity
+    covers the shared-record paths. The one structured field,
+    [pass_divisions], is owned by the driver's fixpoint loop alone and
+    must not be written from workers. *)
 
 type t = {
-  mutable pairs_considered : int;
-  mutable pairs_filtered : int;  (** rejected before any division *)
-  mutable divisions_attempted : int;
-  mutable substitutions : int;  (** committed rewrites *)
-  mutable memo_hits : int;
+  pairs_considered : int Atomic.t;
+  pairs_filtered : int Atomic.t;  (** rejected before any division *)
+  divisions_attempted : int Atomic.t;
+  substitutions : int Atomic.t;  (** committed rewrites *)
+  memo_hits : int Atomic.t;
       (** division attempts skipped because the memo proved the previous
           failure would replay unchanged *)
-  mutable memo_misses : int;
+  memo_misses : int Atomic.t;
       (** division attempts that ran for real while the memo was on *)
-  mutable imply_creates : int;
+  imply_creates : int Atomic.t;
       (** implication arenas built (or rebuilt after a mutation) *)
-  mutable imply_resets : int;
+  imply_resets : int Atomic.t;
       (** trail-based arena reuses between redundancy tests *)
-  mutable imply_checkpoints : int;
+  imply_checkpoints : int Atomic.t;
       (** trail rewinds to a checkpoint instead of a full reset+replay *)
-  mutable speculative_wasted : int;
-      (** parallel division evaluations discarded because an
-          earlier-ranked candidate committed first *)
-  mutable degradations : int;
+  speculative_wasted : int Atomic.t;
+      (** parallel evaluations discarded because an earlier-ranked
+          candidate committed first *)
+  degradations : int Atomic.t;
       (** budget exhaustions absorbed by falling back to a weaker result
           (redundancy scan cut short, vote table truncated, unit
           skipped) instead of aborting the run *)
-  mutable passes : int;  (** fixpoint passes executed by the driver *)
+  passes : int Atomic.t;  (** fixpoint passes executed by the driver *)
   mutable pass_divisions : int list;
       (** divisions_attempted per pass, oldest pass first; when
-          accumulated across circuits the lists are summed index-wise *)
-  mutable filter_seconds : float;
-  mutable division_seconds : float;
-  mutable speculative_seconds : float;
+          accumulated across circuits the lists are summed index-wise.
+          Driver-owned: never written by worker domains. *)
+  filter_seconds : float Atomic.t;
+  division_seconds : float Atomic.t;
+  speculative_seconds : float Atomic.t;
       (** wall-clock spent inside the discarded evaluations *)
 }
 
 val create : unit -> t
 (** All-zero counters. *)
 
+val add : int Atomic.t -> int -> unit
+(** Atomic fetch-and-add; [add cell 1] is the idiomatic increment. *)
+
+val add_seconds : float Atomic.t -> float -> unit
+(** Atomic add for the float buckets (compare-and-set retry loop). *)
+
 val accumulate : t -> t -> unit
-(** [accumulate dst src] adds [src]'s tallies into [dst]. *)
+(** [accumulate dst src] adds [src]'s tallies into [dst] ([passes] takes
+    the max, [pass_divisions] sums index-wise). *)
 
 val timed : t -> [ `Filter | `Division | `Speculative ] -> (unit -> 'a) -> 'a
 (** Run a thunk and add its elapsed wall-clock time to the chosen

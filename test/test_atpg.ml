@@ -774,9 +774,9 @@ let test_arena_reset_matches_fresh () =
         (Fault.all_wires net id))
     (Network.logic_ids net);
   Alcotest.(check bool) "resets counted" true
-    (counters.Rar_util.Counters.imply_resets > 0);
+    (Atomic.get counters.Rar_util.Counters.imply_resets > 0);
   Alcotest.(check int) "one structural build" 1
-    counters.Rar_util.Counters.imply_creates
+    (Atomic.get counters.Rar_util.Counters.imply_creates)
 
 (* A reset after the network mutates must rebuild the arena. *)
 let test_arena_rebuild_on_mutation () =
@@ -795,7 +795,7 @@ let test_arena_rebuild_on_mutation () =
     (Cover.of_cubes [ List.hd (Cover.cubes (Network.cover net g)) ]);
   Imply.reset engine;
   Alcotest.(check int) "rebuild counted as create" 2
-    counters.Rar_util.Counters.imply_creates;
+    (Atomic.get counters.Rar_util.Counters.imply_creates);
   let fresh = Imply.create net in
   Imply.assign_node engine g true;
   Imply.assign_node fresh g true;

@@ -554,7 +554,7 @@ let test_degraded_run_preserves_equivalence () =
   in
   Network.check net;
   Alcotest.(check bool) "degradations recorded" true
-    (counters.Rar_util.Counters.degradations > 0);
+    (Atomic.get counters.Rar_util.Counters.degradations > 0);
   Alcotest.(check bool) "never grows even degraded" true
     (stats.literals_after <= stats.literals_before);
   Alcotest.(check bool) "BDD-equivalent after degraded run" true

@@ -72,9 +72,9 @@ let differential ~label ~jobs_on run () =
       let c_on = Counters.create () and c_off = Counters.create () in
       run ~use_memo:true ~jobs:jobs_on ~counters:c_on on;
       run ~use_memo:false ~jobs:1 ~counters:c_off off;
-      hits_on := !hits_on + c_on.Counters.memo_hits;
+      hits_on := !hits_on + Atomic.get c_on.Counters.memo_hits;
       ticks_off :=
-        !ticks_off + c_off.Counters.memo_hits + c_off.Counters.memo_misses;
+        !ticks_off + Atomic.get c_off.Counters.memo_hits + Atomic.get c_off.Counters.memo_misses;
       check_identical
         ~label:(Printf.sprintf "%s/%s" label name)
         ~reference:net on off)
@@ -103,9 +103,9 @@ let pass_trajectory () =
     counters
   in
   let c_on = run true and c_off = run false in
-  Alcotest.(check bool) "multiple passes ran" true (c_on.Counters.passes >= 2);
+  Alcotest.(check bool) "multiple passes ran" true (Atomic.get c_on.Counters.passes >= 2);
   Alcotest.(check int)
-    "same pass count either way" c_off.Counters.passes c_on.Counters.passes;
+    "same pass count either way" (Atomic.get c_off.Counters.passes) (Atomic.get c_on.Counters.passes);
   let late l = match l with [] -> [] | _ :: tl -> tl in
   let sum = List.fold_left ( + ) 0 in
   Alcotest.(check bool)
@@ -114,7 +114,7 @@ let pass_trajectory () =
     < sum (late c_off.Counters.pass_divisions)
     || sum (late c_off.Counters.pass_divisions) = 0);
   Alcotest.(check bool) "memo hit on later passes" true
-    (c_on.Counters.memo_hits > 0)
+    (Atomic.get c_on.Counters.memo_hits > 0)
 
 let () =
   Alcotest.run "memo"

@@ -197,11 +197,11 @@ let test_filter_soundness () =
       let open Rar_util.Counters in
       Alcotest.(check bool)
         "filtered pairs bounded by considered" true
-        (stats_on.Booldiv.Substitute.counters.pairs_filtered
-        <= stats_on.Booldiv.Substitute.counters.pairs_considered);
+        (Atomic.get stats_on.Booldiv.Substitute.counters.pairs_filtered
+        <= Atomic.get stats_on.Booldiv.Substitute.counters.pairs_considered);
       Alcotest.(check bool)
         "unfiltered run also counts pairs" true
-        (stats_off.Booldiv.Substitute.counters.pairs_considered > 0))
+        (Atomic.get stats_off.Booldiv.Substitute.counters.pairs_considered > 0))
     (List.filter
        (fun r -> List.mem r.Suite.name [ "c17"; "alu_slice"; "b9" ])
        Suite.quick_rows)

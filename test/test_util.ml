@@ -289,23 +289,49 @@ let test_counters_timed_exception_safe () =
   | exception Failure msg ->
     Alcotest.(check string) "exception preserved" "division blew up" msg);
   Alcotest.(check bool) "time recorded despite raise" true
-    (c.Counters.division_seconds >= 0.0);
-  let before = c.Counters.speculative_seconds in
+    (Atomic.get c.Counters.division_seconds >= 0.0);
+  let before = Atomic.get c.Counters.speculative_seconds in
   Alcotest.(check int) "result passthrough" 5
     (Counters.timed c `Speculative (fun () -> 5));
   Alcotest.(check bool) "speculative bucket" true
-    (c.Counters.speculative_seconds >= before)
+    (Atomic.get c.Counters.speculative_seconds >= before)
 
 let test_counters_degradations_accumulate () =
   let a = Counters.create () and b = Counters.create () in
-  a.Counters.degradations <- 2;
-  b.Counters.degradations <- 3;
-  b.Counters.substitutions <- 1;
+  Counters.add a.Counters.degradations 2;
+  Counters.add b.Counters.degradations 3;
+  Counters.add b.Counters.substitutions 1;
   Counters.accumulate a b;
-  Alcotest.(check int) "degradations folded" 5 a.Counters.degradations;
-  Alcotest.(check int) "substitutions folded" 1 a.Counters.substitutions;
+  Alcotest.(check int) "degradations folded" 5
+    (Atomic.get a.Counters.degradations);
+  Alcotest.(check int) "substitutions folded" 1
+    (Atomic.get a.Counters.substitutions);
   (* The counters snapshot embedded in traces must itself lint. *)
   Alcotest.(check bool) "to_json lints" true (Trace.lint (Counters.to_json a) = Ok ())
+
+(* Domain-safety: 8 domains hammering ONE record must lose no update.
+   This is exactly the sharded drivers' shared-record path. *)
+let test_counters_domain_safe () =
+  let c = Counters.create () in
+  let domains = 8 and per_domain = 10_000 in
+  let spawned =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Counters.add c.Counters.pairs_considered 1;
+              Counters.add c.Counters.divisions_attempted 2;
+              Counters.add_seconds c.Counters.division_seconds 0.5
+            done))
+  in
+  List.iter Domain.join spawned;
+  Alcotest.(check int) "no lost increments" (domains * per_domain)
+    (Atomic.get c.Counters.pairs_considered);
+  Alcotest.(check int) "no lost adds"
+    (2 * domains * per_domain)
+    (Atomic.get c.Counters.divisions_attempted);
+  Alcotest.(check (float 1e-6)) "no lost float adds"
+    (0.5 *. float_of_int (domains * per_domain))
+    (Atomic.get c.Counters.division_seconds)
 
 let () =
   Alcotest.run "util"
@@ -347,5 +373,7 @@ let () =
             test_counters_timed_exception_safe;
           Alcotest.test_case "degradations accumulate" `Quick
             test_counters_degradations_accumulate;
+          Alcotest.test_case "8-domain hammer loses nothing" `Quick
+            test_counters_domain_safe;
         ] );
     ]
