@@ -1,4 +1,4 @@
-.PHONY: all test bench shardcheck tracecheck memocheck cubeops ci doc clean
+.PHONY: all test bench shardcheck tracecheck memocheck cubeops servicecheck bench-service ci doc clean
 
 all:
 	dune build @all
@@ -30,10 +30,26 @@ memocheck:
 cubeops:
 	dune exec bench/main.exe -- cubeops
 
+# Resident-service gate: start an in-process rarsubd, run a scripted
+# miss/hit/bypass sequence over the quick cells, assert every response
+# is byte-identical to the cold reference run, the cache counters are
+# exact, and malformed/oversized frames are refused without downing the
+# daemon.
+servicecheck:
+	dune exec bench/main.exe -- servicecheck quick
+
+# Throughput/latency snapshot for the resident service: one cold pass,
+# then 8 concurrent clients replaying the workload warm. Writes
+# BENCH_service.json (committed); fails if warm repeats are not at
+# least 5x faster than cold.
+bench-service:
+	dune exec bench/main.exe -- service quick
+
 # Full local CI: build, tests, the jobs=1 vs jobs=max determinism gate
 # (literal totals must be identical), the shardcheck jobs-x-memo grid
 # gate (pinned quick totals), the degraded-run/trace gate, the
-# memo bit-identity gate, the cube-kernel microbenchmark, and the quick
+# memo bit-identity gate, the cube-kernel microbenchmark, the resident-
+# service miss/hit byte-identity gate, and the quick
 # machine-readable perf snapshot (writes BENCH_resub.json for cross-PR
 # trajectory tracking; fails if total cpu_seconds — including the
 # multi-pass script benchmark — regresses >20% vs the previous snapshot
@@ -46,6 +62,7 @@ ci:
 	dune exec bench/main.exe -- tracecheck quick
 	dune exec bench/main.exe -- memocheck quick
 	dune exec bench/main.exe -- cubeops
+	dune exec bench/main.exe -- servicecheck quick
 	dune exec bench/main.exe -- bench quick
 
 bench:

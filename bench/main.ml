@@ -12,13 +12,17 @@
      main.exe tracecheck quick degraded-run + trace JSON-lines gate
      main.exe memocheck quick memo-on vs --no-memo bit-identity gate
      main.exe cubeops         packed-kernel vs list-cube microbenchmark
+     main.exe servicecheck quick  daemon miss/hit + byte-identity gate
+     main.exe service quick   daemon throughput snapshot (BENCH_service.json)
    Sections: fig1 fig2 table1 fig4 table2 table3 table4 table5 ablation
    bech bench jobscheck shardcheck tracecheck memocheck cubeops
-   Options (key=value): jobs=N (bench parallelism, default 1; snapshots at
-   jobs=1 are gated >20%% CPU-regression against the previous file, and
-   jobs>1 snapshots >20%% wall-clock regression against a previous
-   snapshot taken at the same job count), sim-seed=N (signature-filter
-   seed). *)
+   servicecheck service
+   Options (key=value): jobs=N (bench parallelism, default 1, 0 = one per
+   core; snapshots at jobs=1 are gated >20%% CPU-regression against the
+   previous file, and jobs>1 snapshots >20%% wall-clock regression
+   against a previous snapshot taken at the same job count), sim-seed=N
+   (signature-filter seed), clients=N (service bench concurrency,
+   default 8). *)
 
 open Twolevel
 module Network = Logic_network.Network
@@ -1395,6 +1399,276 @@ let bechamel () =
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
 (* ------------------------------------------------------------------ *)
+(* service - resident-daemon gate and throughput/latency snapshot      *)
+(* ------------------------------------------------------------------ *)
+
+module Protocol = Rar_service.Protocol
+module Server = Rar_service.Server
+
+(* One request per quick (circuit, method) cell, script A — the same
+   shape as the comparison tables, so cold latencies line up with the
+   familiar per-cell costs. *)
+let service_workload rows =
+  List.concat_map
+    (fun row ->
+      let blif = Logic_network.Blif.to_string (Suite.build row) in
+      List.map
+        (fun meth ->
+          ( Printf.sprintf "%s/%s" row.Suite.name meth,
+            { (Protocol.default_request ~blif) with Protocol.meth } ))
+        [ "resub"; "ext" ])
+    rows
+
+let service_socket () =
+  let path = Filename.temp_file "rarsubd" ".sock" in
+  Sys.remove path;
+  path
+
+(* The CI gate: a scripted miss/hit sequence against a live daemon.
+   Every response must be byte-identical to [Job.run_cold] (the exact
+   code a cold CLI run executes), the hit/miss flags and cache counters
+   must match the script, and a malformed or oversized frame must get a
+   clean refusal without taking the daemon down. *)
+let service_check rows =
+  section "servicecheck - daemon miss/hit sequence vs cold references";
+  let socket = service_socket () in
+  let workload = service_workload rows in
+  let failures = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> incr failures; Printf.printf "  FAILED %s\n" m) fmt in
+  let trace_path = Filename.temp_file "rarsubd" ".trace" in
+  let trace = Rar_util.Trace.to_file trace_path in
+  let config =
+    { (Server.default_config ~socket_path:socket) with Server.trace }
+  in
+  Server.with_server config (fun server ->
+      List.iter
+        (fun (label, request) ->
+          let reference =
+            match Rar_service.Job.run_cold request with
+            | Ok entry -> entry.Rar_service.Cache.blif
+            | Error m -> failwith m
+          in
+          let submit request expect_hit tag =
+            match Server.Client.round_trip ~timeout:120.0 ~socket request with
+            | Protocol.Refused m -> fail "%s %s: refused: %s" label tag m
+            | Protocol.Result { blif; cache_hit; _ } ->
+              if not (String.equal blif reference) then
+                fail "%s %s: bytes differ from the cold run" label tag;
+              if cache_hit <> expect_hit then
+                fail "%s %s: cache_hit=%b, expected %b" label tag cache_hit
+                  expect_hit
+          in
+          submit request false "miss";
+          submit request true "hit";
+          submit
+            { request with Protocol.use_cache = false }
+            false "bypass";
+          Printf.printf "  %-24s miss/hit/bypass byte-identical\n" label)
+        workload;
+      (* Framing abuse: a garbage frame and an oversized frame must each
+         draw a clean [Refused] reply, and the daemon must keep serving. *)
+      let raw_connect () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        fd
+      in
+      let expect_refusal tag send =
+        let fd = raw_connect () in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            send fd;
+            match Protocol.read_frame fd with
+            | None -> fail "%s: connection closed with no reply" tag
+            | Some payload -> (
+              match Protocol.decode_response payload with
+              | Ok (Protocol.Refused _) ->
+                Printf.printf "  %-24s cleanly refused\n" tag
+              | Ok (Protocol.Result _) -> fail "%s: accepted!" tag
+              | Error m -> fail "%s: unreadable reply: %s" tag m))
+      in
+      expect_refusal "garbage frame" (fun fd ->
+          Protocol.write_frame fd "not a rarsub frame at all");
+      expect_refusal "oversized frame" (fun fd ->
+          let header = Bytes.create 4 in
+          let len = Protocol.default_max_frame + 1 in
+          Bytes.set header 0 (Char.chr ((len lsr 24) land 0xff));
+          Bytes.set header 1 (Char.chr ((len lsr 16) land 0xff));
+          Bytes.set header 2 (Char.chr ((len lsr 8) land 0xff));
+          Bytes.set header 3 (Char.chr (len land 0xff));
+          ignore (Unix.write fd header 0 4));
+      (* Still alive after the abuse? *)
+      (match workload with
+      | (label, request) :: _ -> (
+        match Server.Client.round_trip ~timeout:120.0 ~socket request with
+        | Protocol.Result { cache_hit = true; _ } ->
+          Printf.printf "  daemon still serving (hit on %s)\n" label
+        | Protocol.Result _ -> fail "post-abuse %s: expected a cache hit" label
+        | Protocol.Refused m -> fail "post-abuse %s: refused: %s" label m)
+      | [] -> ());
+      let n = List.length workload in
+      let stats = Server.stats server in
+      (match stats.Server.cache with
+      | None -> fail "cache disabled in servicecheck config"
+      | Some c ->
+        (* n misses, then n hits, (bypasses touch no counter), plus the
+           post-abuse hit. *)
+        if c.Rar_service.Cache.hits <> n + 1 || c.Rar_service.Cache.misses <> n
+        then
+          fail "cache counters hits=%d misses=%d, expected %d/%d"
+            c.Rar_service.Cache.hits c.Rar_service.Cache.misses (n + 1) n
+        else
+          Printf.printf "  cache counters: %d hits, %d misses, %d insertions\n"
+            c.Rar_service.Cache.hits c.Rar_service.Cache.misses
+            c.Rar_service.Cache.insertions));
+  (* The trace file must lint line by line and reconstruct a complete
+     timeline per job id: job_queued, then (for cached jobs) exactly one
+     cache_hit or cache_miss, then job_done. *)
+  Rar_util.Trace.close trace;
+  let timelines = Hashtbl.create 64 in
+  let ic = open_in trace_path in
+  (try
+     while true do
+       let line = input_line ic in
+       match Rar_util.Trace.fields_of_line line with
+       | None -> fail "trace line does not lint: %s" line
+       | Some fields -> (
+         match (List.assoc_opt "event" fields, List.assoc_opt "job" fields) with
+         | Some (`String event), Some (`Int job) ->
+           Hashtbl.replace timelines job
+             (event :: (try Hashtbl.find timelines job with Not_found -> []))
+         | _ -> ())
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove trace_path;
+  let n = List.length workload in
+  (* 3n submissions + the post-abuse probe, job ids 0 .. 3n. *)
+  let expected_jobs = (3 * n) + 1 in
+  if Hashtbl.length timelines <> expected_jobs then
+    fail "trace covers %d job ids, expected %d" (Hashtbl.length timelines)
+      expected_jobs;
+  Hashtbl.iter
+    (fun job events ->
+      match List.rev events with
+      | "job_queued" :: middle ->
+        (match List.rev middle with
+        | "job_done" :: cache_events -> (
+          match cache_events with
+          | [] | [ "cache_hit" ] | [ "cache_miss" ] -> ()
+          | _ ->
+            fail "job %d: unexpected cache events %s" job
+              (String.concat "," cache_events))
+        | _ -> fail "job %d: timeline does not end with job_done" job)
+      | _ -> fail "job %d: timeline does not start with job_queued" job)
+    timelines;
+  if !failures = 0 then
+    Printf.printf "  trace: %d per-job timelines complete and linted\n"
+      (Hashtbl.length timelines);
+  if !failures > 0 then begin
+    Printf.printf "servicecheck: %d check(s) FAILED\n" !failures;
+    exit 8
+  end
+  else Printf.printf "servicecheck: every response byte-identical, counters exact\n"
+
+(* The throughput/latency snapshot: a cold pass (fresh daemon, every
+   job a miss) then [clients] concurrent connections replaying the same
+   workload [rounds] times (every job a hit). Writes BENCH_service.json. *)
+let service_bench ?(clients = 8) ?(rounds = 5) rows =
+  section
+    (Printf.sprintf "service bench - %d concurrent clients -> BENCH_service.json"
+       clients);
+  let socket = service_socket () in
+  let workload = service_workload rows in
+  let config = Server.default_config ~socket_path:socket in
+  let cold, warm, warm_wall, stats =
+    Server.with_server config (fun server ->
+        let run_one conn request expect_hit =
+          let reply, seconds =
+            Rar_util.Stopwatch.time (fun () ->
+                Server.Client.request conn request)
+          in
+          (match reply with
+          | Protocol.Refused m -> failwith ("service bench: refused: " ^ m)
+          | Protocol.Result { cache_hit; _ } ->
+            if cache_hit <> expect_hit then
+              failwith
+                (Printf.sprintf "service bench: cache_hit=%b, expected %b"
+                   cache_hit expect_hit));
+          seconds
+        in
+        let cold =
+          let conn = Server.Client.connect ~timeout:300.0 socket in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close conn)
+            (fun () ->
+              List.map
+                (fun (_, request) -> run_one conn request false)
+                workload)
+        in
+        let warm_client () =
+          let conn = Server.Client.connect ~timeout:300.0 socket in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close conn)
+            (fun () ->
+              List.concat_map
+                (fun _ ->
+                  List.map
+                    (fun (_, request) -> run_one conn request true)
+                    workload)
+                (List.init rounds Fun.id))
+        in
+        let (per_client : float list list), warm_wall =
+          Rar_util.Stopwatch.time (fun () ->
+              List.map Domain.join
+                (List.init clients (fun _ -> Domain.spawn warm_client)))
+        in
+        (cold, List.concat per_client, warm_wall, Server.stats server))
+  in
+  let summarize l = Rar_util.Stopwatch.summarize (Array.of_list l) in
+  let cold_s = summarize cold and warm_s = summarize warm in
+  let warm_jobs = List.length warm in
+  let jobs_per_sec = float_of_int warm_jobs /. warm_wall in
+  let speedup = cold_s.Rar_util.Stopwatch.mean /. warm_s.Rar_util.Stopwatch.mean in
+  Printf.printf "  unique jobs: %d   warm jobs: %d (%d clients x %d rounds)\n"
+    (List.length workload) warm_jobs clients rounds;
+  Printf.printf "  cold: mean %.4fs  p50 %.4fs  p99 %.4fs\n"
+    cold_s.Rar_util.Stopwatch.mean cold_s.Rar_util.Stopwatch.p50
+    cold_s.Rar_util.Stopwatch.p99;
+  Printf.printf "  warm: mean %.6fs  p50 %.6fs  p99 %.6fs\n"
+    warm_s.Rar_util.Stopwatch.mean warm_s.Rar_util.Stopwatch.p50
+    warm_s.Rar_util.Stopwatch.p99;
+  Printf.printf "  throughput: %.0f jobs/sec   cold-vs-warm speedup: %.1fx\n"
+    jobs_per_sec speedup;
+  let oc = open_out "BENCH_service.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"clients\": %d,\n\
+    \  \"rounds\": %d,\n\
+    \  \"unique_jobs\": %d,\n\
+    \  \"warm_jobs\": %d,\n\
+    \  \"jobs_per_sec\": %.1f,\n\
+    \  \"cold\": %s,\n\
+    \  \"warm\": %s,\n\
+    \  \"cold_vs_warm_speedup\": %.1f,\n\
+    \  \"cache\": %s\n\
+     }\n"
+    clients rounds (List.length workload) warm_jobs jobs_per_sec
+    (Rar_util.Stopwatch.summary_to_json cold_s)
+    (Rar_util.Stopwatch.summary_to_json warm_s)
+    speedup
+    (match stats.Server.cache with
+    | Some c -> Rar_service.Cache.to_json c
+    | None -> "null");
+  close_out oc;
+  Printf.printf "wrote BENCH_service.json\n";
+  if speedup < 5.0 then begin
+    Printf.printf
+      "service bench: warm repeats only %.1fx faster than cold (gate: 5x)\n"
+      speedup;
+    exit 9
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1412,8 +1686,18 @@ let () =
   in
   let jobs =
     List.fold_left
-      (fun acc tok -> match kv "jobs" tok with Some n -> max 1 n | None -> acc)
+      (fun acc tok ->
+        match kv "jobs" tok with
+        | Some 0 -> Rar_util.Pool.default_jobs ()
+        | Some n -> max 1 n
+        | None -> acc)
       1 args
+  in
+  let clients =
+    List.fold_left
+      (fun acc tok ->
+        match kv "clients" tok with Some n -> max 1 n | None -> acc)
+      8 args
   in
   let sim_seed =
     List.fold_left
@@ -1423,7 +1707,9 @@ let () =
   in
   let args =
     List.filter
-      (fun tok -> kv "jobs" tok = None && kv "sim-seed" tok = None)
+      (fun tok ->
+        kv "jobs" tok = None && kv "sim-seed" tok = None
+        && kv "clients" tok = None)
       args
   in
   let quick = List.mem "quick" args in
@@ -1453,6 +1739,8 @@ let () =
   if List.mem "tracecheck" explicit then trace_check rows;
   if List.mem "memocheck" explicit then memo_check rows;
   if List.mem "cubeops" explicit then cubeops_report ();
+  if List.mem "servicecheck" explicit then service_check rows;
+  if List.mem "service" explicit then service_bench ~clients rows;
   (* JSON snapshot only on explicit request: it is a CI artifact, not part
      of the default figure/table regeneration. *)
   if List.mem "bench" explicit then bench_json ~jobs ?sim_seed rows

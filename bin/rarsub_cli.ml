@@ -159,6 +159,7 @@ let optimize_cmd =
       let counters = Rar_util.Counters.create () in
       let jobs =
         match jobs with
+        | Some 0 -> Rar_util.Pool.default_jobs ()
         | Some n -> max 1 n
         | None -> 1
       in
@@ -237,7 +238,7 @@ let optimize_cmd =
           ~doc:
             "Evaluate ranked divisor candidates speculatively on $(docv) \
              domains (default 1). Results are bit-identical for any value; \
-             use 0 or a negative value for 1.")
+             $(b,0) means one domain per core, negative values mean 1.")
   in
   let sim_seed_arg =
     Arg.(
@@ -300,9 +301,168 @@ let optimize_cmd =
       $ fault_budget_arg $ deadline_arg $ trace_arg $ output_arg
       $ verify_flag $ verbose_flag)
 
+(* ------------------------------------------------------------------ *)
+(* client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Submit one job to a running rarsubd and print the optimised BLIF on
+   stdout (stderr carries the summary, so stdout pipes clean). The
+   request mirrors the optimize flags; the daemon guarantees the reply
+   is byte-identical to the corresponding cold [optimize -o] run. *)
+let client_cmd =
+  let read_all ic =
+    let buf = Buffer.create 4096 in
+    (try
+       while true do
+         Buffer.add_channel buf ic 4096
+       done
+     with End_of_file -> ());
+    buf
+  in
+  let run socket circuit file script method_name no_filter no_memo jobs
+      sim_seed fault_budget deadline no_cache timeout output =
+    let blif =
+      match (circuit, file) with
+      | None, None -> Ok (Buffer.contents (read_all stdin))
+      | _ ->
+        Result.map
+          (fun net -> Logic_network.Blif.to_string net)
+          (load ~circuit ~file)
+    in
+    match blif with
+    | Error (code, msg) ->
+      prerr_endline msg;
+      code
+    | Ok blif -> (
+      let request =
+        {
+          (Rar_service.Protocol.default_request ~blif) with
+          script;
+          meth = method_name;
+          use_filter = not no_filter;
+          use_memo = not no_memo;
+          jobs = (match jobs with Some n -> max 0 n | None -> 1);
+          sim_seed;
+          fault_budget;
+          deadline;
+          use_cache = not no_cache;
+        }
+      in
+      match Rar_service.Server.Client.round_trip ?timeout ~socket request with
+      | exception Rar_service.Server.Client.Timeout ->
+        prerr_endline "rarsub client: timed out waiting for the daemon";
+        3
+      | exception Unix.Unix_error (err, _, _) ->
+        Printf.eprintf "rarsub client: %s: %s\n" socket
+          (Unix.error_message err);
+        3
+      | exception Rar_service.Protocol.Frame_error msg ->
+        Printf.eprintf "rarsub client: protocol error: %s\n" msg;
+        3
+      | Rar_service.Protocol.Refused message ->
+        Printf.eprintf "rarsub client: refused: %s\n" message;
+        2
+      | Rar_service.Protocol.Result { blif; literals; cache_hit; _ } ->
+        Printf.eprintf "literals: %d (%s)\n" literals
+          (if cache_hit then "cache hit" else "cache miss");
+        (match output with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc blif;
+          close_out oc
+        | None -> print_string blif);
+        0)
+  in
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"The rarsubd Unix-domain socket.")
+  in
+  let script_arg =
+    Arg.(
+      value
+      & opt (enum (List.map (fun (n, _) -> (n, n)) scripts)) "a"
+      & info [ "s"; "script" ] ~docv:"SCRIPT" ~doc:"Starting script.")
+  in
+  let method_arg =
+    Arg.(
+      value
+      & opt (enum (List.map (fun (n, _) -> (n, n)) resubs)) "ext"
+      & info [ "m"; "method" ] ~docv:"METHOD" ~doc:"Resubstitution method.")
+  in
+  let no_filter_flag =
+    Arg.(value & flag & info [ "no-filter" ] ~doc:"Disable the divisor filter.")
+  in
+  let no_memo_flag =
+    Arg.(value & flag & info [ "no-memo" ] ~doc:"Disable the division memo.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains the job may use (default 1; $(b,0) means one \
+             per daemon core). Output bytes are identical for any value.")
+  in
+  let sim_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sim-seed" ] ~docv:"SEED"
+          ~doc:"RNG seed for the divisor filter (default: the daemon's).")
+  in
+  let fault_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-budget" ] ~docv:"N"
+          ~doc:"Cap the implication steps per division attempt.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Soft wall-clock limit for the job. Deadline jobs are never \
+             served from or stored into the result cache.")
+  in
+  let no_cache_flag =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Bypass the daemon's result cache for this job.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Give up if the daemon has not replied within $(docv).")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the result BLIF to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Submit a job to a running rarsubd (reads BLIF from stdin unless \
+          $(b,-c)/$(b,-f) is given).")
+    Term.(
+      const run $ socket_arg $ circuit_arg $ file_arg $ script_arg
+      $ method_arg $ no_filter_flag $ no_memo_flag $ jobs_arg $ sim_seed_arg
+      $ fault_budget_arg $ deadline_arg $ no_cache_flag $ timeout_arg
+      $ output_arg)
+
 let () =
   let info =
     Cmd.info "rarsub" ~version:"1.0.0"
       ~doc:"Boolean division and substitution via redundancy addition and removal."
   in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; show_cmd; optimize_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; show_cmd; optimize_cmd; client_cmd ]))

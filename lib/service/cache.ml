@@ -1,0 +1,141 @@
+type config = { max_entries : int; max_bytes : int }
+
+let default_config = { max_entries = 512; max_bytes = 64 * 1024 * 1024 }
+
+type entry = { blif : string; literals : int; counters : string }
+
+type slot = { entry : entry; bytes : int; mutable stamp : int }
+
+type stripe = {
+  lock : Mutex.t;
+  slots : (string, slot) Hashtbl.t;
+  mutable stripe_bytes : int;
+}
+
+let n_stripes = 16
+
+type t = {
+  config : config;
+  stripes : stripe array;
+  clock : int Atomic.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  insertions : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+let create config =
+  {
+    config;
+    stripes =
+      Array.init n_stripes (fun _ ->
+          { lock = Mutex.create (); slots = Hashtbl.create 31; stripe_bytes = 0 });
+    clock = Atomic.make 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    insertions = Atomic.make 0;
+    evictions = Atomic.make 0;
+  }
+
+let stripe_of t key = t.stripes.(Hashtbl.hash key land (n_stripes - 1))
+
+let with_lock lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let tick t = Atomic.fetch_and_add t.clock 1
+
+(* Per-stripe budgets round up so tiny global budgets still admit one
+   entry per stripe. *)
+let stripe_max_entries t = max 1 ((t.config.max_entries + n_stripes - 1) / n_stripes)
+
+let stripe_max_bytes t = max 1 ((t.config.max_bytes + n_stripes - 1) / n_stripes)
+
+let entry_bytes key e =
+  (* Rough live-heap footprint: the strings plus bookkeeping. *)
+  String.length key + String.length e.blif + String.length e.counters + 64
+
+let find t key =
+  let s = stripe_of t key in
+  let result =
+    with_lock s.lock (fun () ->
+        match Hashtbl.find_opt s.slots key with
+        | None -> None
+        | Some slot ->
+          slot.stamp <- tick t;
+          Some slot.entry)
+  in
+  (match result with
+  | Some _ -> Atomic.incr t.hits
+  | None -> Atomic.incr t.misses);
+  result
+
+let evict_lru t s =
+  (* O(stripe) scan per eviction: stripes hold at most a few dozen
+     entries, and eviction is off every fast path (insert only). *)
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key slot ->
+      match !victim with
+      | Some (_, best) when best.stamp <= slot.stamp -> ()
+      | _ -> victim := Some (key, slot))
+    s.slots;
+  match !victim with
+  | None -> ()
+  | Some (key, slot) ->
+    Hashtbl.remove s.slots key;
+    s.stripe_bytes <- s.stripe_bytes - slot.bytes;
+    Atomic.incr t.evictions
+
+let add t key entry =
+  let bytes = entry_bytes key entry in
+  if bytes <= stripe_max_bytes t then begin
+    let s = stripe_of t key in
+    with_lock s.lock (fun () ->
+        (match Hashtbl.find_opt s.slots key with
+        | Some old ->
+          Hashtbl.remove s.slots key;
+          s.stripe_bytes <- s.stripe_bytes - old.bytes
+        | None -> ());
+        Hashtbl.replace s.slots key { entry; bytes; stamp = tick t };
+        s.stripe_bytes <- s.stripe_bytes + bytes;
+        Atomic.incr t.insertions;
+        while
+          Hashtbl.length s.slots > stripe_max_entries t
+          || s.stripe_bytes > stripe_max_bytes t
+        do
+          evict_lru t s
+        done)
+  end
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+}
+
+let stats t =
+  let entries = ref 0 and bytes = ref 0 in
+  Array.iter
+    (fun s ->
+      with_lock s.lock (fun () ->
+          entries := !entries + Hashtbl.length s.slots;
+          bytes := !bytes + s.stripe_bytes))
+    t.stripes;
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    insertions = Atomic.get t.insertions;
+    evictions = Atomic.get t.evictions;
+    entries = !entries;
+    bytes = !bytes;
+  }
+
+let to_json s =
+  Printf.sprintf
+    "{\"hits\": %d, \"misses\": %d, \"insertions\": %d, \"evictions\": %d, \
+     \"entries\": %d, \"bytes\": %d}"
+    s.hits s.misses s.insertions s.evictions s.entries s.bytes

@@ -7,6 +7,9 @@ type t = {
   mutable next : int;  (* next unclaimed task index *)
   mutable pending : int;  (* claimed-or-unclaimed tasks not yet finished *)
   mutable escaped : exn option;  (* first exception a task let escape *)
+  queue : (unit -> unit) Queue.t;  (* submitted (non-batch) tasks *)
+  mutable queued_pending : int;  (* submitted tasks not yet finished *)
+  mutable queued_escaped : exn option;  (* first exception a submitted task let escape *)
   mutable stop : bool;
   mutable workers : unit Domain.t list;
 }
@@ -47,6 +50,25 @@ let exec_task t i =
         if t.escaped = None then t.escaped <- Some e;
         Mutex.unlock t.mutex)
 
+(* Execute one submitted task. Accounting mirrors [exec_task]:
+   [queued_pending] is decremented in a finaliser and an escaping
+   exception is parked (first one wins) for {!drain} to re-raise — a
+   worker domain must survive it so the queue keeps draining. *)
+let exec_queued t f =
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.mutex;
+      t.queued_pending <- t.queued_pending - 1;
+      if t.queued_pending = 0 && Queue.is_empty t.queue then
+        Condition.broadcast t.finished;
+      Mutex.unlock t.mutex)
+    (fun () ->
+      try f ()
+      with e ->
+        Mutex.lock t.mutex;
+        if t.queued_escaped = None then t.queued_escaped <- Some e;
+        Mutex.unlock t.mutex)
+
 let rec worker_loop t =
   Mutex.lock t.mutex;
   let action =
@@ -56,8 +78,11 @@ let rec worker_loop t =
         match try_claim t with
         | Some i -> `Task i
         | None ->
-          Condition.wait t.work t.mutex;
-          wait ()
+          if not (Queue.is_empty t.queue) then `Queued (Queue.pop t.queue)
+          else begin
+            Condition.wait t.work t.mutex;
+            wait ()
+          end
     in
     wait ()
   in
@@ -66,6 +91,9 @@ let rec worker_loop t =
   | `Stop -> ()
   | `Task i ->
     exec_task t i;
+    worker_loop t
+  | `Queued f ->
+    exec_queued t f;
     worker_loop t
 
 let create ~jobs =
@@ -80,6 +108,9 @@ let create ~jobs =
       next = 0;
       pending = 0;
       escaped = None;
+      queue = Queue.create ();
+      queued_pending = 0;
+      queued_escaped = None;
       stop = false;
       workers = [];
     }
@@ -142,6 +173,34 @@ let run t thunks =
           match t.escaped with
           | Some e -> raise e
           | None -> failwith "Pool.run: task finished without a result"))
+
+(* A pool without worker domains runs submissions inline: the daemon's
+   [--jobs 1] configuration degrades to a synchronous service rather
+   than a wedged one. *)
+let submit t f =
+  if t.jobs = 1 then begin
+    Mutex.lock t.mutex;
+    t.queued_pending <- t.queued_pending + 1;
+    Mutex.unlock t.mutex;
+    exec_queued t f
+  end
+  else begin
+    Mutex.lock t.mutex;
+    t.queued_pending <- t.queued_pending + 1;
+    Queue.push f t.queue;
+    Condition.signal t.work;
+    Mutex.unlock t.mutex
+  end
+
+let drain t =
+  Mutex.lock t.mutex;
+  while t.queued_pending > 0 do
+    Condition.wait t.finished t.mutex
+  done;
+  let escaped = t.queued_escaped in
+  t.queued_escaped <- None;
+  Mutex.unlock t.mutex;
+  match escaped with Some e -> raise e | None -> ()
 
 let shutdown t =
   Mutex.lock t.mutex;

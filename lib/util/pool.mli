@@ -32,6 +32,23 @@ val run : t -> (unit -> 'a) list -> 'a list
     protected ([Fun.protect]) and worker domains survive the exception,
     so the pool stays usable for further batches. *)
 
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue one task for asynchronous execution and return immediately.
+    Unlike {!run} batches, submitted tasks form a persistent queue the
+    worker domains drain continuously — the intended use is a long-lived
+    job scheduler (the [rarsubd] daemon) where tasks arrive over time
+    rather than as one batch. Submitted tasks interleave freely with
+    {!run} batches on the same pool. On a [jobs = 1] pool (no worker
+    domains) the task runs inline before [submit] returns. An exception
+    escaping a submitted task is parked (first one wins) and re-raised
+    by the next {!drain}; it never kills a worker domain. *)
+
+val drain : t -> unit
+(** Block until every task passed to {!submit} so far has finished, then
+    re-raise the first exception any of them let escape (if any). Call
+    before {!shutdown}: shutdown abandons still-queued submitted tasks. *)
+
 val shutdown : t -> unit
-(** Stop and join the worker domains (idempotent). The pool must not be
-    used afterwards. *)
+(** Stop and join the worker domains (idempotent). Submitted tasks still
+    queued are abandoned — {!drain} first for a graceful stop. The pool
+    must not be used afterwards. *)

@@ -19,3 +19,54 @@ let time_span f =
   (result, { wall_seconds; cpu_seconds })
 
 let seconds_to_string s = Printf.sprintf "%.2f" s
+
+(* Linear interpolation between closest ranks, the estimator numpy
+   calls "linear": p=0 is the minimum, p=100 the maximum, and p=50 of
+   an even-length sample averages the two middle values. *)
+let percentile_sorted sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stopwatch.percentile: empty sample";
+  let p = Float.max 0.0 (Float.min 100.0 p) in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let percentile samples p =
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  percentile_sorted sorted p
+
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summarize samples =
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stopwatch.summarize: empty sample";
+  {
+    count = n;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    mean = Array.fold_left ( +. ) 0.0 sorted /. float_of_int n;
+    p50 = percentile_sorted sorted 50.0;
+    p90 = percentile_sorted sorted 90.0;
+    p99 = percentile_sorted sorted 99.0;
+  }
+
+let summary_to_json s =
+  Printf.sprintf
+    "{\"count\": %d, \"min\": %.6f, \"max\": %.6f, \"mean\": %.6f, \
+     \"p50\": %.6f, \"p90\": %.6f, \"p99\": %.6f}"
+    s.count s.min s.max s.mean s.p50 s.p90 s.p99

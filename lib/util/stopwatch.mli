@@ -20,3 +20,34 @@ val time_span : (unit -> 'a) -> 'a * span
 
 val seconds_to_string : float -> string
 (** Format seconds with two decimals, e.g. ["0.13"]. *)
+
+(** {1 Latency statistics}
+
+    Shared by every consumer that reports percentile latency (the
+    service benchmark's p50/p99 figures) so the estimator is defined in
+    exactly one place. *)
+
+val percentile : float array -> float -> float
+(** [percentile samples p] is the [p]-th percentile ([0. <= p <= 100.],
+    clamped) of the sample, linearly interpolated between closest ranks:
+    [p = 0.] is the minimum, [100.] the maximum, and [50.] of an
+    even-length sample averages the two middle values. The input need
+    not be sorted and is not mutated.
+    @raise Invalid_argument on an empty sample. *)
+
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float array -> summary
+(** One-pass summary of a latency sample (seconds). Sorts a copy; the
+    input is not mutated. @raise Invalid_argument on an empty sample. *)
+
+val summary_to_json : summary -> string
+(** JSON object with all fields (for [BENCH_service.json]). *)

@@ -226,3 +226,106 @@ let lint line =
   with
   | () -> Ok ()
   | exception Bad (i, msg) -> Error (Printf.sprintf "at %d: %s" i msg)
+
+(* Flat field extraction on top of the lint: enough structure awareness
+   to pull the scalar members out of one event line (nested objects and
+   arrays are skipped), so checks can reconstruct e.g. per-job timelines
+   from a daemon trace without a JSON dependency. *)
+let fields_of_line line =
+  match lint line with
+  | Error _ -> None
+  | Ok () ->
+    let n = String.length line in
+    let rec skip_ws i =
+      if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip_ws (i + 1)
+      else i
+    in
+    (* The line linted, so scanning can assume well-formed syntax. *)
+    let string_end i =
+      let rec go i =
+        match line.[i] with
+        | '"' -> i
+        | '\\' -> go (i + 2)
+        | _ -> go (i + 1)
+      in
+      go i
+    in
+    let rec value_end i =
+      let i = skip_ws i in
+      match line.[i] with
+      | '"' -> string_end (i + 1) + 1
+      | '{' -> nest_end (i + 1) 1 '{' '}'
+      | '[' -> nest_end (i + 1) 1 '[' ']'
+      | _ ->
+        let rec go i =
+          if i >= n then i
+          else
+            match line.[i] with
+            | ',' | '}' | ']' | ' ' | '\t' -> i
+            | _ -> go (i + 1)
+        in
+        go i
+    and nest_end i depth opener closer =
+      (* Strings inside the nest may contain brackets; skip them whole. *)
+      if depth = 0 then i
+      else
+        match line.[i] with
+        | '"' -> nest_end (string_end (i + 1) + 1) depth opener closer
+        | c when c = opener -> nest_end (i + 1) (depth + 1) opener closer
+        | c when c = closer -> nest_end (i + 1) (depth - 1) opener closer
+        | _ -> nest_end (i + 1) depth opener closer
+    in
+    let unescape s =
+      let b = Buffer.create (String.length s) in
+      let rec go i =
+        if i < String.length s then
+          if s.[i] = '\\' && i + 1 < String.length s then begin
+            (match s.[i + 1] with
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | c -> Buffer.add_char b c);
+            go (i + 2)
+          end
+          else begin
+            Buffer.add_char b s.[i];
+            go (i + 1)
+          end
+      in
+      go 0;
+      Buffer.contents b
+    in
+    let fields = ref [] in
+    let rec members i =
+      let i = skip_ws i in
+      if line.[i] = '}' then ()
+      else begin
+        (* key *)
+        let kstart = i + 1 in
+        let kend = string_end kstart in
+        let key = unescape (String.sub line kstart (kend - kstart)) in
+        let i = skip_ws (kend + 1) in
+        (* ':' *)
+        let i = skip_ws (i + 1) in
+        let vend = value_end i in
+        let raw = String.sub line i (vend - i) in
+        let v =
+          if raw <> "" && raw.[0] = '"' then
+            `String (unescape (String.sub raw 1 (String.length raw - 2)))
+          else if raw <> "" && (raw.[0] = '{' || raw.[0] = '[') then `Nested
+          else
+            match int_of_string_opt raw with
+            | Some k -> `Int k
+            | None -> (
+              match float_of_string_opt raw with
+              | Some f -> `Float f
+              | None -> `Other raw)
+        in
+        fields := (key, v) :: !fields;
+        let i = skip_ws vend in
+        if line.[i] = ',' then members (i + 1)
+      end
+    in
+    let start = skip_ws 0 in
+    members (start + 1);
+    Some (List.rev !fields)

@@ -58,3 +58,17 @@ val lint : string -> (unit, string) result
     object at top level (the trace invariant). Self-contained minimal
     parser — the repo has no JSON dependency — used by the [tracecheck]
     CI gate and the tests. [Error] carries a position-tagged message. *)
+
+val fields_of_line :
+  string ->
+  (string
+  * [ `String of string | `Int of int | `Float of float | `Nested | `Other of string ])
+  list
+  option
+(** Top-level members of one trace line, in order, after a successful
+    {!lint} ([None] when the line does not lint). Scalar members are
+    decoded; nested objects/arrays come back as [`Nested]; [true]/
+    [false]/[null] as [`Other]. This is what the service checks use to
+    reconstruct per-job timelines ([job_queued] → [cache_hit]/
+    [cache_miss] → [job_done] chained by their ["job"] ids) from a
+    daemon's [--trace] file. *)

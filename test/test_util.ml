@@ -333,6 +333,110 @@ let test_counters_domain_safe () =
     (0.5 *. float_of_int (domains * per_domain))
     (Atomic.get c.Counters.division_seconds)
 
+(* ------------------------------------------------------------------ *)
+(* Stopwatch percentiles                                               *)
+(* ------------------------------------------------------------------ *)
+
+let feq = Alcotest.float 1e-9
+
+let test_stopwatch_percentile () =
+  let samples = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  let p q = Rar_util.Stopwatch.percentile samples q in
+  Alcotest.check feq "p0 is the min" 1.0 (p 0.0);
+  Alcotest.check feq "p100 is the max" 100.0 (p 100.0);
+  Alcotest.check feq "p50 interpolates" 50.5 (p 50.0);
+  Alcotest.check feq "p99" 99.01 (p 99.0);
+  (* Linear interpolation between closest ranks. *)
+  Alcotest.check feq "quarter point" 12.5
+    (Rar_util.Stopwatch.percentile [| 10.0; 20.0 |] 25.0);
+  (* The input need not be sorted and is not mutated. *)
+  let unsorted = [| 3.0; 1.0; 2.0 |] in
+  Alcotest.check feq "unsorted input" 2.0
+    (Rar_util.Stopwatch.percentile unsorted 50.0);
+  Alcotest.(check bool) "input untouched" true (unsorted = [| 3.0; 1.0; 2.0 |]);
+  (* Out-of-range p clamps; an empty sample is a caller bug. *)
+  Alcotest.check feq "clamp low" 1.0 (p (-10.0));
+  Alcotest.check feq "clamp high" 100.0 (p 1000.0);
+  (match Rar_util.Stopwatch.percentile [||] 50.0 with
+  | _ -> Alcotest.fail "empty sample accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_stopwatch_summary () =
+  let s = Rar_util.Stopwatch.summarize (Array.init 10 (fun i -> float_of_int i)) in
+  Alcotest.(check int) "count" 10 s.Rar_util.Stopwatch.count;
+  Alcotest.check feq "min" 0.0 s.Rar_util.Stopwatch.min;
+  Alcotest.check feq "max" 9.0 s.Rar_util.Stopwatch.max;
+  Alcotest.check feq "mean" 4.5 s.Rar_util.Stopwatch.mean;
+  Alcotest.check feq "p50" 4.5 s.Rar_util.Stopwatch.p50;
+  (* The JSON rendering must itself pass the trace lint. *)
+  Alcotest.(check bool)
+    "summary JSON lints" true
+    (Trace.lint (Rar_util.Stopwatch.summary_to_json s) = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Pool submit/drain (the daemon's scheduler path)                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_submit_drain () =
+  List.iter
+    (fun jobs ->
+      let tag m = Printf.sprintf "jobs=%d: %s" jobs m in
+      let pool = Rar_util.Pool.create ~jobs in
+      let counter = Atomic.make 0 in
+      for _ = 1 to 200 do
+        Rar_util.Pool.submit pool (fun () -> Atomic.incr counter)
+      done;
+      Rar_util.Pool.drain pool;
+      Alcotest.(check int) (tag "all submitted tasks ran") 200
+        (Atomic.get counter);
+      (* Submitted tasks interleave with run batches on the same pool. *)
+      Rar_util.Pool.submit pool (fun () -> Atomic.incr counter);
+      let batch = Rar_util.Pool.run pool (List.init 8 (fun i () -> i * i)) in
+      Alcotest.(check (list int))
+        (tag "batch result order")
+        (List.init 8 (fun i -> i * i))
+        batch;
+      Rar_util.Pool.drain pool;
+      Alcotest.(check int) (tag "interleaved submit ran") 201
+        (Atomic.get counter);
+      (* An escaping exception is parked, re-raised by drain, and the
+         pool survives it. *)
+      Rar_util.Pool.submit pool (fun () -> failwith "boom");
+      (match Rar_util.Pool.drain pool with
+      | () -> Alcotest.fail (tag "drain swallowed the exception")
+      | exception Failure m -> Alcotest.(check string) (tag "message") "boom" m);
+      Rar_util.Pool.submit pool (fun () -> Atomic.incr counter);
+      Rar_util.Pool.drain pool;
+      Alcotest.(check int) (tag "pool survives a raise") 202
+        (Atomic.get counter);
+      Rar_util.Pool.shutdown pool)
+    [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace field extraction (per-job timeline reconstruction)            *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_fields_of_line () =
+  (match
+     Trace.fields_of_line
+       {|{"event": "job_done", "job": 3, "seconds": 0.25, "ok": true, "c": {"a": 1}}|}
+   with
+  | None -> Alcotest.fail "well-formed line rejected"
+  | Some fields ->
+    let assoc k = List.assoc k fields in
+    Alcotest.(check bool) "event" true (assoc "event" = `String "job_done");
+    Alcotest.(check bool) "job id" true (assoc "job" = `Int 3);
+    Alcotest.(check bool) "seconds" true (assoc "seconds" = `Float 0.25);
+    Alcotest.(check bool) "bool passthrough" true (assoc "ok" = `Other "true");
+    Alcotest.(check bool) "nested opaque" true (assoc "c" = `Nested);
+    Alcotest.(check (list string))
+      "order preserved"
+      [ "event"; "job"; "seconds"; "ok"; "c" ]
+      (List.map fst fields));
+  Alcotest.(check bool)
+    "malformed line yields None" true
+    (Trace.fields_of_line {|{"a": }|} = None)
+
 let () =
   Alcotest.run "util"
     [
@@ -349,7 +453,14 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "arity" `Quick test_table_arity_check;
         ] );
-      ("stopwatch", [ Alcotest.test_case "time" `Quick test_stopwatch ]);
+      ( "stopwatch",
+        [
+          Alcotest.test_case "time" `Quick test_stopwatch;
+          Alcotest.test_case "percentile" `Quick test_stopwatch_percentile;
+          Alcotest.test_case "summary" `Quick test_stopwatch_summary;
+        ] );
+      ( "pool",
+        [ Alcotest.test_case "submit/drain" `Quick test_pool_submit_drain ] );
       ( "budget",
         [
           Alcotest.test_case "fuel + sticky" `Quick test_budget_fuel;
@@ -366,6 +477,7 @@ let () =
           Alcotest.test_case "disabled and closed" `Quick
             test_trace_disabled_and_closed;
           Alcotest.test_case "lint accepts/rejects" `Quick test_trace_lint;
+          Alcotest.test_case "fields of line" `Quick test_trace_fields_of_line;
         ] );
       ( "counters",
         [
