@@ -1,4 +1,4 @@
-.PHONY: all test bench shardcheck tracecheck memocheck cubeops servicecheck bench-service ci doc clean
+.PHONY: all test bench shardcheck tracecheck memocheck cubeops servicecheck bench-service aigcheck bench-aig ci doc clean
 
 all:
 	dune build @all
@@ -45,11 +45,26 @@ servicecheck:
 bench-service:
 	dune exec bench/main.exe -- service quick
 
+# AIG backend gate: AIGER write/parse fixpoint, parse = compact, and
+# index-list round trips on the bundled .aag fixtures, then windowed
+# resubstitution at jobs in {1, 4} asserting byte-identical output,
+# a never-increasing gate count, and simulation equivalence through
+# the Network bridge.
+aigcheck:
+	dune exec bench/main.exe -- aigcheck
+
+# Windowed-resub snapshot at real-benchmark scale: three generated
+# circuits of 12k-24k gates, gates/literals before and after plus wall
+# seconds. Writes BENCH_aig.json (committed).
+bench-aig:
+	dune exec bench/main.exe -- aig
+
 # Full local CI: build, tests, the jobs=1 vs jobs=max determinism gate
 # (literal totals must be identical), the shardcheck jobs-x-memo grid
 # gate (pinned quick totals), the degraded-run/trace gate, the
 # memo bit-identity gate, the cube-kernel microbenchmark, the resident-
-# service miss/hit byte-identity gate, and the quick
+# service miss/hit byte-identity gate, the AIG backend round-trip and
+# windowed-resub determinism gate, and the quick
 # machine-readable perf snapshot (writes BENCH_resub.json for cross-PR
 # trajectory tracking; fails if total cpu_seconds — including the
 # multi-pass script benchmark — regresses >20% vs the previous snapshot
@@ -63,6 +78,7 @@ ci:
 	dune exec bench/main.exe -- memocheck quick
 	dune exec bench/main.exe -- cubeops
 	dune exec bench/main.exe -- servicecheck quick
+	dune exec bench/main.exe -- aigcheck
 	dune exec bench/main.exe -- bench quick
 
 bench:

@@ -14,9 +14,11 @@
      main.exe cubeops         packed-kernel vs list-cube microbenchmark
      main.exe servicecheck quick  daemon miss/hit + byte-identity gate
      main.exe service quick   daemon throughput snapshot (BENCH_service.json)
+     main.exe aigcheck        AIGER round-trip + windowed-resub gate
+     main.exe aig             >=10k-gate AIG snapshot (BENCH_aig.json)
    Sections: fig1 fig2 table1 fig4 table2 table3 table4 table5 ablation
    bech bench jobscheck shardcheck tracecheck memocheck cubeops
-   servicecheck service
+   servicecheck service aigcheck aig
    Options (key=value): jobs=N (bench parallelism, default 1, 0 = one per
    core; snapshots at jobs=1 are gated >20%% CPU-regression against the
    previous file, and jobs>1 snapshots >20%% wall-clock regression
@@ -1624,8 +1626,14 @@ let service_bench ?(clients = 8) ?(rounds = 5) rows =
         in
         (cold, List.concat per_client, warm_wall, Server.stats server))
   in
-  let summarize l = Rar_util.Stopwatch.summarize (Array.of_list l) in
-  let cold_s = summarize cold and warm_s = summarize warm in
+  let summarize what l =
+    match Rar_util.Stopwatch.summarize (Array.of_list l) with
+    | Some s -> s
+    | None ->
+      Printf.printf "service bench: no %s samples recorded\n" what;
+      exit 9
+  in
+  let cold_s = summarize "cold" cold and warm_s = summarize "warm" warm in
   let warm_jobs = List.length warm in
   let jobs_per_sec = float_of_int warm_jobs /. warm_wall in
   let speedup = cold_s.Rar_util.Stopwatch.mean /. warm_s.Rar_util.Stopwatch.mean in
@@ -1667,6 +1675,129 @@ let service_bench ?(clients = 8) ?(rounds = 5) rows =
       speedup;
     exit 9
   end
+
+(* ------------------------------------------------------------------ *)
+(* aigcheck - AIGER round-trip + windowed-resub determinism gate       *)
+(* ------------------------------------------------------------------ *)
+
+module Aig = Logic_network.Aig
+module Aiger = Logic_network.Aiger
+
+let aig_fixture name = Filename.concat (Filename.concat "bench" "fixtures") name
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let aig_check () =
+  section "aigcheck - AIGER round-trips + windowed resub byte-identity";
+  let failures = ref 0 in
+  let expect name ok =
+    if not ok then incr failures;
+    Printf.printf "  %-44s %s\n" name (if ok then "ok" else "FAIL")
+  in
+  let fixtures =
+    [ "edge_shapes.aag"; "random_small.aag"; "planted_small.aag";
+      "random_medium.aag" ]
+  in
+  List.iter
+    (fun name ->
+      let s = read_whole_file (aig_fixture name) in
+      let a = Aiger.parse s in
+      (* write/parse is a fixpoint on the canonical form, and the
+         canonical form is exactly the compacted graph. *)
+      let canon = Aiger.to_string a in
+      let b = Aiger.parse canon in
+      expect (name ^ ": parse = compact") (Aig.equal b (Aig.compact a));
+      expect (name ^ ": write/parse fixpoint")
+        (String.equal (Aiger.to_string b) canon);
+      (* Index lists drop names, so the round trip is structural. *)
+      let il = Aig.to_index_list b in
+      expect (name ^ ": index-list round trip")
+        (Aig.to_index_list (Aig.of_index_list il) = il))
+    fixtures;
+  (* Windowed resubstitution: byte-identical across the jobs grid,
+     gate count never increases, and the result simulates identically
+     to the original through the Network bridge. *)
+  List.iter
+    (fun name ->
+      let a = Aiger.parse (read_whole_file (aig_fixture name)) in
+      let run jobs =
+        let config = { Synth.Aig_opt.default_config with jobs } in
+        Synth.Aig_opt.optimize ~config a
+      in
+      let opt1, stats1 = run 1 in
+      let opt4, _ = run 4 in
+      expect
+        (Printf.sprintf "%s: jobs {1,4} byte-identical" name)
+        (String.equal (Aiger.to_string opt1) (Aiger.to_string opt4));
+      expect
+        (Printf.sprintf "%s: gates %d -> %d monotone" name
+           stats1.Synth.Aig_opt.gates_before stats1.Synth.Aig_opt.gates_after)
+        (stats1.Synth.Aig_opt.gates_after <= stats1.Synth.Aig_opt.gates_before);
+      expect
+        (Printf.sprintf "%s: simulation equivalent" name)
+        (Equiv.equivalent (Aig.to_network a) (Aig.to_network opt1)))
+    [ "random_small.aag"; "planted_small.aag"; "random_medium.aag" ];
+  if !failures > 0 then begin
+    Printf.printf "aigcheck: %d check(s) FAILED\n" !failures;
+    exit 8
+  end
+  else Printf.printf "aigcheck: every round-trip and resub check passed\n"
+
+(* ------------------------------------------------------------------ *)
+(* aig - windowed-resub snapshot over >=10k-gate circuits              *)
+(* ------------------------------------------------------------------ *)
+
+let aig_bench ~jobs () =
+  section "aig - windowed resubstitution at real-benchmark scale";
+  let circuits =
+    [
+      ("random_12k", Bench_suite.Generator.random_aig ~seed:3 ~n_inputs:64
+         ~n_gates:12000 ());
+      ("random_18k", Bench_suite.Generator.random_aig ~seed:9 ~n_inputs:96
+         ~n_gates:18000 ());
+      ("random_24k", Bench_suite.Generator.random_aig ~seed:17 ~n_inputs:128
+         ~n_gates:24000 ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, a) ->
+        let lits_before = Lit_count.factored (Aig.to_network a) in
+        let config = { Synth.Aig_opt.default_config with jobs } in
+        let (opt, stats), wall =
+          Rar_util.Stopwatch.time (fun () ->
+              Synth.Aig_opt.optimize ~config a)
+        in
+        let lits_after = Lit_count.factored (Aig.to_network opt) in
+        Printf.printf
+          "  %-12s gates %6d -> %6d   lits %7d -> %7d   %4d/%d windows \
+           accepted   %6.2fs\n"
+          name stats.Synth.Aig_opt.gates_before
+          stats.Synth.Aig_opt.gates_after lits_before lits_after
+          stats.Synth.Aig_opt.accepted stats.Synth.Aig_opt.windows wall;
+        (name, stats, lits_before, lits_after, wall))
+      circuits
+  in
+  let oc = open_out "BENCH_aig.json" in
+  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"circuits\": [\n" jobs;
+  List.iteri
+    (fun i (name, stats, lits_before, lits_after, wall) ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"gates_before\": %d, \"gates_after\": %d,\n\
+        \      \"lits_before\": %d, \"lits_after\": %d,\n\
+        \      \"windows\": %d, \"accepted\": %d, \"wall_s\": %.3f }%s\n"
+        name stats.Synth.Aig_opt.gates_before stats.Synth.Aig_opt.gates_after
+        lits_before lits_after stats.Synth.Aig_opt.windows
+        stats.Synth.Aig_opt.accepted wall
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_aig.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -1741,6 +1872,8 @@ let () =
   if List.mem "cubeops" explicit then cubeops_report ();
   if List.mem "servicecheck" explicit then service_check rows;
   if List.mem "service" explicit then service_bench ~clients rows;
+  if List.mem "aigcheck" explicit then aig_check ();
+  if List.mem "aig" explicit then aig_bench ~jobs ();
   (* JSON snapshot only on explicit request: it is a CI artifact, not part
      of the default figure/table regeneration. *)
   if List.mem "bench" explicit then bench_json ~jobs ?sim_seed rows

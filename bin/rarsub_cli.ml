@@ -302,6 +302,218 @@ let optimize_cmd =
       $ verify_flag $ verbose_flag)
 
 (* ------------------------------------------------------------------ *)
+(* optimize-aig                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Windowed resubstitution over an ASCII-AIGER circuit: the same
+   scripts and methods as [optimize], run per fanin-bounded window of
+   the AIG (Synth.Aig_opt) so tens-of-thousands-of-gate benchmarks fit.
+   Exit codes follow [optimize]: 1 usage, 2 unreadable input or failed
+   verification. *)
+let optimize_aig_cmd =
+  let run file script method_name no_filter no_memo jobs sim_seed
+      fault_budget deadline max_window max_leaves trace_file output verify
+      verbose =
+    if verbose then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Debug)
+    end;
+    let aig =
+      try Ok (Logic_network.Aiger.read_file file) with
+      | Logic_network.Aiger.Parse_error { line; message } ->
+        Error (Printf.sprintf "%s:%d: %s" file line message)
+      | Sys_error msg -> Error msg
+    in
+    match aig with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok aig -> (
+      match
+        match trace_file with
+        | Some path -> Rar_util.Trace.to_file path
+        | None -> Rar_util.Trace.disabled
+      with
+      | exception Sys_error msg ->
+        prerr_endline msg;
+        2
+      | trace ->
+        Fun.protect ~finally:(fun () -> Rar_util.Trace.close trace)
+        @@ fun () ->
+        let deadline_at =
+          Option.map (fun s -> Unix.gettimeofday () +. s) deadline
+        in
+        let counters = Rar_util.Counters.create () in
+        let jobs =
+          match jobs with
+          | Some 0 -> Rar_util.Pool.default_jobs ()
+          | Some n -> max 1 n
+          | None -> 1
+        in
+        let config =
+          {
+            Synth.Aig_opt.default_config with
+            Synth.Aig_opt.script = List.assoc script scripts;
+            meth = List.assoc method_name Synth.Script.resub_methods;
+            use_filter = not no_filter;
+            use_memo = not no_memo;
+            jobs;
+            sim_seed;
+            max_gates = max_window;
+            max_leaves;
+          }
+        in
+        Printf.printf "initial: %d gates, %d inputs\n"
+          (Logic_network.Aig.num_ands aig)
+          (Logic_network.Aig.num_inputs aig);
+        let (optimised, stats), seconds =
+          Rar_util.Stopwatch.time (fun () ->
+              Synth.Aig_opt.optimize ~config ?fault_fuel:fault_budget
+                ?deadline_at ~trace ~counters aig)
+        in
+        Printf.printf
+          "after %s/%s: %d gates (%.2fs)\n\
+           windows: %d   accepted: %d   reverted: %d   skipped: %d\n"
+          script method_name stats.Synth.Aig_opt.gates_after seconds
+          stats.Synth.Aig_opt.windows stats.Synth.Aig_opt.accepted
+          stats.Synth.Aig_opt.reverted stats.Synth.Aig_opt.skipped;
+        if Atomic.get counters.Rar_util.Counters.pairs_considered > 0 then
+          Printf.printf "divisor filter (%s): %s\n"
+            (if no_filter then "off" else "on")
+            (Rar_util.Counters.to_string counters);
+        if verify then begin
+          let ok =
+            Logic_sim.Equiv.equivalent
+              (Logic_network.Aig.to_network aig)
+              (Logic_network.Aig.to_network optimised)
+          in
+          Printf.printf "equivalence check: %s\n" (if ok then "pass" else "FAIL");
+          if not ok then exit 2
+        end;
+        match output with
+        | Some path ->
+          Logic_network.Aiger.write_file path optimised;
+          Printf.printf "written to %s\n" path;
+          0
+        | None -> 0)
+  in
+  let file_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE"
+          ~doc:"Read the circuit from an ASCII-AIGER ($(b,.aag)) file.")
+  in
+  let script_arg =
+    Arg.(
+      value
+      & opt (enum (List.map (fun (n, _) -> (n, n)) scripts)) "a"
+      & info [ "s"; "script" ] ~docv:"SCRIPT"
+          ~doc:"Starting script run on each window: $(b,none), $(b,a), \
+                $(b,b), $(b,c) or $(b,algebraic).")
+  in
+  let method_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             (List.map (fun (n, _) -> (n, n)) Synth.Script.resub_methods))
+          "ext"
+      & info [ "m"; "method" ] ~docv:"METHOD"
+          ~doc:"Resubstitution method per window: $(b,sis), $(b,basic), \
+                $(b,ext) or $(b,ext-gdc).")
+  in
+  let no_filter_flag =
+    Arg.(
+      value & flag
+      & info [ "no-filter" ]
+          ~doc:"Disable the simulation-signature divisor filter.")
+  in
+  let no_memo_flag =
+    Arg.(
+      value & flag
+      & info [ "no-memo" ] ~doc:"Disable the division-failure memo.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Per-window speculative-evaluation parallelism (default 1). \
+             Output bytes are identical for any value; $(b,0) means one \
+             domain per core.")
+  in
+  let sim_seed_arg =
+    Arg.(
+      value
+      & opt int Logic_sim.Signature.default_seed
+      & info [ "sim-seed" ] ~docv:"SEED"
+          ~doc:"RNG seed for the simulation-signature divisor filter.")
+  in
+  let fault_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-budget" ] ~docv:"N"
+          ~doc:"Cap the implication steps each division attempt may spend.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Soft wall-clock limit. Windows not yet spliced when it \
+             passes are skipped; the result so far is still written.")
+  in
+  let max_window_arg =
+    Arg.(
+      value
+      & opt int Synth.Aig_opt.default_config.Synth.Aig_opt.max_gates
+      & info [ "max-window" ] ~docv:"N"
+          ~doc:"Gate cap per optimisation window.")
+  in
+  let max_leaves_arg =
+    Arg.(
+      value
+      & opt int Synth.Aig_opt.default_config.Synth.Aig_opt.max_leaves
+      & info [ "max-leaves" ] ~docv:"N"
+          ~doc:"Leaf (window input) cap per optimisation window.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write structured JSON-lines trace events to $(docv).")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the result as ASCII AIGER.")
+  in
+  let verify_flag =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Equivalence-check the result (exit 2 on failure).")
+  in
+  let verbose_flag =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+  in
+  Cmd.v
+    (Cmd.info "optimize-aig"
+       ~doc:"Optimise an ASCII-AIGER circuit window by window.")
+    Term.(
+      const run $ file_arg $ script_arg $ method_arg $ no_filter_flag
+      $ no_memo_flag $ jobs_arg $ sim_seed_arg $ fault_budget_arg
+      $ deadline_arg $ max_window_arg $ max_leaves_arg $ trace_arg
+      $ output_arg $ verify_flag $ verbose_flag)
+
+(* ------------------------------------------------------------------ *)
 (* client                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -357,8 +569,11 @@ let client_cmd =
           (Unix.error_message err);
         3
       | exception Rar_service.Protocol.Frame_error msg ->
-        Printf.eprintf "rarsub client: protocol error: %s\n" msg;
-        3
+        (* A daemon that vanished mid-session (SIGPIPE is ignored in
+           [Client.connect]; EPIPE surfaces here as a [Frame_error])
+           is reported like a malformed input, not a signal death. *)
+        Printf.eprintf "rarsub client: %s: %s\n" socket msg;
+        2
       | Rar_service.Protocol.Refused message ->
         Printf.eprintf "rarsub client: refused: %s\n" message;
         2
@@ -465,4 +680,7 @@ let () =
     Cmd.info "rarsub" ~version:"1.0.0"
       ~doc:"Boolean division and substitution via redundancy addition and removal."
   in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; show_cmd; optimize_cmd; client_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; show_cmd; optimize_cmd; optimize_aig_cmd; client_cmd ]))

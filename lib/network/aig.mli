@@ -1,0 +1,166 @@
+(** Flat int-array And-Inverter Graphs.
+
+    The representation every modern resubstitution exemplar operates on
+    (mockturtle's [aig_network]): nodes are consecutive integers, edges
+    are {e literals} [2*node + complement], node [0] is the constant
+    {e false} (so literal [0] is false and literal [1] is true), primary
+    inputs occupy ids [1 .. num_inputs], and every AND node stores its
+    two fanin literals in flat arrays. New AND nodes are {e structurally
+    hashed}: building [a & b] twice returns the same literal, and the
+    trivial cases ([a & a], [a & !a], constants) fold away, so a graph
+    built through {!add_and} is always canonical.
+
+    The graph is append-only — ids are never recycled — which keeps the
+    windowed optimisation driver ({!Synth.Aig_opt}) deterministic: it
+    appends replacement logic, records root {!substitute}
+    substitutions, and either keeps or clears them without ever moving
+    an existing node. {!compact} derives a fresh canonical graph with
+    the garbage dropped. *)
+
+type t
+
+type lit = int
+(** [2 * node + complement]. *)
+
+exception Cycle
+(** Raised by {!resolve}, {!live_gate_count} and {!compact} when the
+    substitution table creates a combinational loop (a replacement cone
+    that reaches the node it replaces). The windowed driver treats this
+    as a failed splice and reverts. *)
+
+(** {1 Literals} *)
+
+val const_false : lit
+val const_true : lit
+
+val lit_not : lit -> lit
+val lit_node : lit -> int
+val lit_is_compl : lit -> bool
+
+val lit_of_node : ?compl:bool -> int -> lit
+
+(** {1 Construction} *)
+
+val create : unit -> t
+
+val add_input : t -> string -> lit
+(** Positive literal of a fresh primary input. All inputs must be
+    created before the first AND node (the AIGER convention), and input
+    names must be distinct. @raise Invalid_argument otherwise. *)
+
+val add_and : t -> lit -> lit -> lit
+(** Strashed, constant-folded conjunction. Both arguments are resolved
+    through the substitution table first, so replacement logic built
+    during a splice always references live nodes. *)
+
+val add_or : t -> lit -> lit -> lit
+(** De Morgan: [!(!a & !b)]. *)
+
+val add_output : t -> string -> lit -> unit
+(** Output names must be distinct. @raise Invalid_argument on a
+    duplicate. *)
+
+(** {1 Queries} *)
+
+val node_count : t -> int
+(** Allocated nodes including the constant and the inputs (and any
+    garbage awaiting {!compact}). *)
+
+val num_inputs : t -> int
+
+val num_ands : t -> int
+(** Allocated AND nodes; equals the live gate count on a graph fresh
+    from {!compact}, {!of_network} or the AIGER parser. *)
+
+val is_input : t -> int -> bool
+val is_and : t -> int -> bool
+
+val fanin0 : t -> int -> lit
+val fanin1 : t -> int -> lit
+(** Stored fanin literals of an AND node ([fanin0 >= fanin1]), not
+    resolved through the substitution table.
+    @raise Invalid_argument on a non-AND node. *)
+
+val input_name : t -> int -> string
+
+val inputs : t -> (string * lit) list
+(** In creation order. *)
+
+val outputs : t -> (string * lit) list
+(** In creation order; literals as registered, not resolved. *)
+
+(** {1 Substitution}
+
+    The splice discipline of the windowed driver: replacing node [n] by
+    literal [l] records [n -> l] in a side table; every read that
+    matters ({!add_and} inputs, {!live_gate_count}, {!compact},
+    {!eval_words}) chases the table. A replacement is validated by
+    {!live_gate_count} — which detects both gate-count regressions and
+    {!Cycle}s — and either kept or reverted with {!clear_substitute}. *)
+
+val substitute : t -> int -> lit -> unit
+(** [substitute t n l]: node [n] now denotes literal [l]. [n] must be
+    an AND node without an existing entry. *)
+
+val clear_substitute : t -> int -> unit
+
+val resolve : t -> lit -> lit
+(** Chase substitutions to a live literal. @raise Cycle on a loop. *)
+
+val live_gate_count : t -> int
+(** AND nodes reachable from the outputs, resolving substitutions.
+    @raise Cycle as {!resolve}. *)
+
+val compact : t -> t
+(** Fresh canonical graph: every input (dead or not, preserving names
+    and order), then the output cones in deterministic DFS order with
+    substitutions resolved, garbage dropped and structure re-hashed.
+    [compact] is idempotent: compacting a compacted graph reproduces it
+    node for node. *)
+
+(** {1 Index lists}
+
+    Compact integer encodings of whole graphs in the style of
+    mockturtle's [index_list] test cases:
+    [[| num_inputs; num_outputs; num_ands; f0_1; f1_1; ...; out_1; ... |]]
+    with two fanin literals per AND node in id order, then one literal
+    per output. Names are not encoded; {!of_index_list} names inputs
+    [i0, i1, ...] and outputs [o0, o1, ...]. Decoding replays the gates
+    through {!add_and}, so a non-canonical list canonicalises (with
+    fanin literals remapped through the fold). *)
+
+val to_index_list : t -> int array
+(** @raise Invalid_argument if substitutions are pending ({!compact}
+    first). *)
+
+val of_index_list : int array -> t
+(** @raise Invalid_argument on a malformed encoding. *)
+
+(** {1 Evaluation} *)
+
+val eval_words : t -> input_values:(int -> int64 array) -> words:int -> (string * int64 array) list
+(** Bit-parallel evaluation: [input_values i] are the pattern words of
+    the [i]-th input (in {!inputs} order); returns one word array per
+    output, substitutions resolved. *)
+
+(** {1 Structural equality} *)
+
+val equal : t -> t -> bool
+(** Node-for-node equality: same inputs (names and order), same AND
+    nodes (ids and fanin literals), same outputs (names and literals).
+    Substitution tables must be empty on both sides. *)
+
+(** {1 SOP-network bridges}
+
+    Lossless in both directions, up to structural canonicalisation. *)
+
+val to_network : t -> Network.t
+(** One two-input AND logic node per live gate (inverters folded into
+    the cube phases), a buffer/inverter/constant node per output edge
+    that needs one. Input and output names are preserved, so the result
+    feeds the existing equivalence checkers directly. *)
+
+val of_network : Network.t -> t
+(** Tseitin-style decomposition: each logic node's SOP becomes an AND
+    tree per cube and a De Morgan OR tree over the cubes, structurally
+    hashed as it is built. *)

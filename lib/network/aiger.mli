@@ -1,0 +1,26 @@
+(** ASCII AIGER ([.aag]) reading and writing.
+
+    The interchange format of the AIG world (ABC, mockturtle, the HWMCC
+    benchmark suites). Only the combinational subset is supported:
+    latches raise {!Parse_error}, as do the binary ([.aig]) format's
+    headers. Parsing replays the gates through {!Aig.add_and}, so the
+    in-memory graph is structurally hashed and constant-folded even
+    when the file is not; writing emits {!Aig.compact} of the graph —
+    inputs first, then the live gates in deterministic topological
+    order — plus a full input/output symbol table, so
+    [parse (to_string a)] is structurally equal to [Aig.compact a] and
+    write∘parse is a fixpoint after one application. *)
+
+exception Parse_error of { line : int; message : string }
+(** [line] is 1-based and physical. *)
+
+val parse : string -> Aig.t
+(** Parse an [aag] document. AND definitions may appear in any
+    topological-consistent order; inputs and outputs without symbol
+    entries are named [i0, i1, ...] / [o0, o1, ...]. *)
+
+val read_file : string -> Aig.t
+
+val to_string : Aig.t -> string
+
+val write_file : string -> Aig.t -> unit

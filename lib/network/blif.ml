@@ -6,32 +6,52 @@ let fail line fmt =
   Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
 
 (* Logical lines, each tagged with the 1-based number of its first
-   physical line: strip comments, join continuations, drop blanks. *)
+   physical line: strip comments, join continuations, drop blanks.
+   Continuations are strict: a trailing [\] promises that the very next
+   physical line carries the rest of the directive, so a [\] on the last
+   line of the file is a parse error (reported at the backslash's own
+   physical line), and so is a blank or comment-only line while a
+   continuation is pending — silently bridging the gap would let a
+   stray blank splice two unrelated directives together. CRLF line
+   endings are accepted; the [\r] is trimmed before the backslash is
+   looked for. *)
 let logical_lines text =
   let raw = String.split_on_char '\n' text in
+  (* The final newline of a well-formed file yields one empty trailing
+     element; it is not a blank line. *)
+  let raw =
+    match List.rev raw with "" :: rest -> List.rev rest | _ -> raw
+  in
   let strip_comment line =
     match String.index_opt line '#' with
     | Some i -> String.sub line 0 i
     | None -> line
   in
-  let rec join acc start pending lineno = function
+  (* [bs_line] is the physical line of the most recent trailing
+     backslash, 0 when no continuation is pending. *)
+  let rec join acc start pending bs_line lineno = function
     | [] ->
-      let acc = if pending = "" then acc else (start, pending) :: acc in
+      if pending <> "" then
+        fail bs_line "dangling '\\' continuation at end of file";
       List.rev acc
     | line :: rest ->
       let lineno = lineno + 1 in
       let line = String.trim (strip_comment line) in
-      if line = "" then join acc start pending lineno rest
+      if line = "" then
+        if pending <> "" then
+          fail lineno
+            "blank or comment-only line inside a '\\' continuation"
+        else join acc start pending bs_line lineno rest
       else if String.length line > 0 && line.[String.length line - 1] = '\\'
       then
         let chunk = String.sub line 0 (String.length line - 1) in
         let start = if pending = "" then lineno else start in
-        join acc start (pending ^ chunk ^ " ") lineno rest
+        join acc start (pending ^ chunk ^ " ") lineno lineno rest
       else if pending <> "" then
-        join ((start, pending ^ line) :: acc) 0 "" lineno rest
-      else join ((lineno, line) :: acc) 0 "" lineno rest
+        join ((start, pending ^ line) :: acc) 0 "" 0 lineno rest
+      else join ((lineno, line) :: acc) 0 "" 0 lineno rest
   in
-  join [] 0 "" 0 raw
+  join [] 0 "" 0 0 raw
 
 let words line =
   List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.concat " " (String.split_on_char '\t' line)))

@@ -3,7 +3,13 @@
     Supported constructs: [.model], [.inputs], [.outputs], [.names] with
     on-set (output [1]) or off-set (output [0]) single-output cover rows,
     [\\] line continuations, [#] comments, [.end]. Latches and subcircuits
-    are rejected — the paper's experiments are purely combinational. *)
+    are rejected — the paper's experiments are purely combinational.
+
+    Continuations are strict: a trailing [\\] on the last line of the
+    file is a {!Parse_error} (reported at the backslash's physical
+    line), and a blank or comment-only line while a continuation is
+    pending is a {!Parse_error} at that line — a continuation must be
+    completed on the very next physical line. CRLF input is accepted. *)
 
 exception Parse_error of { line : int; message : string }
 (** [line] is the 1-based physical line the error was detected on (the

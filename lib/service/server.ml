@@ -407,7 +407,13 @@ module Client = struct
 
   let request conn req =
     map_timeout (fun () ->
-        Protocol.write_frame conn.fd (Protocol.encode_request req);
+        (* With SIGPIPE ignored (see {!connect}), a daemon that died
+           between connect and write surfaces as EPIPE/ECONNRESET here;
+           report it like any other torn connection rather than letting
+           the raw errno escape. *)
+        (try Protocol.write_frame conn.fd (Protocol.encode_request req)
+         with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+           raise (Protocol.Frame_error "server closed the connection"));
         match Protocol.read_frame conn.fd with
         | None -> raise (Protocol.Frame_error "server closed the connection")
         | Some payload -> (

@@ -93,7 +93,11 @@ module Client : sig
 
   val request : conn -> Protocol.request -> Protocol.response
   (** One round trip. @raise Timeout / [Unix.Unix_error] /
-      {!Protocol.Frame_error} on transport failures. *)
+      {!Protocol.Frame_error} on transport failures. A daemon that
+      died after [connect] raises {!Protocol.Frame_error} — [connect]
+      ignores SIGPIPE for the process, and EPIPE/ECONNRESET on the
+      write are mapped to the same "server closed the connection"
+      error as an EOF on the read. *)
 
   val close : conn -> unit
 

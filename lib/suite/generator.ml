@@ -76,6 +76,54 @@ let random ?(seed = 1) ?(n_inputs = 6) ?(n_nodes = 10) ?(n_outputs = 3) () =
   Network.check net;
   net
 
+let random_aig ?(seed = 1) ?(n_inputs = 32) ?(n_gates = 200) () =
+  let module Aig = Logic_network.Aig in
+  let rng = Rng.create seed in
+  let aig = Aig.create () in
+  let lits = Array.make (n_inputs + n_gates) Aig.const_false in
+  for i = 0 to n_inputs - 1 do
+    lits.(i) <- Aig.add_input aig (Printf.sprintf "i%d" i)
+  done;
+  let count = ref n_inputs in
+  (* Strashing dedupes and constant-folds, so some attempts yield no
+     fresh gate; bound the retries so degenerate parameters still
+     terminate. *)
+  let attempts = ref 0 in
+  let budget = 4 * n_gates in
+  while Aig.num_ands aig < n_gates && !attempts < budget do
+    incr attempts;
+    let pick () =
+      let l = lits.(Rng.int rng !count) in
+      if Rng.bool rng then Aig.lit_not l else l
+    in
+    let before = Aig.num_ands aig in
+    let l = Aig.add_and aig (pick ()) (pick ()) in
+    if Aig.num_ands aig > before then begin
+      lits.(!count) <- l;
+      incr count
+    end
+  done;
+  (* Every gate nothing references becomes an output (randomly
+     complemented), so the whole graph is live — [compact] drops
+     nothing and the generated size is the benchmarked size. *)
+  let referenced = Hashtbl.create (2 * n_gates) in
+  for node = n_inputs + 1 to n_inputs + Aig.num_ands aig do
+    Hashtbl.replace referenced (Aig.lit_node (Aig.fanin0 aig node)) ();
+    Hashtbl.replace referenced (Aig.lit_node (Aig.fanin1 aig node)) ()
+  done;
+  let n_outs = ref 0 in
+  for node = n_inputs + 1 to n_inputs + Aig.num_ands aig do
+    if not (Hashtbl.mem referenced node) then begin
+      Aig.add_output aig
+        (Printf.sprintf "o%d" !n_outs)
+        (Aig.lit_of_node ~compl:(Rng.bool rng) node);
+      incr n_outs
+    end
+  done;
+  if !n_outs = 0 && Aig.num_ands aig > 0 then
+    Aig.add_output aig "o0" (Aig.lit_of_node (n_inputs + Aig.num_ands aig));
+  aig
+
 let planted ?(seed = 1) profile =
   let rng = Rng.create seed in
   let net = Network.create () in

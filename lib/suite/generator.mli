@@ -25,6 +25,14 @@ val random :
   unit ->
   Logic_network.Network.t
 
+val random_aig :
+  ?seed:int -> ?n_inputs:int -> ?n_gates:int -> unit -> Logic_network.Aig.t
+(** Seeded random AIG of roughly [n_gates] strashed AND nodes (strash
+    deduplication can leave slightly fewer). Every sink gate is wired
+    to an output with a random complement, so the whole graph is live:
+    [compact] preserves its size. Used by the AIGER round-trip
+    property tests and the [aigcheck]/[aig] bench sections. *)
+
 type planted_profile = {
   inputs : int;
   noise_nodes : int;  (** unstructured filler nodes *)

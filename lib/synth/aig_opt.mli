@@ -1,0 +1,73 @@
+(** Windowed resubstitution over large AIGs.
+
+    The scaling bridge of ROADMAP item 2: real benchmarks arrive as
+    tens-of-thousands-of-gate AIGER files — far beyond what the
+    monolithic SOP drivers can collapse — so optimisation runs on
+    {e windows}. A window is a small fanin-bounded cone around a pivot
+    gate: its gates are collapsed to SOP covers over the window leaves,
+    the resulting miniature {!Logic_network.Network} is optimised with
+    the existing scripts and resubstitution methods, and the optimised
+    network is Tseitin-spliced back into the AIG through
+    {!Logic_network.Aig.substitute}. A splice is kept only when the
+    global live gate count strictly drops (and the substitution did not
+    close a combinational loop — see {!Logic_network.Aig.Cycle}), so
+    the gate count is monotonically non-increasing across the run.
+
+    Windows are processed sequentially in deterministic (descending
+    pivot id) order; [jobs] parallelism happens {e inside} each
+    window's resubstitution, which is bit-identical for any job count —
+    so the whole run is byte-identical across the jobs grid, the same
+    property the [shardcheck]/[aigcheck] CI gates pin. *)
+
+type config = {
+  max_gates : int;  (** window size cap, gates (default 24) *)
+  max_leaves : int;  (** window leaf cap (default 8) *)
+  min_gates : int;  (** skip windows smaller than this (default 3) *)
+  cube_limit : int;
+      (** per-node cover cap while collapsing a window; a window whose
+          collapse exceeds it is skipped, not truncated (default 128) *)
+  script : Script.step list;  (** run on each window before resub *)
+  meth : Script.resub_method;
+  use_filter : bool;
+  use_memo : bool;
+  jobs : int;
+  sim_seed : int;
+  verify_windows : bool;
+      (** BDD-check every optimised window against its collapsed
+          original before splicing (belt-and-braces; windows are small
+          enough that this is cheap) *)
+}
+
+val default_config : config
+(** Script A, [Ext], filter and memo on, [jobs = 1],
+    {!Logic_sim.Signature.default_seed}, verification off. *)
+
+type stats = {
+  gates_before : int;
+  gates_after : int;
+  windows : int;
+      (** windows grown around a pivot
+          ([accepted + reverted + skipped]) *)
+  accepted : int;  (** splices kept: strict live-gate-count win *)
+  reverted : int;  (** splices undone: no win, or a {!Logic_network.Aig.Cycle} *)
+  skipped : int;  (** windows abandoned before splicing: too small,
+                      cover blowup, or the optimiser left it alone *)
+}
+
+val optimize :
+  ?config:config ->
+  ?fault_fuel:int ->
+  ?deadline_at:float ->
+  ?trace:Rar_util.Trace.t ->
+  ?counters:Rar_util.Counters.t ->
+  Logic_network.Aig.t ->
+  Logic_network.Aig.t * stats
+(** Optimise every window of the AIG and return the compacted result
+    (the input is not mutated — it is compacted into a working copy
+    first). [fault_fuel] and [deadline_at] are threaded into each
+    window's resubstitution exactly as in {!Script.resub_command}; the
+    deadline is additionally polled between windows, so a run whose
+    deadline passes stops splicing and returns what it has. [trace]
+    receives [aig_window] events (pivot, gates, leaves, outcome) and an
+    [aig_opt] summary; [counters] accumulates division tallies across
+    all windows. *)

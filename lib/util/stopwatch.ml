@@ -54,16 +54,18 @@ let summarize samples =
   let sorted = Array.copy samples in
   Array.sort Float.compare sorted;
   let n = Array.length sorted in
-  if n = 0 then invalid_arg "Stopwatch.summarize: empty sample";
-  {
-    count = n;
-    min = sorted.(0);
-    max = sorted.(n - 1);
-    mean = Array.fold_left ( +. ) 0.0 sorted /. float_of_int n;
-    p50 = percentile_sorted sorted 50.0;
-    p90 = percentile_sorted sorted 90.0;
-    p99 = percentile_sorted sorted 99.0;
-  }
+  if n = 0 then None
+  else
+    Some
+      {
+        count = n;
+        min = sorted.(0);
+        max = sorted.(n - 1);
+        mean = Array.fold_left ( +. ) 0.0 sorted /. float_of_int n;
+        p50 = percentile_sorted sorted 50.0;
+        p90 = percentile_sorted sorted 90.0;
+        p99 = percentile_sorted sorted 99.0;
+      }
 
 let summary_to_json s =
   Printf.sprintf

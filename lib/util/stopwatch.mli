@@ -45,9 +45,11 @@ type summary = {
   p99 : float;
 }
 
-val summarize : float array -> summary
+val summarize : float array -> summary option
 (** One-pass summary of a latency sample (seconds). Sorts a copy; the
-    input is not mutated. @raise Invalid_argument on an empty sample. *)
+    input is not mutated. [None] on an empty sample — reporting code
+    (a bench round that recorded zero jobs) must render the absence,
+    not crash. *)
 
 val summary_to_json : summary -> string
 (** JSON object with all fields (for [BENCH_service.json]). *)

@@ -316,6 +316,54 @@ let test_blif_rejects () =
     | exception Blif.Parse_error _ -> true
     | _ -> false)
 
+let test_blif_continuations () =
+  let expect_error tag ~line text =
+    match Blif.parse text with
+    | _ -> Alcotest.failf "%s: accepted" tag
+    | exception Blif.Parse_error e ->
+      Alcotest.(check int) (tag ^ ": physical line") line e.line
+  in
+  (* Dangling [\] on the last line: error at the backslash's own
+     physical line, with and without a final newline. *)
+  expect_error "dangling at EOF" ~line:4
+    ".model x\n.inputs a\n.outputs f\n.names a \\";
+  expect_error "dangling at EOF + newline" ~line:4
+    ".model x\n.inputs a\n.outputs f\n.names a \\\n";
+  (* A blank or comment-only line cannot sit inside a continuation. *)
+  expect_error "blank inside continuation" ~line:3
+    ".model x\n.inputs a \\\n\n b\n.outputs f\n.names a b f\n11 1\n.end";
+  expect_error "comment-only inside continuation" ~line:3
+    ".model x\n.inputs a \\\n# gap\n b\n.outputs f\n.names a b f\n11 1\n.end";
+  (* CRLF input: the [\r] is trimmed before the backslash is looked
+     for, so continuations join as on Unix line endings. *)
+  let crlf =
+    String.concat "\r\n"
+      [
+        ".model adder";
+        ".inputs a b \\";
+        " c";
+        ".outputs s";
+        ".names a b c s";
+        "110 0";
+        "000 0";
+        "101 0";
+        "011 0";
+        ".end";
+        "";
+      ]
+  in
+  let reference =
+    Builder.of_spec
+      ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("s", "ab'c' + a'bc' + a'b'c + abc") ]
+      ~outputs:[ "s" ]
+  in
+  Alcotest.(check bool) "CRLF continuation parses" true
+    (Equiv.equivalent (Blif.parse crlf) reference);
+  (* A dangling [\] hidden behind a [\r] at EOF is still dangling. *)
+  expect_error "CRLF dangling at EOF" ~line:4
+    ".model x\r\n.inputs a\r\n.outputs f\r\n.names a \\\r\n"
+
 (* ------------------------------------------------------------------ *)
 (* Simulation and equivalence                                          *)
 (* ------------------------------------------------------------------ *)
@@ -547,6 +595,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_blif_roundtrip;
           Alcotest.test_case "parse features" `Quick test_blif_parse_features;
           Alcotest.test_case "rejects unsupported" `Quick test_blif_rejects;
+          Alcotest.test_case "strict continuations" `Quick
+            test_blif_continuations;
           Alcotest.test_case "file io" `Quick test_blif_file_io;
         ] );
       ( "sim-equiv",

@@ -251,6 +251,37 @@ let test_frame_abuse_rejected () =
       | Protocol.Result _ -> ()
       | Protocol.Refused m -> Alcotest.failf "daemon wedged after abuse: %s" m)
 
+(* A daemon that dies mid-session must surface as a clean
+   [Frame_error], not kill the client with SIGPIPE or leak a raw
+   [Unix_error]. The test process itself is the signal assertion: were
+   SIGPIPE not ignored on the client path, the write below would
+   terminate the whole test binary. *)
+let test_daemon_death_mid_session () =
+  let socket = temp_socket () in
+  let config = Server.default_config ~socket_path:socket in
+  let server = Server.create config in
+  let server_domain = Domain.spawn (fun () -> Server.serve server) in
+  let request = List.hd (stress_workload ()) in
+  let conn = Server.Client.connect ~timeout:120.0 socket in
+  Fun.protect
+    ~finally:(fun () -> Server.Client.close conn)
+    (fun () ->
+      (match Server.Client.request conn request with
+      | Protocol.Result _ -> ()
+      | Protocol.Refused m -> Alcotest.failf "live daemon refused: %s" m);
+      (* Kill the daemon with the session still open ... *)
+      Server.shutdown server;
+      Domain.join server_domain;
+      (* ... then use the dead connection. Depending on timing the
+         failure is EPIPE on the write or EOF on the read; both must
+         come back as [Frame_error]. *)
+      match Server.Client.request conn request with
+      | Protocol.Result _ | Protocol.Refused _ ->
+        Alcotest.fail "request succeeded against a dead daemon"
+      | exception Protocol.Frame_error _ -> ()
+      | exception Unix.Unix_error (err, _, _) ->
+        Alcotest.failf "raw Unix_error escaped: %s" (Unix.error_message err))
+
 (* Deadline-carrying jobs bypass the cache in both directions. *)
 let test_deadline_uncached () =
   let request =
@@ -299,6 +330,8 @@ let () =
             test_stress_byte_identity;
           Alcotest.test_case "frame abuse rejected" `Quick
             test_frame_abuse_rejected;
+          Alcotest.test_case "daemon death mid-session" `Quick
+            test_daemon_death_mid_session;
           Alcotest.test_case "deadline jobs uncached" `Quick
             test_deadline_uncached;
         ] );

@@ -362,7 +362,18 @@ let test_stopwatch_percentile () =
   | exception Invalid_argument _ -> ())
 
 let test_stopwatch_summary () =
-  let s = Rar_util.Stopwatch.summarize (Array.init 10 (fun i -> float_of_int i)) in
+  (* Empty samples summarise to None — reporting code must not crash on
+     a round that recorded zero jobs. *)
+  Alcotest.(check bool)
+    "empty sample is None" true
+    (Rar_util.Stopwatch.summarize [||] = None);
+  let s =
+    match
+      Rar_util.Stopwatch.summarize (Array.init 10 (fun i -> float_of_int i))
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "non-empty sample summarised to None"
+  in
   Alcotest.(check int) "count" 10 s.Rar_util.Stopwatch.count;
   Alcotest.check feq "min" 0.0 s.Rar_util.Stopwatch.min;
   Alcotest.check feq "max" 9.0 s.Rar_util.Stopwatch.max;
