@@ -1,4 +1,4 @@
-.PHONY: all test bench shardcheck tracecheck memocheck cubeops servicecheck bench-service aigcheck bench-aig ci doc clean
+.PHONY: all test bench shardcheck tracecheck memocheck cubeops servicecheck bench-service aigcheck bench-aig dccheck ci doc clean
 
 all:
 	dune build @all
@@ -53,6 +53,16 @@ bench-service:
 aigcheck:
 	dune exec bench/main.exe -- aigcheck
 
+# External don't-care discipline gate: every quick (circuit, method)
+# cell run with an explicitly attached empty DC view must be
+# byte-identical to the DC-less reference across the jobs-x-memo grid
+# (pinned totals 245/241/239/235), DC runs on the bundled DC-rich
+# fixture must be deterministic across the same grid, and each Boolean
+# method must beat its literal-improvement floor on that fixture while
+# verifying equivalent modulo the view.
+dccheck:
+	dune exec bench/main.exe -- dccheck quick
+
 # Windowed-resub snapshot at real-benchmark scale: three generated
 # circuits of 12k-24k gates, gates/literals before and after plus wall
 # seconds. Writes BENCH_aig.json (committed).
@@ -64,7 +74,8 @@ bench-aig:
 # gate (pinned quick totals), the degraded-run/trace gate, the
 # memo bit-identity gate, the cube-kernel microbenchmark, the resident-
 # service miss/hit byte-identity gate, the AIG backend round-trip and
-# windowed-resub determinism gate, and the quick
+# windowed-resub determinism gate, the external don't-care discipline
+# gate, and the quick
 # machine-readable perf snapshot (writes BENCH_resub.json for cross-PR
 # trajectory tracking; fails if total cpu_seconds — including the
 # multi-pass script benchmark — regresses >20% vs the previous snapshot
@@ -79,6 +90,7 @@ ci:
 	dune exec bench/main.exe -- cubeops
 	dune exec bench/main.exe -- servicecheck quick
 	dune exec bench/main.exe -- aigcheck
+	dune exec bench/main.exe -- dccheck quick
 	dune exec bench/main.exe -- bench quick
 
 bench:

@@ -11,13 +11,14 @@
      main.exe shardcheck quick totals gate across jobs x memo grid
      main.exe tracecheck quick degraded-run + trace JSON-lines gate
      main.exe memocheck quick memo-on vs --no-memo bit-identity gate
+     main.exe dccheck quick   external don't-care discipline gate
      main.exe cubeops         packed-kernel vs list-cube microbenchmark
      main.exe servicecheck quick  daemon miss/hit + byte-identity gate
      main.exe service quick   daemon throughput snapshot (BENCH_service.json)
      main.exe aigcheck        AIGER round-trip + windowed-resub gate
      main.exe aig             >=10k-gate AIG snapshot (BENCH_aig.json)
    Sections: fig1 fig2 table1 fig4 table2 table3 table4 table5 ablation
-   bech bench jobscheck shardcheck tracecheck memocheck cubeops
+   bech bench jobscheck shardcheck tracecheck memocheck dccheck cubeops
    servicecheck service aigcheck aig
    Options (key=value): jobs=N (bench parallelism, default 1, 0 = one per
    core; snapshots at jobs=1 are gated >20%% CPU-regression against the
@@ -898,6 +899,76 @@ let previous_script_cpu path =
     scan 0;
     if !found then Some !sum else None
 
+(* ------------------------------------------------------------------ *)
+(* DC-rich fixture shared by dccheck and the bench snapshot            *)
+(* ------------------------------------------------------------------ *)
+
+(* Every node carries cubes that are live only on input patterns the
+   [.exdc] cover forbids (a=b=1 and c=d=1 never occur), so a DC-aware
+   run can delete them while a DC-blind run must keep every one.
+   Parsed from text so the gate also exercises the [.exdc] reader. *)
+let dc_fixture_text =
+  ".model dcrich\n\
+   .inputs a b c d e\n\
+   .outputs f g h\n\
+   .names a b c d f\n\
+   1111 1\n\
+   1100 1\n\
+   0011 1\n\
+   0110 1\n\
+   .names c d e g\n\
+   111 1\n\
+   110 1\n\
+   001 1\n\
+   .names a b e h\n\
+   11- 1\n\
+   001 1\n\
+   .exdc\n\
+   .names a b c d excdc\n\
+   11-- 1\n\
+   --11 1\n\
+   .end\n"
+
+let dc_fixture () = Logic_network.Blif.parse_dc dc_fixture_text
+
+(* Minimum factored literals the DC-aware run must save over the
+   DC-blind one on the fixture, per Boolean method. *)
+let dc_fixture_floor = [ ("basic", 4); ("ext", 4); ("ext-gdc", 4) ]
+
+(* One (method, plain literals, DC literals, verified modulo DC) row of
+   the fixture — shared by the dccheck gate and the bench snapshot
+   record. *)
+let dc_fixture_cells () =
+  let net, dc = dc_fixture () in
+  List.map
+    (fun (name, meth) ->
+      let plain = Network.copy net in
+      Synth.Script.run plain Synth.Script.script_a;
+      Synth.Script.resub_command meth plain;
+      let dcrun = Network.copy net in
+      Synth.Script.run dcrun Synth.Script.script_a;
+      Synth.Script.resub_command ~dc meth dcrun;
+      let verified =
+        match Equiv.check_dc dc dcrun net with
+        | Equiv.Equivalent -> true
+        | Equiv.Counterexample _ -> false
+      in
+      (name, Lit_count.factored plain, Lit_count.factored dcrun, verified))
+    Synth.Script.resub_methods
+
+(* The bench snapshot's "dc" record. Key names avoid the "cpu_seconds" /
+   "wall_seconds" substrings the regression parsers scan for. *)
+let dc_json () =
+  Printf.sprintf "{\"fixture\": \"dcrich\", \"methods\": [%s]}"
+    (String.concat ", "
+       (List.map
+          (fun (name, plain, with_dc, verified) ->
+            Printf.sprintf
+              "{\"method\": %S, \"plain_literals\": %d, \"dc_literals\": \
+               %d, \"verified_modulo_dc\": %b}"
+              name plain with_dc verified)
+          (dc_fixture_cells ())))
+
 (* Emits one JSON record per (circuit, method) cell plus per-method
    totals: factored literals, CPU and wall seconds, verification status,
    and the divisor-filter counters, so successive PRs can diff resub
@@ -994,16 +1065,17 @@ let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed rows =
       (Rar_util.Counters.to_json counters)
   in
   Buffer.add_string buffer (Printf.sprintf "{\n  \"jobs\": %d,\n" jobs);
-  (* The cubeops record must precede the "totals" marker: the regression
-     parser above sums every "cpu_seconds" after it, and these throughput
-     figures deliberately use different key names. *)
+  (* The cubeops and dc records must precede the "totals" marker: the
+     regression parser above sums every "cpu_seconds" after it, and
+     these figures deliberately use different key names. *)
   Buffer.add_string buffer
     (Printf.sprintf
        "  \"cubeops\": %s,\n  \"script_bench\": %s,\n  \"scaling\": %s,\n  \
-        \"circuits\": [\n"
+        \"dc\": %s,\n  \"circuits\": [\n"
        (cubeops_json cubeops)
        (script_bench_json script_cells)
-       (scaling_json scaling_cells));
+       (scaling_json scaling_cells)
+       (dc_json ()));
   List.iteri
     (fun i (circuit, init, per_method) ->
       Buffer.add_string buffer
@@ -1337,6 +1409,119 @@ let memo_check rows =
     Printf.printf
       "memocheck: all cells bit-identical; memo active when on, inert \
        when off\n"
+
+(* ------------------------------------------------------------------ *)
+(* dccheck - external don't-care discipline gate                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The don't-care discipline, gated:
+   1. an {e empty} view is invisible — byte-identical networks across
+      the jobs x memo grid against the no-view reference, with the
+      quick-suite totals pinned to the shardcheck figures;
+   2. a non-empty view is deterministic — the fixture's DC run is
+      byte-identical across the same grid;
+   3. on the DC-rich fixture every Boolean method meets its improvement
+      floor, never regresses, and the result verifies modulo DC. *)
+let dc_check ~pinned rows =
+  section "dccheck - external don't-care discipline gate";
+  let grid = [ (1, false); (2, true); (2, false); (8, true); (8, false) ] in
+  let failures = ref 0 in
+  let totals = Hashtbl.create 7 in
+  List.iter
+    (fun row ->
+      let net = Suite.build row in
+      Synth.Script.run net Synth.Script.script_a;
+      List.iter
+        (fun (name, meth) ->
+          let reference = Network.copy net in
+          Synth.Script.resub_command ~jobs:1 ~use_memo:true meth reference;
+          let ref_str = Network.to_string reference in
+          let lits = Lit_count.factored reference in
+          Hashtbl.replace totals name
+            ((try Hashtbl.find totals name with Not_found -> 0) + lits);
+          let diverged =
+            List.filter
+              (fun (jobs, use_memo) ->
+                let scratch = Network.copy net in
+                let empty = Logic_network.Dont_care.create () in
+                Synth.Script.resub_command ~jobs ~use_memo ~dc:empty meth
+                  scratch;
+                Network.to_string scratch <> ref_str)
+              grid
+          in
+          if diverged <> [] then begin
+            incr failures;
+            List.iter
+              (fun (jobs, use_memo) ->
+                Printf.printf
+                  "  %-12s %-8s empty view DIVERGES at jobs=%d memo=%b\n"
+                  row.Suite.name name jobs use_memo)
+              diverged
+          end
+          else
+            Printf.printf
+              "  %-12s %-8s %4d lits  empty view invisible across grid\n"
+              row.Suite.name name lits)
+        Synth.Script.resub_methods)
+    rows;
+  if pinned then
+    List.iter
+      (fun (name, expect) ->
+        let got = try Hashtbl.find totals name with Not_found -> 0 in
+        Printf.printf "  total %-8s %4d lits (expected %d)\n" name got expect;
+        if got <> expect then incr failures)
+      expected_quick_totals;
+  (* Non-empty view: deterministic across the grid. *)
+  let fnet, fdc = dc_fixture () in
+  Synth.Script.run fnet Synth.Script.script_a;
+  List.iter
+    (fun (name, meth) ->
+      let reference = Network.copy fnet in
+      Synth.Script.resub_command ~jobs:1 ~use_memo:true ~dc:fdc meth
+        reference;
+      let ref_str = Network.to_string reference in
+      let diverged =
+        List.filter
+          (fun (jobs, use_memo) ->
+            let scratch = Network.copy fnet in
+            Synth.Script.resub_command ~jobs ~use_memo ~dc:fdc meth scratch;
+            Network.to_string scratch <> ref_str)
+          grid
+      in
+      if diverged <> [] then begin
+        incr failures;
+        List.iter
+          (fun (jobs, use_memo) ->
+            Printf.printf
+              "  dcrich       %-8s DC run DIVERGES at jobs=%d memo=%b\n" name
+              jobs use_memo)
+          diverged
+      end
+      else
+        Printf.printf "  dcrich       %-8s DC run identical across grid\n"
+          name)
+    Synth.Script.resub_methods;
+  (* DC-rich fixture: improvement floor + verify modulo DC. *)
+  List.iter
+    (fun (name, plain, with_dc, verified) ->
+      let floor = Option.value ~default:0 (List.assoc_opt name dc_fixture_floor) in
+      let ok = with_dc <= plain - floor && verified in
+      Printf.printf
+        "  dcrich       %-8s %4d -> %4d lits (floor %d)  verify-modulo-DC \
+         %s  %s\n"
+        name plain with_dc floor
+        (if verified then "pass" else "FAIL")
+        (if ok then "ok" else "FAIL");
+      if not ok then incr failures)
+    (dc_fixture_cells ());
+  if !failures > 0 then begin
+    Printf.printf "dccheck: %d check(s) FAILED\n" !failures;
+    exit 8
+  end
+  else
+    Printf.printf
+      "dccheck: empty views invisible, DC runs deterministic, fixture \
+       floors met\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel benches - one per table                                    *)
@@ -1869,6 +2054,7 @@ let () =
   if List.mem "shardcheck" explicit then shard_check ~pinned:quick rows;
   if List.mem "tracecheck" explicit then trace_check rows;
   if List.mem "memocheck" explicit then memo_check rows;
+  if List.mem "dccheck" explicit then dc_check ~pinned:quick rows;
   if List.mem "cubeops" explicit then cubeops_report ();
   if List.mem "servicecheck" explicit then service_check rows;
   if List.mem "service" explicit then service_bench ~clients rows;

@@ -37,6 +37,47 @@ let load ~circuit ~file =
       Error (2, Printf.sprintf "%s:%d: %s" path line message)
     | Sys_error msg -> Error (2, msg))
 
+(* Like [load] but also returns the external don't-care view: the
+   inline [.exdc] section of a BLIF file (named suite circuits carry
+   none), with the cubes and EXOEC pairs of an [--exdc FILE] merged
+   in. *)
+let load_dc ~circuit ~file ~exdc =
+  let base =
+    match (circuit, file) with
+    | None, Some path -> (
+      try Ok (Logic_network.Blif.read_file_dc path) with
+      | Logic_network.Blif.Parse_error { line; message } ->
+        Error (2, Printf.sprintf "%s:%d: %s" path line message)
+      | Sys_error msg -> Error (2, msg))
+    | _ ->
+      Result.map
+        (fun net -> (net, Logic_network.Dont_care.create ()))
+        (load ~circuit ~file)
+  in
+  match (base, exdc) with
+  | (Error _ as e), _ | (Ok _ as e), None -> e
+  | Ok (net, dc), Some path -> (
+    try
+      let extra = Logic_network.Blif.read_exdc_file net path in
+      List.iter
+        (Logic_network.Dont_care.add_excdc dc)
+        (Logic_network.Dont_care.excdc extra);
+      List.iter
+        (fun (p1, p2) -> Logic_network.Dont_care.add_exoec_pair dc p1 p2)
+        (Logic_network.Dont_care.exoec extra);
+      Ok (net, dc)
+    with
+    | Logic_network.Blif.Parse_error { line; message } ->
+      Error (2, Printf.sprintf "%s:%d: %s" path line message)
+    | Sys_error msg -> Error (2, msg))
+
+let print_counterexample output assignment =
+  Printf.printf "counterexample: output %s differs under %s\n" output
+    (String.concat " "
+       (List.map
+          (fun (name, v) -> Printf.sprintf "%s=%d" name (if v then 1 else 0))
+          assignment))
+
 let circuit_arg =
   Arg.(
     value
@@ -48,6 +89,18 @@ let file_arg =
     value
     & opt (some string) None
     & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Read the circuit from a BLIF file.")
+
+let exdc_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "exdc" ] ~docv:"FILE"
+        ~doc:
+          "Read an external don't-care view (a BLIF $(b,.exdc) section) \
+           from $(docv), merged with any inline section of the circuit \
+           file. EXCDC cubes become forbidden input patterns for the \
+           Boolean methods and mask the divisor filter; $(b,--verify) \
+           checks modulo the view.")
 
 (* ------------------------------------------------------------------ *)
 (* list                                                                *)
@@ -129,17 +182,21 @@ let resubs =
   @ [ ("rar", `Other (fun net -> ignore (Rewiring.Rar.optimize net))) ]
 
 let optimize_cmd =
-  let run circuit file script method_name no_filter no_memo jobs sim_seed
-      fault_budget deadline trace_file output verify verbose =
+  let run circuit file exdc script method_name no_filter no_memo jobs
+      sim_seed fault_budget deadline trace_file output verify verbose =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
     end;
-    match load ~circuit ~file with
+    match load_dc ~circuit ~file ~exdc with
     | Error (code, msg) ->
       prerr_endline msg;
       code
-    | Ok net -> (
+    | Ok (net, dc_view) -> (
+      let dc =
+        if Logic_network.Dont_care.is_empty dc_view then None
+        else Some dc_view
+      in
       match
         match trace_file with
         | Some path -> Rar_util.Trace.to_file path
@@ -169,8 +226,14 @@ let optimize_cmd =
         | `Method meth ->
           Synth.Script.resub_command ~use_filter:(not no_filter)
             ~use_memo:(not no_memo) ~jobs ~sim_seed ?fault_fuel:fault_budget
-            ?deadline_at ~trace ~counters meth
+            ?deadline_at ~trace ~counters ?dc meth
       in
+      Option.iter
+        (fun dc ->
+          Printf.printf "external don't cares: %d EXCDC cube(s), %d EXOEC pair(s)\n"
+            (List.length (Logic_network.Dont_care.excdc dc))
+            (List.length (Logic_network.Dont_care.exoec dc)))
+        dc;
       Printf.printf "initial: %d factored literals\n" (Lit_count.factored net);
       let (), script_time =
         Rar_util.Stopwatch.time (fun () -> Synth.Script.run ~trace net steps)
@@ -186,13 +249,28 @@ let optimize_cmd =
           (if no_filter then "off" else "on")
           (Rar_util.Counters.to_string counters);
       if verify then begin
-        let ok = Logic_sim.Equiv.equivalent net original in
-        Printf.printf "equivalence check: %s\n" (if ok then "pass" else "FAIL");
-        if not ok then exit 2
+        let result =
+          match dc with
+          | None -> Logic_sim.Equiv.check net original
+          | Some dc -> Logic_sim.Equiv.check_dc dc net original
+        in
+        let label =
+          match dc with
+          | None -> "equivalence check"
+          | Some _ -> "equivalence check (modulo DC)"
+        in
+        match result with
+        | Logic_sim.Equiv.Equivalent -> Printf.printf "%s: pass\n" label
+        | Logic_sim.Equiv.Counterexample { output; assignment } ->
+          Printf.printf "%s: FAIL\n" label;
+          print_counterexample output assignment;
+          exit 2
       end;
       match output with
       | Some path ->
-        Logic_network.Blif.write_file path net;
+        (match dc with
+        | None -> Logic_network.Blif.write_file path net
+        | Some dc -> Logic_network.Blif.write_file_dc path net dc);
         Printf.printf "written to %s\n" path;
         0
       | None -> 0)
@@ -296,7 +374,7 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimise a circuit with a script and a method.")
     Term.(
-      const run $ circuit_arg $ file_arg $ script_arg $ method_arg
+      const run $ circuit_arg $ file_arg $ exdc_arg $ script_arg $ method_arg
       $ no_filter_flag $ no_memo_flag $ jobs_arg $ sim_seed_arg
       $ fault_budget_arg $ deadline_arg $ trace_arg $ output_arg
       $ verify_flag $ verbose_flag)
@@ -311,7 +389,7 @@ let optimize_cmd =
    Exit codes follow [optimize]: 1 usage, 2 unreadable input or failed
    verification. *)
 let optimize_aig_cmd =
-  let run file script method_name no_filter no_memo jobs sim_seed
+  let run file exdc script method_name no_filter no_memo jobs sim_seed
       fault_budget deadline max_window max_leaves trace_file output verify
       verbose =
     if verbose then begin
@@ -324,11 +402,35 @@ let optimize_aig_cmd =
         Error (Printf.sprintf "%s:%d: %s" file line message)
       | Sys_error msg -> Error msg
     in
-    match aig with
+    (* The view is resolved against a shell network holding just the
+       AIG's input names: [.exdc] cubes are over primary inputs, which
+       is all the per-window projection ever looks at. *)
+    let dc =
+      match (aig, exdc) with
+      | Error _, _ | _, None -> Ok None
+      | Ok aig, Some path -> (
+        let shell = Network.create () in
+        List.iter
+          (fun (name, _) -> ignore (Network.add_input shell name))
+          (Logic_network.Aig.inputs aig);
+        try
+          let dc = Logic_network.Blif.read_exdc_file shell path in
+          if Logic_network.Dont_care.is_empty dc then Ok None
+          else Ok (Some dc)
+        with
+        | Logic_network.Blif.Parse_error { line; message } ->
+          Error (Printf.sprintf "%s:%d: %s" path line message)
+        | Sys_error msg -> Error msg)
+    in
+    match
+      match (aig, dc) with
+      | (Error _ as e), _ | _, (Error _ as e) -> e
+      | Ok aig, Ok dc -> Ok (aig, dc)
+    with
     | Error msg ->
       prerr_endline msg;
       2
-    | Ok aig -> (
+    | Ok (aig, dc) -> (
       match
         match trace_file with
         | Some path -> Rar_util.Trace.to_file path
@@ -361,8 +463,14 @@ let optimize_aig_cmd =
             sim_seed;
             max_gates = max_window;
             max_leaves;
+            dc;
           }
         in
+        Option.iter
+          (fun dc ->
+            Printf.printf "external don't cares: %d EXCDC cube(s)\n"
+              (List.length (Logic_network.Dont_care.excdc dc)))
+          dc;
         Printf.printf "initial: %d gates, %d inputs\n"
           (Logic_network.Aig.num_ands aig)
           (Logic_network.Aig.num_inputs aig);
@@ -382,13 +490,24 @@ let optimize_aig_cmd =
             (if no_filter then "off" else "on")
             (Rar_util.Counters.to_string counters);
         if verify then begin
-          let ok =
-            Logic_sim.Equiv.equivalent
-              (Logic_network.Aig.to_network aig)
-              (Logic_network.Aig.to_network optimised)
+          let before = Logic_network.Aig.to_network aig
+          and after = Logic_network.Aig.to_network optimised in
+          let result =
+            match dc with
+            | None -> Logic_sim.Equiv.check before after
+            | Some dc -> Logic_sim.Equiv.check_dc dc before after
           in
-          Printf.printf "equivalence check: %s\n" (if ok then "pass" else "FAIL");
-          if not ok then exit 2
+          let label =
+            match dc with
+            | None -> "equivalence check"
+            | Some _ -> "equivalence check (modulo DC)"
+          in
+          match result with
+          | Logic_sim.Equiv.Equivalent -> Printf.printf "%s: pass\n" label
+          | Logic_sim.Equiv.Counterexample { output; assignment } ->
+            Printf.printf "%s: FAIL\n" label;
+            print_counterexample output assignment;
+            exit 2
         end;
         match output with
         | Some path ->
@@ -508,10 +627,10 @@ let optimize_aig_cmd =
     (Cmd.info "optimize-aig"
        ~doc:"Optimise an ASCII-AIGER circuit window by window.")
     Term.(
-      const run $ file_arg $ script_arg $ method_arg $ no_filter_flag
-      $ no_memo_flag $ jobs_arg $ sim_seed_arg $ fault_budget_arg
-      $ deadline_arg $ max_window_arg $ max_leaves_arg $ trace_arg
-      $ output_arg $ verify_flag $ verbose_flag)
+      const run $ file_arg $ exdc_arg $ script_arg $ method_arg
+      $ no_filter_flag $ no_memo_flag $ jobs_arg $ sim_seed_arg
+      $ fault_budget_arg $ deadline_arg $ max_window_arg $ max_leaves_arg
+      $ trace_arg $ output_arg $ verify_flag $ verbose_flag)
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)
@@ -531,21 +650,40 @@ let client_cmd =
      with End_of_file -> ());
     buf
   in
-  let run socket circuit file script method_name no_filter no_memo jobs
+  let run socket circuit file exdc script method_name no_filter no_memo jobs
       sim_seed fault_budget deadline no_cache timeout output =
     let blif =
+      (* Inline [.exdc] sections ride along in the body (the daemon
+         splits them back out); an [--exdc FILE] travels verbatim in the
+         request's [exdc] field and is merged daemon-side. *)
       match (circuit, file) with
       | None, None -> Ok (Buffer.contents (read_all stdin))
       | _ ->
         Result.map
-          (fun net -> Logic_network.Blif.to_string net)
-          (load ~circuit ~file)
+          (fun (net, dc) -> Logic_network.Blif.to_string_dc net dc)
+          (load_dc ~circuit ~file ~exdc:None)
     in
-    match blif with
+    let exdc_text =
+      match exdc with
+      | None -> Ok None
+      | Some path -> (
+        try
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              Ok (Some (really_input_string ic (in_channel_length ic))))
+        with Sys_error msg -> Error (2, msg))
+    in
+    match
+      match (blif, exdc_text) with
+      | (Error _ as e), _ | _, (Error _ as e) -> e
+      | Ok blif, Ok exdc -> Ok (blif, exdc)
+    with
     | Error (code, msg) ->
       prerr_endline msg;
       code
-    | Ok blif -> (
+    | Ok (blif, exdc) -> (
       let request =
         {
           (Rar_service.Protocol.default_request ~blif) with
@@ -558,6 +696,7 @@ let client_cmd =
           fault_budget;
           deadline;
           use_cache = not no_cache;
+          exdc;
         }
       in
       match Rar_service.Server.Client.round_trip ?timeout ~socket request with
@@ -670,10 +809,10 @@ let client_cmd =
          "Submit a job to a running rarsubd (reads BLIF from stdin unless \
           $(b,-c)/$(b,-f) is given).")
     Term.(
-      const run $ socket_arg $ circuit_arg $ file_arg $ script_arg
-      $ method_arg $ no_filter_flag $ no_memo_flag $ jobs_arg $ sim_seed_arg
-      $ fault_budget_arg $ deadline_arg $ no_cache_flag $ timeout_arg
-      $ output_arg)
+      const run $ socket_arg $ circuit_arg $ file_arg $ exdc_arg
+      $ script_arg $ method_arg $ no_filter_flag $ no_memo_flag $ jobs_arg
+      $ sim_seed_arg $ fault_budget_arg $ deadline_arg $ no_cache_flag
+      $ timeout_arg $ output_arg)
 
 let () =
   let info =

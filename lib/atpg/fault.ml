@@ -165,10 +165,10 @@ let inject net wire =
 let find_test net wire =
   match Logic_sim.Equiv.check net (inject net wire) with
   | Logic_sim.Equiv.Equivalent -> None
-  | Logic_sim.Equiv.Counterexample assignment -> Some assignment
+  | Logic_sim.Equiv.Counterexample { assignment; _ } -> Some assignment
 
 let redundant_result ?(use_dominators = true) ?(learn_depth = 0) ?region
-    ?engine ?budget ?counters ?(extra = []) net wire =
+    ?engine ?budget ?counters ?dc ?(extra = []) net wire =
   let faulty_node =
     match wire with Literal_wire { node; _ } | Cube_wire { node; _ } -> node
   in
@@ -185,7 +185,7 @@ let redundant_result ?(use_dominators = true) ?(learn_depth = 0) ?region
          install the caller's (or unlimited). *)
       Imply.set_budget e budget;
       e
-    | Some _ | None -> Imply.create ?region ~frozen ~budget ?counters net
+    | Some _ | None -> Imply.create ?region ~frozen ~budget ?counters ?dc net
   in
   let assignments =
     activation_assignments net wire
@@ -205,10 +205,10 @@ let redundant_result ?(use_dominators = true) ?(learn_depth = 0) ?region
   | exception Rar_util.Budget.Exhausted reason -> Error reason
 
 let redundant ?use_dominators ?learn_depth ?region ?engine ?budget ?counters
-    ?extra net wire =
+    ?dc ?extra net wire =
   match
     redundant_result ?use_dominators ?learn_depth ?region ?engine ?budget
-      ?counters ?extra net wire
+      ?counters ?dc ?extra net wire
   with
   | Ok verdict -> verdict
   | Error _ -> false

@@ -85,6 +85,7 @@ val redundant_result :
   ?engine:Imply.t ->
   ?budget:Rar_util.Budget.t ->
   ?counters:Rar_util.Counters.t ->
+  ?dc:Logic_network.Dont_care.t ->
   ?extra:assignment list ->
   Logic_network.Network.t ->
   wire ->
@@ -100,10 +101,16 @@ val redundant_result :
     degrade or abort. The budget is installed on the engine for this test
     (replacing any stale one on a pooled engine).
 
+    [dc] supplies external don't cares to the implication engine (EXCDC
+    patterns become forbidden assignments, so more faults prove
+    untestable — a wire only exercised by externally-impossible
+    patterns is redundant in context).
+
     When [engine] is a pooled arena over the {e same} network (physical
     equality; its region must match [region]), it is {!Imply.reset} with
-    this fault's frozen set and reused instead of building a fresh engine;
-    otherwise a fresh one is created and [counters] records the build. *)
+    this fault's frozen set and reused instead of building a fresh engine
+    — the pooled engine's creation-time [dc] applies; otherwise a fresh
+    one is created and [counters] records the build. *)
 
 val redundant :
   ?use_dominators:bool ->
@@ -112,6 +119,7 @@ val redundant :
   ?engine:Imply.t ->
   ?budget:Rar_util.Budget.t ->
   ?counters:Rar_util.Counters.t ->
+  ?dc:Logic_network.Dont_care.t ->
   ?extra:assignment list ->
   Logic_network.Network.t ->
   wire ->

@@ -31,6 +31,14 @@ type t = {
   mutable frozen : Network.node_id -> bool;
   mutable budget : Rar_util.Budget.t;
   counters : Counters.t option;
+  (* External don't cares: each EXCDC cube is a forbidden input
+     pattern, i.e. the clause ¬(cube) the environment guarantees.
+     Resolved to slots at build time; [dc_codes] packs (slot, phase)
+     as [slot lsl 1 lor neg-bit] (even = positive, as cube codes). *)
+  dc : Logic_network.Dont_care.t option;
+  mutable built_dc_revision : int;
+  mutable dc_codes : int array array;
+  mutable dc_watch : int array array; (* input slot -> watching cubes *)
   (* Structure mirrors the network at [built_revision]; [reset] rebuilds
      it when the network has mutated since. Shared by learn-copies. *)
   mutable built_revision : int;
@@ -116,6 +124,43 @@ let build t =
       end)
     ids;
   if nslots > 0 then cube_off.(nslots) <- !total_cubes;
+  (* Resolve the EXCDC cubes against the current structure. A cube
+     naming a signal that is not a primary input of this network is
+     dropped — fewer forbidden patterns is always sound. *)
+  let dc_codes, dc_watch =
+    match t.dc with
+    | Some dc when not (Logic_network.Dont_care.is_empty dc) ->
+      let resolved = ref [] in
+      List.iter
+        (fun cube ->
+          let codes =
+            List.filter_map
+              (fun (name, phase) ->
+                match Network.find_by_name net name with
+                | Some id
+                  when id < Array.length slot && slot.(id) >= 0
+                       && Bytes.get is_input slot.(id) = '\001' ->
+                  Some ((slot.(id) lsl 1) lor (if phase then 0 else 1))
+                | _ -> None)
+              cube
+          in
+          if List.length codes = List.length cube then
+            resolved := Array.of_list codes :: !resolved)
+        (Logic_network.Dont_care.excdc dc);
+      let dc_codes = Array.of_list (List.rev !resolved) in
+      if Array.length dc_codes = 0 then ([||], [||])
+      else begin
+        let watch = Array.make (max 1 nslots) [] in
+        Array.iteri
+          (fun c codes ->
+            Array.iter
+              (fun code -> watch.(code lsr 1) <- c :: watch.(code lsr 1))
+              codes)
+          dc_codes;
+        (dc_codes, Array.map (fun l -> Array.of_list (List.rev l)) watch)
+      end
+    | _ -> ([||], [||])
+  in
   let cube_codes = Array.make (max 1 !total_cubes) [||] in
   List.iteri
     (fun s _ ->
@@ -126,6 +171,12 @@ let build t =
         cubes_of.(s))
     ids;
   t.built_revision <- Network.revision net;
+  t.built_dc_revision <-
+    (match t.dc with
+    | None -> -1
+    | Some dc -> Logic_network.Dont_care.revision dc);
+  t.dc_codes <- dc_codes;
+  t.dc_watch <- dc_watch;
   t.generation <- t.generation + 1;
   t.slot <- slot;
   t.node_of <- node_of;
@@ -169,7 +220,7 @@ let build t =
   | None -> ())
 
 let create ?(region = fun _ -> true) ?(frozen = fun _ -> false)
-    ?(budget = Rar_util.Budget.unlimited) ?counters net =
+    ?(budget = Rar_util.Budget.unlimited) ?counters ?dc net =
   let t =
     {
       net;
@@ -177,6 +228,10 @@ let create ?(region = fun _ -> true) ?(frozen = fun _ -> false)
       frozen;
       budget;
       counters;
+      dc;
+      built_dc_revision = -1;
+      dc_codes = [||];
+      dc_watch = [||];
       built_revision = -1;
       generation = 0;
       slot = [||];
@@ -202,9 +257,17 @@ let create ?(region = fun _ -> true) ?(frozen = fun _ -> false)
   build t;
   t
 
+let dc_revision t =
+  match t.dc with
+  | None -> -1
+  | Some dc -> Logic_network.Dont_care.revision dc
+
 let reset ?frozen t =
   (match frozen with Some f -> t.frozen <- f | None -> ());
-  if Network.revision t.net <> t.built_revision then build t
+  if
+    Network.revision t.net <> t.built_revision
+    || dc_revision t <> t.built_dc_revision
+  then build t
   else begin
     t.generation <- t.generation + 1;
     (* Undo the trail, flush the queue, and re-arm the constants'
@@ -263,8 +326,13 @@ let push_trail t e =
 
 (* Record a node value; queue the node and its fanouts for re-examination.
    Constants are pre-seeded with their fanouts pending, so re-asserting
-   one is a no-op (as in the legacy engine after its [create]). *)
-let set_node t id v =
+   one is a no-op (as in the legacy engine after its [create]). An
+   assigned primary input is additionally checked against the EXCDC
+   cubes watching it: a fully-matched forbidden pattern is a conflict
+   (the environment never produces it), and a cube with exactly one
+   free input whose other literals all hold forces that input to the
+   opposite phase — the clause ¬(cube) as a unit implication. *)
+let rec set_node t id v =
   let s = slot_exn t id in
   match node_value_slot t s with
   | Some v' when v' = v -> ()
@@ -277,7 +345,37 @@ let set_node t id v =
     if t.region id then enqueue_slot t s;
     Array.iter
       (fun out -> if t.region out then enqueue t out)
-      t.fanouts_of.(s)
+      t.fanouts_of.(s);
+    if Array.length t.dc_codes > 0 && Bytes.get t.is_input s = '\001' then
+      check_dc t s
+
+and check_dc t s =
+  Array.iter
+    (fun c ->
+      let codes = t.dc_codes.(c) in
+      let m = Array.length codes in
+      let unknowns = ref 0 in
+      let unknown_at = ref (-1) in
+      let dead = ref false in
+      for k = 0 to m - 1 do
+        if not !dead then begin
+          let code = codes.(k) in
+          match node_value_slot t (code lsr 1) with
+          | None ->
+            incr unknowns;
+            unknown_at := k
+          | Some v -> if v <> (code land 1 = 0) then dead := true
+        end
+      done;
+      if not !dead then
+        if !unknowns = 0 then
+          raise (Conflict "input pattern forbidden by EXCDC")
+        else if !unknowns = 1 then begin
+          let code = codes.(!unknown_at) in
+          let free_id = t.node_of.(code lsr 1) in
+          if not (t.frozen free_id) then set_node t free_id (code land 1 = 1)
+        end)
+    t.dc_watch.(s)
 
 let set_cube t id i v =
   let s = slot_exn t id in
@@ -398,19 +496,26 @@ let propagate t = run t
 
 (* --- Trail checkpoints ------------------------------------------------- *)
 
-type mark = { m_trail : int; m_generation : int; m_revision : int }
+type mark = {
+  m_trail : int;
+  m_generation : int;
+  m_revision : int;
+  m_dc_revision : int;
+}
 
 let checkpoint t =
   if t.q_len > 0 then
     invalid_arg "Imply.checkpoint: pending implications (propagate first)";
   { m_trail = t.trail_len; m_generation = t.generation;
-    m_revision = t.built_revision }
+    m_revision = t.built_revision; m_dc_revision = t.built_dc_revision }
 
 let pop_to t mark =
   if
     mark.m_generation <> t.generation
     || mark.m_revision <> t.built_revision
     || Network.revision t.net <> t.built_revision
+    || mark.m_dc_revision <> t.built_dc_revision
+    || dc_revision t <> t.built_dc_revision
     || mark.m_trail > t.trail_len
   then false
   else begin

@@ -37,6 +37,7 @@ val create :
   ?frozen:(Logic_network.Network.node_id -> bool) ->
   ?budget:Rar_util.Budget.t ->
   ?counters:Rar_util.Counters.t ->
+  ?dc:Logic_network.Dont_care.t ->
   Logic_network.Network.t ->
   t
 (** Build an arena over the network's current structure. Counted as an
@@ -45,7 +46,18 @@ val create :
     is charged one unit per propagation step; when it runs out,
     {!Rar_util.Budget.Exhausted} escapes from {!assign_node} /
     {!assign_cube} / {!learn}. The engine stays consistent — {!reset}
-    rewinds the partial propagation like any other abandoned test. *)
+    rewinds the partial propagation like any other abandoned test.
+
+    [dc] supplies external controllability don't cares: each EXCDC cube
+    is a forbidden input pattern, treated as the clause ¬(cube). When an
+    input assignment completes a forbidden pattern the engine raises
+    {!Conflict} (the environment never produces that pattern, so the
+    assumed situation is externally untestable); when exactly one input
+    of a cube is free and every other literal holds, the free input is
+    implied to the opposite phase. Cubes naming signals that are not
+    primary inputs of this network are dropped (sound), and an empty
+    view changes nothing. The cube tables are re-resolved whenever
+    {!reset} observes a changed {!Logic_network.Dont_care.revision}. *)
 
 val set_budget : t -> Rar_util.Budget.t -> unit
 (** Replace the engine's budget (pooled engines get a fresh budget per

@@ -54,7 +54,7 @@ let region_predicate net seeds =
   fun id -> Network.Node_set.mem id set
 
 let divide ?(phase = true) ?(gdc = false) ?(learn_depth = 0) ?budget ?counters
-    net ~f ~d =
+    ?dc net ~f ~d =
   if not (applicable ~phase net ~f ~d) then None
   else begin
     let original_cover = Network.cover net f in
@@ -95,7 +95,7 @@ let divide ?(phase = true) ?(gdc = false) ?(learn_depth = 0) ?budget ?counters
     in
     let learn_depth = if learn_depth > 0 then Some learn_depth else None in
     let removed =
-      Rewiring.Remove.run ?region ?learn_depth ?budget ?counters
+      Rewiring.Remove.run ?region ?learn_depth ?budget ?counters ?dc
         ~node_filter:(fun n -> n = q_node)
         net
     in
@@ -122,11 +122,11 @@ let divide ?(phase = true) ?(gdc = false) ?(learn_depth = 0) ?budget ?counters
     end
   end
 
-let try_divide ?phase ?gdc ?learn_depth ?budget ?counters net ~f ~d =
+let try_divide ?phase ?gdc ?learn_depth ?budget ?counters ?dc net ~f ~d =
   let before_cover = Network.cover net f in
   let before_fanins = Network.fanins net f in
   let before_lits = Lit_count.node_factored net f in
-  match divide ?phase ?gdc ?learn_depth ?budget ?counters net ~f ~d with
+  match divide ?phase ?gdc ?learn_depth ?budget ?counters ?dc net ~f ~d with
   | None -> None
   | Some outcome ->
     let gain = before_lits - Lit_count.node_factored net f in

@@ -45,6 +45,7 @@ val divide :
   ?learn_depth:int ->
   ?budget:Rar_util.Budget.t ->
   ?counters:Rar_util.Counters.t ->
+  ?dc:Logic_network.Dont_care.t ->
   Logic_network.Network.t ->
   f:Logic_network.Network.node_id ->
   d:Logic_network.Network.node_id ->
@@ -54,7 +55,10 @@ val divide :
     (callers wanting a gain policy should use {!try_divide}). [None] when
     {!applicable} fails. [budget] bounds the redundancy-removal step;
     exhaustion degrades the quotient toward the algebraic one instead of
-    failing (flagged in {!outcome.degraded}). *)
+    failing (flagged in {!outcome.degraded}). [dc] lets the removal step
+    also exploit external don't cares (see {!Rewiring.Remove.run}), so
+    the quotient can shrink further; the result is then only guaranteed
+    equivalent modulo the DC view. *)
 
 val try_divide :
   ?phase:bool ->
@@ -62,6 +66,7 @@ val try_divide :
   ?learn_depth:int ->
   ?budget:Rar_util.Budget.t ->
   ?counters:Rar_util.Counters.t ->
+  ?dc:Logic_network.Dont_care.t ->
   Logic_network.Network.t ->
   f:Logic_network.Network.node_id ->
   d:Logic_network.Network.node_id ->

@@ -28,7 +28,7 @@ let materialise_core net core =
     in
     let g =
       Network.add_logic net
-        ~name:(Network.name net m ^ "_core")
+        ~name:(Network.fresh_name net (Network.name net m ^ "_core"))
         ~fanins:m_fanins core_cover
     in
     (* Decompose m = core + rest (the paper's divisor decomposition). *)
@@ -70,7 +70,7 @@ let materialise_core net core =
                   (Net_cube.signals c)))
            global_cubes)
     in
-    let g = Network.add_logic net ~name:"core" ~fanins cover in
+    let g = Network.add_logic net ~name:(Network.fresh_name net "core") ~fanins cover in
     (* Any source that contains the whole core as a subset of its own
        cubes can be decomposed around it too, so the new node is shared
        rather than duplicated logic. *)
@@ -99,10 +99,12 @@ let materialise_core net core =
       sources;
     (g, !decomposed)
 
-let try_run ?gdc ?learn_depth ?budget ?counters net ~f ~pool =
+let try_run ?gdc ?learn_depth ?budget ?counters ?dc net ~f ~pool =
+  (* [dc] is name-based, so the view built against [net] stays valid on
+     the scratch copy (copies preserve names). *)
   let scratch = Network.copy net in
   let entries =
-    Vote.collect ?gdc ?learn_depth ?budget ?counters scratch ~f ~pool
+    Vote.collect ?gdc ?learn_depth ?budget ?counters ?dc scratch ~f ~pool
   in
   let valid = Array.of_list (Vote.valid_entries entries) in
   if Array.length valid = 0 then None
@@ -120,8 +122,8 @@ let try_run ?gdc ?learn_depth ?budget ?counters net ~f ~pool =
     | Some { members; core } ->
       let core_node, decomposed = materialise_core scratch core in
       let divided =
-        Basic_division.divide ?gdc ?learn_depth ?budget ?counters scratch ~f
-          ~d:core_node
+        Basic_division.divide ?gdc ?learn_depth ?budget ?counters ?dc scratch
+          ~f ~d:core_node
       in
       let cleanup_ok =
         match divided with

@@ -31,6 +31,7 @@ val try_run :
   ?learn_depth:int ->
   ?budget:Rar_util.Budget.t ->
   ?counters:Rar_util.Counters.t ->
+  ?dc:Logic_network.Dont_care.t ->
   Logic_network.Network.t ->
   f:Logic_network.Network.node_id ->
   pool:Logic_network.Network.node_id list ->
@@ -39,4 +40,6 @@ val try_run :
     positive gain. [budget] bounds the implication work of the vote
     table and the removal step; on exhaustion the attempt degrades
     (truncated table, weaker quotient) rather than failing, and the
-    positive-gain gate still guards the commit. *)
+    positive-gain gate still guards the commit. [dc] threads external
+    don't cares into the vote table and the division's removal step
+    (results then equivalent modulo the DC view). *)

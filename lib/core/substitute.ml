@@ -28,6 +28,7 @@ type config = {
   jobs : int;
   sim_seed : int;
   use_memo : bool;
+  dc : Logic_network.Dont_care.t option;
 }
 
 let basic_config =
@@ -44,6 +45,7 @@ let basic_config =
     jobs = 1;
     sim_seed = Signature.default_seed;
     use_memo = true;
+    dc = None;
   }
 
 let extended_config = { basic_config with mode = Extended }
@@ -197,7 +199,7 @@ let make_attempts ~config ?fault_fuel ?deadline_at ~trace ~counters ~sigs
       &&
       match
         Basic_division.try_divide ~phase ~gdc ~learn_depth ?budget ~counters
-          net ~f ~d
+          ?dc:config.dc net ~f ~d
       with
       | Some outcome ->
         committed `Basic;
@@ -219,12 +221,12 @@ let make_attempts ~config ?fault_fuel ?deadline_at ~trace ~counters ~sigs
       let scratch = Network.copy net in
       let gain_before = Lit_count.factored scratch in
       let first =
-        Basic_division.divide ~gdc ~learn_depth ?budget ~counters scratch ~f
-          ~d
+        Basic_division.divide ~gdc ~learn_depth ?budget ~counters
+          ?dc:config.dc scratch ~f ~d
       in
       let second =
         Basic_division.divide ~phase:false ~gdc ~learn_depth ?budget
-          ~counters scratch ~f ~d
+          ~counters ?dc:config.dc scratch ~f ~d
       in
       if
         first <> None && second <> None
@@ -259,8 +261,8 @@ let make_attempts ~config ?fault_fuel ?deadline_at ~trace ~counters ~sigs
     Counters.timed counters `Division @@ fun () ->
     Counters.add counters.Counters.divisions_attempted 1;
     match
-      Extended_division.try_run ~gdc ~learn_depth ?budget ~counters net ~f
-        ~pool
+      Extended_division.try_run ~gdc ~learn_depth ?budget ~counters
+        ?dc:config.dc net ~f ~pool
     with
     | Some outcome ->
       committed `Ext;
@@ -344,7 +346,7 @@ let run ?(config = extended_config) ?fault_fuel ?deadline_at
   let cache = Fanin_cache.create net in
   let sigs =
     if config.use_filter then
-      Some (Signature.create ~seed:config.sim_seed net)
+      Some (Signature.create ~seed:config.sim_seed ?dc:config.dc net)
     else None
   in
   Fun.protect ~finally:(fun () -> Option.iter Signature.detach sigs)
@@ -549,7 +551,7 @@ let run ?(config = extended_config) ?fault_fuel ?deadline_at
         let wcache = Fanin_cache.create snap in
         let wsigs =
           if config.use_filter then
-            Some (Signature.create ~seed:config.sim_seed snap)
+            Some (Signature.create ~seed:config.sim_seed ?dc:config.dc snap)
           else None
         in
         Fun.protect ~finally:(fun () -> Option.iter Signature.detach wsigs)
@@ -819,6 +821,23 @@ let run ?(config = extended_config) ?fault_fuel ?deadline_at
         ("jobs", Trace.Int jobs);
       ]
     (fun () -> loop config.max_passes);
+  (* A materialised core divisor can be orphaned across passes: DC-powered
+     removal empties its cover, then a later commit rewires the dividend
+     away from it. A fanout-free constant-zero non-output node carries no
+     literals but pollutes written BLIF, so drop them before reporting. *)
+  let output_ids =
+    List.fold_left
+      (fun acc (_, id) -> Network.Node_set.add id acc)
+      Network.Node_set.empty (Network.outputs net)
+  in
+  List.iter
+    (fun id ->
+      if
+        (not (Network.Node_set.mem id output_ids))
+        && Network.fanout_count net id = 0
+        && Cover.cube_count (Network.cover net id) = 0
+      then Network.remove_node net id)
+    (Network.logic_ids net);
   Trace.emit trace "counters"
     [ ("counters", Trace.Raw (Counters.to_json counters)) ];
   {

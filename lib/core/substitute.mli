@@ -47,6 +47,14 @@ type config = {
           node-id burn their recorded run consumed — only the
           [memo_hits]/[memo_misses] counters and per-pass division
           counts differ. *)
+  dc : Logic_network.Dont_care.t option;
+      (** external don't-care view (default [None]). EXCDC cubes become
+          forbidden assignments in every implication engine spawned by
+          the division methods, and mask the signature filter's sampled
+          rows. The view is resolved by input {e name}, so the same
+          value stays meaningful on the private snapshots taken by
+          speculative workers. [None] (or an empty view) leaves the run
+          byte-identical to a DC-less one. *)
 }
 
 val basic_config : config

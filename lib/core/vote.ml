@@ -11,7 +11,8 @@ type entry = {
   conflicted : bool;
 }
 
-let collect ?(gdc = false) ?(learn_depth = 0) ?budget ?counters net ~f ~pool =
+let collect ?(gdc = false) ?(learn_depth = 0) ?budget ?counters ?dc net ~f
+    ~pool =
   let pool =
     List.filter
       (fun m ->
@@ -61,7 +62,7 @@ let collect ?(gdc = false) ?(learn_depth = 0) ?budget ?counters net ~f ~pool =
      context, so it is asserted once per cube behind a trail checkpoint
      and each wire branches from there with a pop instead of a full
      reset + replay. *)
-  let engine = Atpg.Imply.create ~region ~frozen ?budget ?counters net in
+  let engine = Atpg.Imply.create ~region ~frozen ?budget ?counters ?dc net in
   let degraded = ref false in
   (* Sticky, like the budget itself: once a wire exhausts it, every
      later assignment would re-raise immediately. *)

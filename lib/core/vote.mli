@@ -26,6 +26,7 @@ val collect :
   ?learn_depth:int ->
   ?budget:Rar_util.Budget.t ->
   ?counters:Rar_util.Counters.t ->
+  ?dc:Logic_network.Dont_care.t ->
   Logic_network.Network.t ->
   f:Logic_network.Network.node_id ->
   pool:Logic_network.Network.node_id list ->
@@ -34,7 +35,9 @@ val collect :
     are excluded from candidate sets automatically). [budget] bounds the
     implication work across the whole table; on exhaustion the affected
     wires get empty candidate sets (the table is truncated, never wrong)
-    and a [degradations] is tallied in [counters]. *)
+    and a [degradations] is tallied in [counters]. [dc] makes the shared
+    arena treat EXCDC patterns as forbidden assignments, which can only
+    enlarge candidate sets (more implications fire). *)
 
 val valid_entries : entry list -> entry list
 (** Entries with [valid] and a non-empty candidate set (Table I(b)). *)

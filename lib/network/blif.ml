@@ -63,8 +63,20 @@ type pending_names = {
   mutable off_rows : (int * string) list; (* input patterns for output=0 *)
 }
 
-let parse text =
-  let lines = logical_lines text in
+(* Split the logical-line stream at the first [.exdc] directive: the
+   SIS dialect puts the external-don't-care section after the main
+   model body, with a single [.end] closing the whole file. *)
+let split_exdc lines =
+  let rec go acc = function
+    | [] -> (List.rev acc, [])
+    | ((_, line) as entry) :: rest -> (
+      match words line with
+      | ".exdc" :: _ -> (List.rev acc, rest)
+      | _ -> go (entry :: acc) rest)
+  in
+  go [] lines
+
+let parse_main lines =
   let inputs = ref [] and outputs = ref [] in
   let tables = ref [] (* reversed pending_names list *) in
   let current = ref None in
@@ -92,7 +104,7 @@ let parse text =
           current :=
             Some { line = lineno; signals = args; on_rows = []; off_rows = [] }
         | ".end" -> ()
-        | ".exdc" | ".latch" | ".subckt" | ".gate" ->
+        | ".latch" | ".subckt" | ".gate" ->
           fail lineno "unsupported BLIF construct %s" cmd
         | _ -> fail lineno "unknown BLIF directive %s" cmd)
       | row -> (
@@ -181,12 +193,190 @@ let parse text =
   Network.check net;
   net
 
-let read_file path =
+(* ------------------------------------------------------------------ *)
+(* .exdc section                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The external-don't-care dialect understood here (a strict subset of
+   SIS's): after [.exdc], flat [.names] tables whose inputs are all
+   primary inputs of the *main* model — the union of their onsets is
+   the EXCDC cover — plus [.exoec PAT1 PAT2] lines declaring two full
+   output patterns (0/1 characters in [.outputs] order)
+   interchangeable. Multi-level exdc networks are rejected with a
+   file:line error rather than silently mis-read. [.model], [.inputs]
+   and [.outputs] lines inside the section are accepted and ignored
+   (SIS writes them); the single [.end] closes the whole file. *)
+let parse_exdc_lines net lines =
+  let dc = Dont_care.create () in
+  let input_ok name =
+    match Network.find_by_name net name with
+    | Some id -> Network.is_input net id
+    | None -> false
+  in
+  let output_names = List.map fst (Network.outputs net) in
+  let nouts = List.length output_names in
+  let tables = ref [] in
+  let current = ref None in
+  let finish () =
+    match !current with
+    | Some table ->
+      tables := table :: !tables;
+      current := None
+    | None -> ()
+  in
+  List.iter
+    (fun (lineno, line) ->
+      match words line with
+      | [] -> ()
+      | ".exoec" :: pats -> (
+        finish ();
+        match pats with
+        | [ p1; p2 ] ->
+          let pattern p =
+            if String.length p <> nouts then
+              fail lineno
+                ".exoec pattern %s has %d characters for %d outputs" p
+                (String.length p) nouts;
+            List.mapi
+              (fun i name ->
+                match p.[i] with
+                | '1' -> (name, true)
+                | '0' -> (name, false)
+                | c -> fail lineno "bad .exoec pattern character %C" c)
+              output_names
+          in
+          Dont_care.add_exoec_pair dc (pattern p1) (pattern p2)
+        | _ -> fail lineno ".exoec expects exactly two output patterns")
+      | cmd :: args when String.length cmd > 0 && cmd.[0] = '.' -> (
+        finish ();
+        match cmd with
+        | ".model" | ".inputs" | ".outputs" | ".end" -> ()
+        | ".names" ->
+          if args = [] then fail lineno ".names without signals";
+          (match List.rev args with
+          | _out :: rev_ins ->
+            List.iter
+              (fun n ->
+                if not (input_ok n) then
+                  fail lineno
+                    "exdc table input %s is not a primary input of the main \
+                     model (multi-level .exdc is not supported)"
+                    n)
+              rev_ins
+          | [] -> assert false);
+          current :=
+            Some { line = lineno; signals = args; on_rows = []; off_rows = [] }
+        | ".exdc" | ".latch" | ".subckt" | ".gate" ->
+          fail lineno "unsupported BLIF construct %s in .exdc section" cmd
+        | _ -> fail lineno "unknown BLIF directive %s in .exdc section" cmd)
+      | row -> (
+        match !current with
+        | None -> fail lineno "cube row outside .names: %s" line
+        | Some table -> (
+          match row with
+          | [ pattern; "1" ] ->
+            table.on_rows <- (lineno, pattern) :: table.on_rows
+          | [ pattern; "0" ] ->
+            table.off_rows <- (lineno, pattern) :: table.off_rows
+          | [ "1" ] when List.length table.signals = 1 ->
+            table.on_rows <- (lineno, "") :: table.on_rows
+          | [ "0" ] when List.length table.signals = 1 ->
+            table.off_rows <- (lineno, "") :: table.off_rows
+          | _ -> fail lineno "malformed cube row: %s" line)))
+    lines;
+  finish ();
+  List.iter
+    (fun table ->
+      let in_names =
+        match List.rev table.signals with
+        | _out :: rev_ins -> List.rev rev_ins
+        | [] -> assert false
+      in
+      let nvars = List.length in_names in
+      let name_of = Array.of_list in_names in
+      let add_cube lineno lits =
+        if lits = [] then
+          fail lineno "exdc cube forbids every input pattern"
+        else Dont_care.add_excdc dc lits
+      in
+      let row_literals (lineno, pattern) =
+        if String.length pattern <> nvars then
+          fail lineno "cube row width mismatch in .exdc table";
+        let lits = ref [] in
+        String.iteri
+          (fun i ch ->
+            match ch with
+            | '1' -> lits := (name_of.(i), true) :: !lits
+            | '0' -> lits := (name_of.(i), false) :: !lits
+            | '-' -> ()
+            | _ -> fail lineno "bad cube character %C in .exdc table" ch)
+          pattern;
+        List.rev !lits
+      in
+      match (List.rev table.on_rows, List.rev table.off_rows) with
+      | on, [] ->
+        List.iter (fun row -> add_cube (fst row) (row_literals row)) on
+      | [], off ->
+        (* Off-set tables go through the two-level complement; the
+           resulting cubes are indexed literals over the table's
+           columns. *)
+        let row_cube (lineno, pattern) =
+          if String.length pattern <> nvars then
+            fail lineno "cube row width mismatch in .exdc table";
+          let lits = ref [] in
+          String.iteri
+            (fun i ch ->
+              match ch with
+              | '1' -> lits := Literal.pos i :: !lits
+              | '0' -> lits := Literal.neg i :: !lits
+              | '-' -> ()
+              | _ -> fail lineno "bad cube character %C in .exdc table" ch)
+            pattern;
+          match Cube.of_literals !lits with
+          | Some c -> c
+          | None -> assert false
+        in
+        let cover = Complement.cover (Cover.of_cubes (List.map row_cube off)) in
+        List.iter
+          (fun cube ->
+            add_cube table.line
+              (List.map
+                 (fun lit -> (name_of.(Literal.var lit), Literal.is_pos lit))
+                 (Cube.literals cube)))
+          (Cover.cubes cover)
+      | _, _ -> fail table.line "mixed on/off rows in .exdc table")
+    (List.rev !tables);
+  dc
+
+let parse_dc text =
+  let lines = logical_lines text in
+  let main, exdc = split_exdc lines in
+  let net = parse_main main in
+  let dc = parse_exdc_lines net exdc in
+  (net, dc)
+
+(* The plain entry points accept (and validate) an inline [.exdc]
+   section but discard the view, so DC-oblivious callers keep working
+   on DC-annotated files. *)
+let parse text = fst (parse_dc text)
+
+let parse_exdc net text =
+  let lines = logical_lines text in
+  match split_exdc lines with
+  | (lineno, line) :: _, _ ->
+    fail lineno "expected .exdc as the first directive, found: %s" line
+  | [], exdc -> parse_exdc_lines net exdc
+
+let with_file_errors path f =
   let ic = open_in path in
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  parse text
+  f text
+
+let read_file path = with_file_errors path parse
+let read_file_dc path = with_file_errors path parse_dc
+let read_exdc_file net path = with_file_errors path (parse_exdc net)
 
 let to_string net =
   let buffer = Buffer.create 1024 in
@@ -242,4 +432,88 @@ let to_string net =
 let write_file path net =
   let oc = open_out path in
   output_string oc (to_string net);
+  close_out oc
+
+(* Canonical [.exdc] section: one flat table named [excdc] over the
+   union support of all cubes (columns in main-model input order),
+   cubes as rows in insertion order, then the [.exoec] pairs. Feeding
+   the section back through [parse_exdc] reproduces the view exactly,
+   which is what makes [write ∘ parse] a fixpoint. An empty view
+   yields the empty string so DC-free output stays byte-identical. *)
+let exdc_to_string net dc =
+  if Dont_care.is_empty dc then ""
+  else begin
+    let buffer = Buffer.create 256 in
+    Buffer.add_string buffer ".exdc\n";
+    let cubes = Dont_care.excdc dc in
+    if cubes <> [] then begin
+      let support = Hashtbl.create 16 in
+      List.iter (List.iter (fun (n, _) -> Hashtbl.replace support n ())) cubes;
+      let cols =
+        List.filter (Hashtbl.mem support)
+          (List.map (Network.name net) (Network.inputs net))
+      in
+      if Hashtbl.length support <> List.length cols then
+        invalid_arg
+          "Blif.exdc_to_string: EXCDC cube names a signal that is not a \
+           primary input";
+      let index = Hashtbl.create 16 in
+      List.iteri (fun i n -> Hashtbl.replace index n i) cols;
+      Buffer.add_string buffer
+        (Printf.sprintf ".names %s excdc\n" (String.concat " " cols));
+      List.iter
+        (fun cube ->
+          let row = Bytes.make (List.length cols) '-' in
+          List.iter
+            (fun (n, phase) ->
+              Bytes.set row (Hashtbl.find index n) (if phase then '1' else '0'))
+            cube;
+          Buffer.add_string buffer
+            (Printf.sprintf "%s 1\n" (Bytes.to_string row)))
+        cubes
+    end;
+    let outputs = List.map fst (Network.outputs net) in
+    let nouts = List.length outputs in
+    List.iter
+      (fun (p1, p2) ->
+        let pat p =
+          if List.length p <> nouts then
+            invalid_arg
+              "Blif.exdc_to_string: EXOEC pattern is not a full output \
+               pattern";
+          String.concat ""
+            (List.map
+               (fun o ->
+                 match List.assoc_opt o p with
+                 | Some true -> "1"
+                 | Some false -> "0"
+                 | None ->
+                   invalid_arg
+                     (Printf.sprintf
+                        "Blif.exdc_to_string: EXOEC pattern misses output %s"
+                        o))
+               outputs)
+        in
+        Buffer.add_string buffer
+          (Printf.sprintf ".exoec %s %s\n" (pat p1) (pat p2)))
+      (Dont_care.exoec dc);
+    Buffer.contents buffer
+  end
+
+let to_string_dc net dc =
+  let base = to_string net in
+  let section = exdc_to_string net dc in
+  if section = "" then base
+  else begin
+    (* [to_string] always ends with ".end\n"; splice the section just
+       before it. *)
+    let tail = ".end\n" in
+    let cut = String.length base - String.length tail in
+    assert (String.sub base cut (String.length tail) = tail);
+    String.sub base 0 cut ^ section ^ tail
+  end
+
+let write_file_dc path net dc =
+  let oc = open_out path in
+  output_string oc (to_string_dc net dc);
   close_out oc

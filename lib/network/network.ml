@@ -158,6 +158,16 @@ let find_by_name t wanted =
     (fun id n acc -> if n.node_name = wanted then Some id else acc)
     t.nodes None
 
+let fresh_name t base =
+  if find_by_name t base = None then base
+  else begin
+    let rec probe i =
+      let candidate = Printf.sprintf "%s_%d" base i in
+      if find_by_name t candidate = None then candidate else probe (i + 1)
+    in
+    probe 2
+  end
+
 let fanins t id =
   match (node t id).kind with Input -> [||] | Logic l -> Array.copy l.fanins
 

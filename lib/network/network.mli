@@ -109,6 +109,13 @@ val name : t -> node_id -> string
 
 val find_by_name : t -> string -> node_id option
 
+val fresh_name : t -> string -> string
+(** [fresh_name t base] is [base] when no node carries that name, else
+    the first of [base_2], [base_3], ... that is free. Node names are
+    not otherwise enforced unique, but the BLIF writer emits one table
+    per name — call this at any site that synthesises a name which may
+    repeat (divisor cores). Each probe scans the node table. *)
+
 val fanins : t -> node_id -> node_id array
 (** Empty for inputs and constants. *)
 

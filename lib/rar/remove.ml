@@ -16,14 +16,14 @@ let remove_wire net wire =
       (Cover.of_cubes remaining)
 
 let run ?(use_dominators = true) ?(learn_depth = 0) ?region ?budget ?counters
-    ?(node_filter = fun _ -> true) net =
+    ?dc ?(node_filter = fun _ -> true) net =
   (* One implication arena for the whole fixpoint. Every wire of a node
      shares the same frozen set (the node's transitive fanout) and the
      same dominator-side-input requirements, so that context is asserted
      once per node behind a trail checkpoint and each wire branches from
      it with a pop; only a removal — which mutates the network — forces
      the next reset to rebuild. *)
-  let engine = Atpg.Imply.create ?region ?counters net in
+  let engine = Atpg.Imply.create ?region ?counters ?dc net in
   let budget_of () =
     match budget with Some b -> b | None -> Rar_util.Budget.unlimited
   in

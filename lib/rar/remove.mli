@@ -16,15 +16,18 @@ val run :
   ?region:(Logic_network.Network.node_id -> bool) ->
   ?budget:Rar_util.Budget.t ->
   ?counters:Rar_util.Counters.t ->
+  ?dc:Logic_network.Dont_care.t ->
   ?node_filter:(Logic_network.Network.node_id -> bool) ->
   Logic_network.Network.t ->
   int
 (** Remove redundant wires everywhere (or on nodes passing [node_filter]);
     returns the number of wires removed. [region] restricts how far the
     implications travel (see {!Atpg.Imply.create}); [node_filter] restricts
-    which nodes' wires are tested. One implication arena is built per run
-    and reused (reset) across all wire tests; [counters] records the
-    create/reset split.
+    which nodes' wires are tested. [dc] supplies external don't cares to
+    the arena: EXCDC patterns become forbidden assignments, so wires only
+    testable by externally-impossible patterns also prove redundant. One
+    implication arena is built per run and reused (reset) across all wire
+    tests; [counters] records the create/reset split.
 
     [budget] bounds the total implication work of the whole fixpoint.
     When it runs out the scan stops early and the partial result stands

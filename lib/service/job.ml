@@ -60,8 +60,9 @@ let lru_add l key v =
   end
 
 type warm = {
-  (* raw request BLIF text -> (canonical form, pristine parsed network) *)
-  parsed : (string * Network.t) lru;
+  (* raw request BLIF text ->
+     (canonical form, pristine parsed network, inline [.exdc] view) *)
+  parsed : (string * Network.t * Logic_network.Dont_care.t) lru;
   (* canonical-digest ^ script -> network snapshot after the script ran *)
   scripted : Network.t lru;
 }
@@ -77,6 +78,7 @@ type prepared = {
   pristine : Network.t;  (* never mutated; jobs run on copies *)
   canonical_digest : string;
   key : string option;
+  dc : Logic_network.Dont_care.t option;
 }
 
 let prepare ?warm (request : Protocol.request) =
@@ -89,38 +91,71 @@ let prepare ?warm (request : Protocol.request) =
       match Option.map (fun w -> lru_find w.parsed request.blif) warm with
       | Some (Some hit) -> Ok hit
       | Some None | None -> (
-        match Blif.parse request.blif with
-        | net ->
-          let hit = (Blif.to_string net, net) in
+        match Blif.parse_dc request.blif with
+        | net, inline_dc ->
+          let hit = (Blif.to_string net, net, inline_dc) in
           Option.iter (fun w -> lru_add w.parsed request.blif hit) warm;
           Ok hit
         | exception Blif.Parse_error { line; message } ->
           Error (Printf.sprintf "blif:%d: %s" line message))
     with
     | Error _ as e -> e
-    | Ok (canonical, pristine) ->
-      let canonical_digest = Digest.to_hex (Digest.string canonical) in
-      let key =
-        (* A wall-clock deadline can degrade the run nondeterministically;
-           such outputs must never be served to a later job. Every flag
-           that can change the output bytes is part of the identity;
-           [jobs] is provably output-neutral (the shardcheck grid) and
-           shared. *)
-        match request.deadline with
-        | Some _ -> None
+    | Ok (canonical, pristine, inline_dc) -> (
+      match
+        (* The effective view is the body's inline [.exdc] section plus
+           the [exdc] field; the warm copy is never mutated. *)
+        match request.exdc with
         | None ->
-          Some
-            (Printf.sprintf "%s\x00%s\x00%s\x00filter=%b memo=%b seed=%s fuel=%s"
-               canonical request.script request.meth request.use_filter
-               request.use_memo
-               (match request.sim_seed with
-               | Some s -> string_of_int s
-               | None -> "default")
-               (match request.fault_budget with
-               | Some f -> string_of_int f
-               | None -> "none"))
-      in
-      Ok { request; pristine; canonical_digest; key }
+          if Logic_network.Dont_care.is_empty inline_dc then Ok None
+          else Ok (Some (Logic_network.Dont_care.copy inline_dc))
+        | Some text -> (
+          match Blif.parse_exdc pristine text with
+          | extra ->
+            let dc = Logic_network.Dont_care.copy inline_dc in
+            List.iter
+              (Logic_network.Dont_care.add_excdc dc)
+              (Logic_network.Dont_care.excdc extra);
+            List.iter
+              (fun (p1, p2) ->
+                Logic_network.Dont_care.add_exoec_pair dc p1 p2)
+              (Logic_network.Dont_care.exoec extra);
+            if Logic_network.Dont_care.is_empty dc then Ok None
+            else Ok (Some dc)
+          | exception Blif.Parse_error { line; message } ->
+            Error (Printf.sprintf "exdc:%d: %s" line message)
+          | exception Invalid_argument message ->
+            Error (Printf.sprintf "exdc: %s" message))
+      with
+      | Error _ as e -> e
+      | Ok dc ->
+        let canonical_digest = Digest.to_hex (Digest.string canonical) in
+        let key =
+          (* A wall-clock deadline can degrade the run nondeterministically;
+             such outputs must never be served to a later job. Every flag
+             that can change the output bytes is part of the identity;
+             [jobs] is provably output-neutral (the shardcheck grid) and
+             shared. The don't-care view enters through its canonical
+             section text, so a DC job never shares a slot with a plain
+             one (and two spellings of the same view share theirs). *)
+          match request.deadline with
+          | Some _ -> None
+          | None ->
+            Some
+              (Printf.sprintf
+                 "%s\x00%s\x00%s\x00filter=%b memo=%b seed=%s fuel=%s\x00%s"
+                 canonical request.script request.meth request.use_filter
+                 request.use_memo
+                 (match request.sim_seed with
+                 | Some s -> string_of_int s
+                 | None -> "default")
+                 (match request.fault_budget with
+                 | Some f -> string_of_int f
+                 | None -> "none")
+                 (match dc with
+                 | None -> ""
+                 | Some dc -> Blif.exdc_to_string pristine dc))
+        in
+        Ok { request; pristine; canonical_digest; key; dc })
 
 let cache_key p = p.key
 
@@ -161,7 +196,7 @@ let execute ?warm p =
     in
     Synth.Script.resub_command ~use_filter:req.use_filter
       ~use_memo:req.use_memo ~jobs ?sim_seed:req.sim_seed
-      ?fault_fuel:req.fault_budget ?deadline_at ~counters meth net);
+      ?fault_fuel:req.fault_budget ?deadline_at ~counters ?dc:p.dc meth net);
   {
     Cache.blif = Blif.to_string net;
     literals = Lit_count.factored net;

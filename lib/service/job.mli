@@ -37,8 +37,12 @@ type prepared
 (** A validated request with its parsed network and cache identity. *)
 
 val prepare : ?warm:warm -> Protocol.request -> (prepared, string) result
-(** Validate names, parse (or reuse) the network, compute the canonical
-    cache key. [Error] carries a client-presentable message. *)
+(** Validate names, parse (or reuse) the network, parse the request's
+    [exdc] section (if any) against it, and compute the canonical cache
+    key — which folds in the canonical [.exdc] text, so jobs with
+    different don't-care views never share a cached result. [Error]
+    carries a client-presentable message ([exdc:<line>: ...] for a bad
+    section). *)
 
 val cache_key : prepared -> string option
 (** The content-addressed identity, or [None] when the job must not be

@@ -15,6 +15,7 @@ type request = {
   deadline : float option;
   use_cache : bool;
   blif : string;
+  exdc : string option;
 }
 
 let default_request ~blif =
@@ -29,6 +30,7 @@ let default_request ~blif =
     deadline = None;
     use_cache = true;
     blif;
+    exdc = None;
   }
 
 type response =
@@ -64,8 +66,15 @@ let encode_request r =
   Option.iter
     (fun d -> Buffer.add_string b (Printf.sprintf "deadline %.6f\n" d))
     r.deadline;
+  (* The body is blif ^ exdc; the header records where the split is, so
+     the BLIF text itself never needs escaping. *)
+  Option.iter
+    (fun e ->
+      Buffer.add_string b (Printf.sprintf "exdc-bytes %d\n" (String.length e)))
+    r.exdc;
   Buffer.add_char b '\n';
   Buffer.add_string b r.blif;
+  Option.iter (Buffer.add_string b) r.exdc;
   Buffer.contents b
 
 let encode_response = function
@@ -152,7 +161,7 @@ let decode_request payload =
   else
     let known =
       [ "script"; "method"; "filter"; "memo"; "jobs"; "cache"; "sim-seed";
-        "fault-budget"; "deadline" ]
+        "fault-budget"; "deadline"; "exdc-bytes" ]
     in
     match List.find_opt (fun (k, _) -> not (List.mem k known)) headers with
     | Some (k, _) -> Error (Printf.sprintf "unknown header %S" k)
@@ -183,6 +192,19 @@ let decode_request payload =
       let* sim_seed = opt int_value "sim-seed" in
       let* fault_budget = opt int_value "fault-budget" in
       let* deadline = opt float_value "deadline" in
+      let* exdc_bytes = opt int_value "exdc-bytes" in
+      let* blif, exdc =
+        match exdc_bytes with
+        | None -> Ok (body, None)
+        | Some n when n < 0 || n > String.length body ->
+          Error
+            (Printf.sprintf
+               "header exdc-bytes: %d outside the %d-byte body" n
+               (String.length body))
+        | Some n ->
+          let cut = String.length body - n in
+          Ok (String.sub body 0 cut, Some (String.sub body cut n))
+      in
       Ok
         {
           script;
@@ -194,7 +216,8 @@ let decode_request payload =
           fault_budget;
           deadline;
           use_cache;
-          blif = body;
+          blif;
+          exdc;
         }
 
 let decode_response payload =

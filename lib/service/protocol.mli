@@ -34,6 +34,12 @@ type request = {
   deadline : float option;  (** relative seconds, applied at job start *)
   use_cache : bool;  (** [false] bypasses the daemon's result cache *)
   blif : string;  (** the circuit, as BLIF text *)
+  exdc : string option;
+      (** external don't-care section ([.exdc ...]) as BLIF text. On the
+          wire it travels appended to the body after [blif], with an
+          [exdc-bytes <n>] header recording the split, so neither text
+          needs escaping. Folded into the daemon's cache key: a job with
+          a view never shares a cached result with one without. *)
 }
 
 val default_request : blif:string -> request

@@ -3,27 +3,76 @@
     Inputs and outputs are matched by name; both networks must expose the
     same input-name and output-name sets. Used by the test suite and the
     optimization drivers to guarantee that every rewrite preserves the
-    circuit function. *)
+    circuit function.
 
-type result = Equivalent | Counterexample of (string * bool) list
-(** A counterexample lists an input assignment by input name. *)
+    Every checker also exists in a verify-modulo-DC form: under a
+    {!Logic_network.Dont_care} view, simulation rows matching an EXCDC
+    cube are outside the care set and never count as mismatches, and a
+    mismatch row whose two full output patterns fall in the same EXOEC
+    class is excused. An empty view makes the DC variants behave exactly
+    like the plain ones. *)
 
-val exhaustive : Logic_network.Network.t -> Logic_network.Network.t -> result
+type result =
+  | Equivalent
+  | Counterexample of { output : string; assignment : (string * bool) list }
+      (** [output] names a primary output the two networks disagree on
+          under [assignment], which lists the full input valuation by
+          input name. *)
+
+val exhaustive :
+  ?dc:Logic_network.Dont_care.t ->
+  Logic_network.Network.t ->
+  Logic_network.Network.t ->
+  result
 (** Complete check by 64-way parallel enumeration; the networks must have
     at most 22 inputs. *)
 
 val random :
   ?seed:int ->
   ?words:int ->
+  ?dc:Logic_network.Dont_care.t ->
   Logic_network.Network.t ->
   Logic_network.Network.t ->
   result
 (** Random simulation with [64 * words] patterns (default 64 words).
     [Equivalent] means "no difference found". *)
 
-val check : Logic_network.Network.t -> Logic_network.Network.t -> result
+val check :
+  ?dc:Logic_network.Dont_care.t ->
+  Logic_network.Network.t ->
+  Logic_network.Network.t ->
+  result
 (** {!exhaustive} when the input count allows it, otherwise {!random} with
     a generous pattern budget. *)
 
 val equivalent : Logic_network.Network.t -> Logic_network.Network.t -> bool
 (** [check] collapsed to a boolean. *)
+
+val exhaustive_dc :
+  Logic_network.Dont_care.t ->
+  Logic_network.Network.t ->
+  Logic_network.Network.t ->
+  result
+(** {!exhaustive} modulo the given don't-care view. *)
+
+val random_dc :
+  ?seed:int ->
+  ?words:int ->
+  Logic_network.Dont_care.t ->
+  Logic_network.Network.t ->
+  Logic_network.Network.t ->
+  result
+
+val check_dc :
+  Logic_network.Dont_care.t ->
+  Logic_network.Network.t ->
+  Logic_network.Network.t ->
+  result
+(** {!check} modulo the given don't-care view: the verifier behind
+    [--verify] when a [.exdc] section or [--exdc] file is in play. *)
+
+val equivalent_dc :
+  Logic_network.Dont_care.t ->
+  Logic_network.Network.t ->
+  Logic_network.Network.t ->
+  bool

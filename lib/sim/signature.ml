@@ -1,4 +1,5 @@
 module Network = Logic_network.Network
+module Dont_care = Logic_network.Dont_care
 module Node_set = Network.Node_set
 
 type t = {
@@ -12,6 +13,14 @@ type t = {
   mutable stale : bool;
   mutable refreshes : int;
   mutable nodes_resimulated : int;
+  (* External don't cares: rows matching an EXCDC cube are outside the
+     care set and masked out of the divisor-filter predicates. The mask
+     is cached against the view's own revision so it is recomputed
+     exactly when the view changes (the network observers don't see DC
+     mutations). *)
+  dc : Dont_care.t option;
+  mutable care : int64 array option;
+  mutable care_rev : int;
 }
 
 let default_words = 8
@@ -66,7 +75,7 @@ let refresh t =
 
 let default_seed = 0x516e41
 
-let create ?(seed = default_seed) ?(words = default_words) net =
+let create ?(seed = default_seed) ?(words = default_words) ?dc net =
   if words <= 0 then invalid_arg "Signature.create: words must be positive";
   let t =
     {
@@ -80,6 +89,9 @@ let create ?(seed = default_seed) ?(words = default_words) net =
       stale = true;
       refreshes = 0;
       nodes_resimulated = 0;
+      dc;
+      care = None;
+      care_rev = -1;
     }
   in
   t.observer <-
@@ -154,18 +166,96 @@ let intersects_not a b =
   in
   scan 0
 
+(* Masked variants of the primitives: only care-set rows participate. *)
+let overlap_care m a b =
+  let acc = ref 0 in
+  for w = 0 to Array.length a - 1 do
+    acc := !acc + popcount64 (Int64.logand m.(w) (Int64.logand a.(w) b.(w)))
+  done;
+  !acc
+
+let overlap_not_care m a b =
+  let acc = ref 0 in
+  for w = 0 to Array.length a - 1 do
+    acc :=
+      !acc
+      + popcount64 (Int64.logand m.(w) (Int64.logand a.(w) (Int64.lognot b.(w))))
+  done;
+  !acc
+
+let intersects_care m a b =
+  let n = Array.length a in
+  let rec scan w =
+    w < n
+    && (Int64.logand m.(w) (Int64.logand a.(w) b.(w)) <> 0L || scan (w + 1))
+  in
+  scan 0
+
+let intersects_not_care m a b =
+  let n = Array.length a in
+  let rec scan w =
+    w < n
+    && (Int64.logand m.(w) (Int64.logand a.(w) (Int64.lognot b.(w))) <> 0L
+       || scan (w + 1))
+  in
+  scan 0
+
+(* The cached care mask, recomputed lazily whenever the DC view's
+   revision has moved. [None] means "no masking" (no view, or an empty
+   one) — that path is byte-identical to a DC-less engine. *)
+let care_mask t =
+  match t.dc with
+  | None -> None
+  | Some dc ->
+    let rev = Dont_care.revision dc in
+    if t.care_rev <> rev then begin
+      t.care_rev <- rev;
+      t.care <-
+        (if Dont_care.is_empty dc then None
+         else
+           Some
+             (Dont_care.care_mask dc ~words:t.words ~stimulus:(fun name ->
+                  match Network.find_by_name t.net name with
+                  | Some id when Network.is_input t.net id ->
+                    Some (pattern t id)
+                  | _ -> None)))
+    end;
+    t.care
+
+(* Rows outside the care set are wildcards: a DC-aware rewrite may give
+   any node either value there, so such a row can always supply the
+   overlap a division needs. Admission tests must therefore treat the
+   masked overlap as a lower bound and pass whenever the sample holds a
+   don't-care row — pruning harder than the DC-less filter would break
+   the monotonicity discipline (a view may only ever unlock rewrites). *)
+let has_slack m = Array.exists (fun w -> w <> -1L) m
+
 let phase_compatible t ~phase ~f ~d =
   let sf = signature t f and sd = signature t d in
-  if phase then intersects sf sd else intersects_not sf sd
+  match care_mask t with
+  | None -> if phase then intersects sf sd else intersects_not sf sd
+  | Some m ->
+    (if phase then intersects_care m sf sd else intersects_not_care m sf sd)
+    || has_slack m
 
 let compatible t ~use_complement ~f ~d =
   let sf = signature t f and sd = signature t d in
-  intersects sf sd || (use_complement && intersects_not sf sd)
+  match care_mask t with
+  | None -> intersects sf sd || (use_complement && intersects_not sf sd)
+  | Some m ->
+    intersects_care m sf sd
+    || (use_complement && intersects_not_care m sf sd)
+    || has_slack m
 
 let score t ~use_complement ~f ~d =
   let sf = signature t f and sd = signature t d in
-  let direct = overlap sf sd in
-  if use_complement then max direct (overlap_not sf sd) else direct
+  match care_mask t with
+  | None ->
+    let direct = overlap sf sd in
+    if use_complement then max direct (overlap_not sf sd) else direct
+  | Some m ->
+    let direct = overlap_care m sf sd in
+    if use_complement then max direct (overlap_not_care m sf sd) else direct
 
 let refresh_count t = t.refreshes
 

@@ -26,13 +26,32 @@ val default_seed : int
 (** Seed used when [create] is given none (and by the [--sim-seed]
     default of the CLI and bench drivers). *)
 
-val create : ?seed:int -> ?words:int -> Logic_network.Network.t -> t
+val create :
+  ?seed:int ->
+  ?words:int ->
+  ?dc:Logic_network.Dont_care.t ->
+  Logic_network.Network.t ->
+  t
 (** Build the engine and simulate the whole network once. The engine
     stays subscribed to the network's mutations until {!detach}. Each
     input's stimulus is a deterministic function of [(seed, node id)]
     alone, so two engines with equal seeds assign equal signatures — even
     when one was kept up to date incrementally and the other was built
-    from scratch after the same mutations. *)
+    from scratch after the same mutations.
+
+    [dc] supplies an external don't-care view: simulation rows whose
+    input pattern matches an EXCDC cube are outside the care set.
+    {!score} ranks by care-set overlap only, while {!compatible} /
+    {!phase_compatible} treat don't-care rows as wildcards — a rewrite
+    is free to pick either value there, so such a row can always supply
+    the overlap a division needs, and the admission tests pass whenever
+    the sample holds one. A view thus never prunes {e harder} than the
+    DC-less filter (the monotonicity discipline: don't cares may only
+    unlock rewrites). The care mask is cached against
+    {!Logic_network.Dont_care.revision} and recomputed exactly when the
+    view changes, independently of network mutations. Raw signatures
+    ({!signature}) are {e not} masked. An empty or absent view leaves
+    every predicate byte-identical to a DC-less engine. *)
 
 val detach : t -> unit
 (** Unsubscribe from the network (idempotent). Call when the engine's

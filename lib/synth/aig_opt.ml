@@ -17,6 +17,7 @@ type config = {
   jobs : int;
   sim_seed : int;
   verify_windows : bool;
+  dc : Logic_network.Dont_care.t option;
 }
 
 let default_config =
@@ -32,6 +33,7 @@ let default_config =
     jobs = 1;
     sim_seed = Logic_sim.Signature.default_seed;
     verify_windows = false;
+    dc = None;
   }
 
 type stats = {
@@ -309,14 +311,59 @@ let optimize ?(config = default_config) ?fault_fuel ?deadline_at
             let id = Network.add_logic wnet ~name ~fanins:pis (cover_of r) in
             Network.add_output wnet name id)
           roots;
+        (* Project the external don't-care view into the window's input
+           space: a global EXCDC cube survives when every literal names a
+           primary input that is a leaf of this window (renamed to the
+           window's [x<i>] convention). Cubes mentioning non-leaf inputs
+           — or internal-gate leaves, which have no PI name — are
+           dropped, which only under-approximates the impossible set and
+           stays sound. *)
+        let wdc =
+          match config.dc with
+          | None -> None
+          | Some dc when Logic_network.Dont_care.is_empty dc -> None
+          | Some dc ->
+            let name_of = Hashtbl.create 8 in
+            List.iteri
+              (fun i leaf ->
+                if leaf >= 1 && leaf <= n_inputs then
+                  Hashtbl.replace name_of
+                    (Aig.input_name work leaf)
+                    (Printf.sprintf "x%d" i))
+              leaves;
+            let projected =
+              Logic_network.Dont_care.project dc
+                ~rename:(Hashtbl.find_opt name_of)
+            in
+            if Logic_network.Dont_care.is_empty projected then None
+            else Some projected
+        in
+        let wresub =
+          match wdc with
+          | None -> resub
+          | Some wdc ->
+            Script.resub_command ~use_filter:config.use_filter
+              ~use_memo:config.use_memo ~jobs:config.jobs
+              ~sim_seed:config.sim_seed ?fault_fuel ?deadline_at ?counters
+              ~dc:wdc config.meth
+        in
         let reference =
           if config.verify_windows then Some (Network.copy wnet) else None
         in
-        Script.run ~resub ~trace:Trace.disabled wnet config.script;
-        resub wnet;
+        Script.run ~resub:wresub ~trace:Trace.disabled wnet config.script;
+        wresub wnet;
         if
           match reference with
-          | Some before -> not (Robdd.Of_network.equivalent before wnet)
+          | Some before -> (
+            (* Under a window DC view the rewrite only needs to hold on
+               the care set; the spliced result is still sound globally
+               because the masked patterns cannot occur. *)
+            match wdc with
+            | None -> not (Robdd.Of_network.equivalent before wnet)
+            | Some wdc -> (
+              match Logic_sim.Equiv.check_dc wdc before wnet with
+              | Logic_sim.Equiv.Equivalent -> false
+              | Logic_sim.Equiv.Counterexample _ -> true))
           | None -> false
         then begin
           incr skipped;

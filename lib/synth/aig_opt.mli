@@ -35,7 +35,16 @@ type config = {
   verify_windows : bool;
       (** BDD-check every optimised window against its collapsed
           original before splicing (belt-and-braces; windows are small
-          enough that this is cheap) *)
+          enough that this is cheap). With a window DC view in play the
+          check runs modulo DC ({!Logic_sim.Equiv.check_dc}). *)
+  dc : Logic_network.Dont_care.t option;
+      (** external don't-care view over the AIG's primary inputs
+          (default [None]). Per window, EXCDC cubes whose every literal
+          names a leaf PI are projected into the window's input space
+          and threaded into that window's script and resubstitution;
+          cubes touching non-leaf inputs are dropped (sound
+          under-approximation). An absent or empty view leaves the run
+          byte-identical. *)
 }
 
 val default_config : config

@@ -107,7 +107,7 @@ type spec_result = {
 let run ?(use_complement = true) ?(use_filter = true)
     ?(max_candidates = default_max_candidates) ?(max_passes = 4) ?(jobs = 1)
     ?(sim_seed = Signature.default_seed) ?(use_memo = true) ?deadline_at
-    ?(trace = Trace.disabled) ?counters net =
+    ?(trace = Trace.disabled) ?counters ?dc net =
   let counters =
     match counters with Some c -> c | None -> Counters.create ()
   in
@@ -135,7 +135,8 @@ let run ?(use_complement = true) ?(use_filter = true)
   in
   let cache = Fanin_cache.create net in
   let sigs =
-    if use_filter then Some (Signature.create ~seed:sim_seed net) else None
+    if use_filter then Some (Signature.create ~seed:sim_seed ?dc net)
+    else None
   in
   Fun.protect ~finally:(fun () -> Option.iter Signature.detach sigs)
   @@ fun () ->
@@ -310,7 +311,8 @@ let run ?(use_complement = true) ?(use_filter = true)
       | None ->
         let wcache = Fanin_cache.create snap in
         let wsigs =
-          if use_filter then Some (Signature.create ~seed:sim_seed snap)
+          if use_filter then
+            Some (Signature.create ~seed:sim_seed ?dc snap)
           else None
         in
         Fun.protect ~finally:(fun () -> Option.iter Signature.detach wsigs)

@@ -37,6 +37,7 @@ val run :
   ?deadline_at:float ->
   ?trace:Rar_util.Trace.t ->
   ?counters:Rar_util.Counters.t ->
+  ?dc:Logic_network.Dont_care.t ->
   Logic_network.Network.t ->
   int
 (** Returns the number of substitutions committed. [use_complement]
@@ -60,4 +61,10 @@ val run :
     remaining passes once crossed — committed rewrites stand, the cut is
     tallied as a degradation in [counters] and reported on [trace]
     (default {!Rar_util.Trace.disabled}), which also carries a [resub]
-    span and a final counter snapshot. *)
+    span and a final counter snapshot.
+
+    [dc] supplies an external don't-care view to the signature filter:
+    sampled rows outside the care set are ignored when pruning and
+    ranking divisors. The algebraic division itself is DC-blind, so the
+    rewrites remain exactly equivalent; an absent or empty view leaves
+    the run byte-identical. *)

@@ -69,12 +69,12 @@ let resub_methods =
 
 let resub_command ?(use_filter = true) ?(jobs = 1)
     ?(sim_seed = Logic_sim.Signature.default_seed) ?(use_memo = true)
-    ?fault_fuel ?deadline_at ?trace ?counters meth net =
+    ?fault_fuel ?deadline_at ?trace ?counters ?dc meth net =
   match meth with
   | Algebraic ->
     ignore
       (Resub.run ~use_complement:true ~use_filter ~jobs ~sim_seed ~use_memo
-         ?deadline_at ?trace ?counters net)
+         ?deadline_at ?trace ?counters ?dc net)
   | Basic | Ext | Ext_gdc ->
     let base =
       match meth with
@@ -83,7 +83,7 @@ let resub_command ?(use_filter = true) ?(jobs = 1)
       | Ext_gdc | Algebraic -> Booldiv.Substitute.extended_gdc_config
     in
     let config =
-      { base with Booldiv.Substitute.use_filter; jobs; sim_seed; use_memo }
+      { base with Booldiv.Substitute.use_filter; jobs; sim_seed; use_memo; dc }
     in
     ignore
       (Booldiv.Substitute.run ~config ?fault_fuel ?deadline_at ?trace

@@ -62,6 +62,7 @@ val resub_command :
   ?deadline_at:float ->
   ?trace:Rar_util.Trace.t ->
   ?counters:Rar_util.Counters.t ->
+  ?dc:Logic_network.Dont_care.t ->
   resub_method ->
   resub_command
 (** Build a resubstitution command. [use_filter] toggles the
@@ -74,8 +75,11 @@ val resub_command :
     accumulates pair/division tallies across the run for reporting.
     [fault_fuel] / [deadline_at] bound the implication work per unit and
     the overall wall clock (see {!Booldiv.Substitute.run}); [trace]
-    receives the structured event stream. The four constants below are
-    [resub_command] with the defaults. *)
+    receives the structured event stream; [dc] threads an external
+    don't-care view into the method (forbidden assignments for the
+    Boolean methods, care-set masking for the signature filter — see
+    {!Booldiv.Substitute.config} and {!Resub.run}). The four constants
+    below are [resub_command] with the defaults. *)
 
 val resub_algebraic : resub_command
 (** SIS [resub -d]: the baseline. *)

@@ -1,0 +1,226 @@
+(* External don't-care views: the BLIF [.exdc] dialect round-trips
+   write-after-parse exactly, malformed sections fail with file:line
+   errors, and the optimization stack obeys the DC discipline — an
+   empty view is byte-invisible, DC-optimised results verify modulo
+   the view, and literal totals are monotone non-increasing as the
+   care set shrinks. *)
+
+module Network = Logic_network.Network
+module Blif = Logic_network.Blif
+module Dont_care = Logic_network.Dont_care
+module Lit_count = Logic_network.Lit_count
+module Equiv = Logic_sim.Equiv
+module Generator = Bench_suite.Generator
+module Script = Synth.Script
+module Rng = Rar_util.Rng
+
+let fixture =
+  ".model dcrich\n\
+   .inputs a b c d e\n\
+   .outputs f g h\n\
+   .names a b c d f\n\
+   1111 1\n\
+   1100 1\n\
+   0011 1\n\
+   0110 1\n\
+   .names c d e g\n\
+   111 1\n\
+   110 1\n\
+   001 1\n\
+   .names a b e h\n\
+   11- 1\n\
+   001 1\n\
+   .exdc\n\
+   .names a b c d excdc\n\
+   11-- 1\n\
+   --11 1\n\
+   .exoec 110 101\n\
+   .end\n"
+
+(* ------------------------------------------------------------------ *)
+(* BLIF [.exdc] dialect                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_dc () =
+  let net, dc = Blif.parse_dc fixture in
+  Alcotest.(check int) "excdc cubes" 2 (List.length (Dont_care.excdc dc));
+  Alcotest.(check int) "exoec pairs" 1 (List.length (Dont_care.exoec dc));
+  Alcotest.(check bool) "view non-empty" false (Dont_care.is_empty dc);
+  (* The plain entry point validates the section, then discards it. *)
+  let plain = Blif.parse fixture in
+  Alcotest.(check bool) "main body unaffected" true (Equiv.equivalent net plain)
+
+let test_write_parse_fixpoint () =
+  let net, dc = Blif.parse_dc fixture in
+  let section = Blif.exdc_to_string net dc in
+  let reparsed = Blif.parse_exdc net section in
+  Alcotest.(check string)
+    "exdc_to_string (parse_exdc s) = s" section
+    (Blif.exdc_to_string net reparsed);
+  Alcotest.(check bool)
+    "reparsed cubes identical" true
+    (Dont_care.excdc dc = Dont_care.excdc reparsed);
+  Alcotest.(check bool)
+    "reparsed pairs identical" true
+    (Dont_care.exoec dc = Dont_care.exoec reparsed);
+  (* Whole-file round trip through [to_string_dc] is a fixpoint too. *)
+  let text = Blif.to_string_dc net dc in
+  let net2, dc2 = Blif.parse_dc text in
+  Alcotest.(check string) "to_string_dc stable" text (Blif.to_string_dc net2 dc2)
+
+let expect_error ~name ~line ~substr parse =
+  match parse () with
+  | _ -> Alcotest.failf "%s: malformed section accepted" name
+  | exception Blif.Parse_error { line = l; message } ->
+    Alcotest.(check int) (name ^ ": error line") line l;
+    let contains s sub =
+      let n = String.length sub in
+      let rec scan i =
+        i + n <= String.length s && (String.sub s i n = sub || scan (i + 1))
+      in
+      scan 0
+    in
+    if not (contains message substr) then
+      Alcotest.failf "%s: error %S does not mention %S" name message substr
+
+let test_exdc_errors () =
+  let body =
+    ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n"
+    (* lines 1-5; the [.exdc] directive is line 6 *)
+  in
+  expect_error ~name:"non-PI table input" ~line:7
+    ~substr:"not a primary input" (fun () ->
+      Blif.parse_dc (body ^ ".exdc\n.names a z excdc\n11 1\n.end\n"));
+  expect_error ~name:"all-dash cube" ~line:8 ~substr:"forbids every"
+    (fun () -> Blif.parse_dc (body ^ ".exdc\n.names a b excdc\n-- 1\n.end\n"));
+  expect_error ~name:"exoec width" ~line:7 ~substr:".exoec" (fun () ->
+      Blif.parse_dc (body ^ ".exdc\n.exoec 10 1\n.end\n"));
+  expect_error ~name:"exdc-only text must start with .exdc" ~line:1
+    ~substr:".exdc" (fun () ->
+      let net = Blif.parse (body ^ ".end\n") in
+      Blif.parse_exdc net ".names a b excdc\n11 1\n")
+
+(* ------------------------------------------------------------------ *)
+(* Whole-stack discipline over random networks and covers              *)
+(* ------------------------------------------------------------------ *)
+
+let methods =
+  [ ("basic", Script.Basic); ("ext", Script.Ext); ("ext-gdc", Script.Ext_gdc) ]
+
+let optimize ?dc meth net =
+  Script.run net Script.script_a;
+  (Script.resub_command ~jobs:1 ?dc meth) net
+
+let random_net seed =
+  Generator.random ~seed ~n_inputs:7 ~n_nodes:14 ~n_outputs:4 ()
+
+(* A random EXCDC cube over [net]'s input names: width 2-3, distinct
+   inputs, random phases. All randomness flows from [rng]. *)
+let random_cube rng inputs =
+  let n = Array.length inputs in
+  let width = 2 + Rng.int rng 2 in
+  let chosen = ref [] in
+  while List.length !chosen < width do
+    let i = Rng.int rng n in
+    if not (List.mem i !chosen) then chosen := i :: !chosen
+  done;
+  List.map (fun i -> (inputs.(i), Rng.bool rng)) !chosen
+
+let input_names net =
+  Array.of_list (List.map (Network.name net) (Network.inputs net))
+
+let test_empty_view_invisible () =
+  List.iter
+    (fun seed ->
+      let base = random_net seed in
+      List.iter
+        (fun (mname, meth) ->
+          let plain = Network.copy base and masked = Network.copy base in
+          optimize meth plain;
+          optimize ~dc:(Dont_care.create ()) meth masked;
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d %s: empty view byte-invisible" seed mname)
+            (Network.to_string plain) (Network.to_string masked))
+        methods)
+    [ 1; 2; 3 ]
+
+let test_dc_results_verify () =
+  List.iter
+    (fun seed ->
+      let base = random_net seed in
+      let rng = Rng.create (seed * 7919) in
+      let inputs = input_names base in
+      let dc = Dont_care.create () in
+      for _ = 1 to 1 + Rng.int rng 2 do
+        Dont_care.add_excdc dc (random_cube rng inputs)
+      done;
+      List.iter
+        (fun (mname, meth) ->
+          let net = Network.copy base in
+          optimize ~dc meth net;
+          match Equiv.check_dc dc base net with
+          | Equiv.Equivalent -> ()
+          | Equiv.Counterexample { output; _ } ->
+            Alcotest.failf "seed %d %s: output %s differs modulo the view" seed
+              mname output)
+        methods)
+    [ 1; 2; 3; 4; 5 ]
+
+(* Nested views: every cube added shrinks the care set, so literal
+   totals may only go down. The seeds are pinned — heuristic ordering
+   effects can break monotonicity on adversarial inputs, and the
+   discipline the suite enforces is that these fixed instances hold. *)
+let test_monotone_in_care_set () =
+  List.iter
+    (fun seed ->
+      let base = random_net seed in
+      let rng = Rng.create (seed * 104729) in
+      let inputs = input_names base in
+      let views =
+        let dc1 = Dont_care.create () in
+        Dont_care.add_excdc dc1 (random_cube rng inputs);
+        let dc2 = Dont_care.copy dc1 in
+        Dont_care.add_excdc dc2 (random_cube rng inputs);
+        [ None; Some dc1; Some dc2 ]
+      in
+      List.iter
+        (fun (mname, meth) ->
+          let totals =
+            List.map
+              (fun dc ->
+                let net = Network.copy base in
+                optimize ?dc meth net;
+                Lit_count.factored net)
+              views
+          in
+          match totals with
+          | [ l0; l1; l2 ] ->
+            if not (l1 <= l0 && l2 <= l1) then
+              Alcotest.failf
+                "seed %d %s: literals not monotone (%d -> %d -> %d)" seed mname
+                l0 l1 l2
+          | _ -> assert false)
+        methods)
+    [ 1; 2; 3 ]
+
+let () =
+  Alcotest.run "dont_care"
+    [
+      ( "blif-exdc",
+        [
+          Alcotest.test_case "parse_dc picks up the section" `Quick
+            test_parse_dc;
+          Alcotest.test_case "write-after-parse fixpoint" `Quick
+            test_write_parse_fixpoint;
+          Alcotest.test_case "file:line errors" `Quick test_exdc_errors;
+        ] );
+      ( "discipline",
+        [
+          Alcotest.test_case "empty view byte-invisible" `Quick
+            test_empty_view_invisible;
+          Alcotest.test_case "DC results verify modulo view" `Quick
+            test_dc_results_verify;
+          Alcotest.test_case "literals monotone in the care set" `Quick
+            test_monotone_in_care_set;
+        ] );
+    ]

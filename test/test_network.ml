@@ -385,8 +385,10 @@ let test_equiv_detects_difference () =
       ~outputs:[ "f" ]
   in
   (match Equiv.exhaustive net1 net2 with
-  | Equiv.Counterexample cex ->
-    (* The counterexample must actually distinguish the two networks. *)
+  | Equiv.Counterexample { output; assignment = cex } ->
+    (* The counterexample must actually distinguish the two networks,
+       and must name the output it distinguishes them on. *)
+    Alcotest.(check string) "differing output named" "f" output;
     let assign net =
       let by_name = Hashtbl.create 4 in
       List.iter (fun (n, v) -> Hashtbl.replace by_name n v) cex;

@@ -41,6 +41,15 @@ let test_protocol_roundtrip () =
   (match Protocol.decode_request (Protocol.encode_request request) with
   | Ok r -> Alcotest.(check bool) "request round trip" true (r = request)
   | Error m -> Alcotest.failf "request rejected: %s" m);
+  (* The exdc section rides appended to the body behind an [exdc-bytes]
+     header; it must survive the trip byte-for-byte, newlines and all. *)
+  let with_exdc =
+    { request with Protocol.exdc = Some ".exdc\n.names a excdc\n1 1\n" }
+  in
+  (match Protocol.decode_request (Protocol.encode_request with_exdc) with
+  | Ok r ->
+    Alcotest.(check bool) "exdc request round trip" true (r = with_exdc)
+  | Error m -> Alcotest.failf "exdc request rejected: %s" m);
   let response =
     Protocol.Result
       {
@@ -310,6 +319,37 @@ let test_deadline_uncached () =
         Alcotest.(check int) "nothing inserted" 0 c.Cache.insertions
       | None -> Alcotest.fail "cache expected on")
 
+(* The don't-care view is part of a job's identity: a DC job must never
+   be served a plain job's cached result (or vice versa), while two
+   spellings of the same view — inline [.exdc] section vs the [exdc]
+   request field — share one slot. *)
+let test_dc_cache_identity () =
+  let body = ".model m\n.inputs a b c\n.outputs y\n.names a b c y\n111 1\n" in
+  let section = ".exdc\n.names a b excdc\n11 1\n" in
+  let key request =
+    match Job.prepare request with
+    | Ok p -> (
+      match Job.cache_key p with
+      | Some k -> k
+      | None -> Alcotest.fail "cacheable job expected a key")
+    | Error m -> Alcotest.failf "prepare failed: %s" m
+  in
+  let plain = key (Protocol.default_request ~blif:(body ^ ".end\n")) in
+  let via_field =
+    key
+      {
+        (Protocol.default_request ~blif:(body ^ ".end\n")) with
+        Protocol.exdc = Some section;
+      }
+  in
+  let via_inline =
+    key (Protocol.default_request ~blif:(body ^ section ^ ".end\n"))
+  in
+  Alcotest.(check bool)
+    "DC job never shares the plain job's slot" false (plain = via_field);
+  Alcotest.(check string)
+    "inline section and exdc field share a slot" via_field via_inline
+
 let () =
   Alcotest.run "service"
     [
@@ -323,6 +363,8 @@ let () =
         [
           Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss_lru;
           Alcotest.test_case "eviction + budgets" `Quick test_cache_eviction;
+          Alcotest.test_case "don't-care view in the key" `Quick
+            test_dc_cache_identity;
         ] );
       ( "daemon",
         [
