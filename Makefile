@@ -1,4 +1,4 @@
-.PHONY: all test bench shardcheck tracecheck memocheck cubeops servicecheck bench-service aigcheck bench-aig dccheck ci doc clean
+.PHONY: all test bench shardcheck tracecheck memocheck cubeops servicecheck bench-service aigcheck bench-aig dccheck kcheck ci doc clean
 
 all:
 	dune build @all
@@ -63,6 +63,15 @@ aigcheck:
 dccheck:
 	dune exec bench/main.exe -- dccheck quick
 
+# Constructive k-resubstitution gate: every quick (circuit, method)
+# cell is verified with the BDD oracle (exact, not sampled), the four
+# existing methods stay pinned to the shardcheck totals, resub-k's
+# total meets the ext floor (<= 239) and is byte-identical across the
+# jobs {1,2,8} x memo {on,off} grid, and its candidate-construction
+# CPU stays below ext's division CPU.
+kcheck:
+	dune exec bench/main.exe -- kcheck quick
+
 # Windowed-resub snapshot at real-benchmark scale: three generated
 # circuits of 12k-24k gates, gates/literals before and after plus wall
 # seconds. Writes BENCH_aig.json (committed).
@@ -75,7 +84,7 @@ bench-aig:
 # memo bit-identity gate, the cube-kernel microbenchmark, the resident-
 # service miss/hit byte-identity gate, the AIG backend round-trip and
 # windowed-resub determinism gate, the external don't-care discipline
-# gate, and the quick
+# gate, the constructive k-resub gate, and the quick
 # machine-readable perf snapshot (writes BENCH_resub.json for cross-PR
 # trajectory tracking; fails if total cpu_seconds — including the
 # multi-pass script benchmark — regresses >20% vs the previous snapshot
@@ -91,6 +100,7 @@ ci:
 	dune exec bench/main.exe -- servicecheck quick
 	dune exec bench/main.exe -- aigcheck
 	dune exec bench/main.exe -- dccheck quick
+	dune exec bench/main.exe -- kcheck quick
 	dune exec bench/main.exe -- bench quick
 
 bench:

@@ -12,20 +12,22 @@
      main.exe tracecheck quick degraded-run + trace JSON-lines gate
      main.exe memocheck quick memo-on vs --no-memo bit-identity gate
      main.exe dccheck quick   external don't-care discipline gate
+     main.exe kcheck quick    constructive k-resub identity + floor gate
      main.exe cubeops         packed-kernel vs list-cube microbenchmark
      main.exe servicecheck quick  daemon miss/hit + byte-identity gate
      main.exe service quick   daemon throughput snapshot (BENCH_service.json)
      main.exe aigcheck        AIGER round-trip + windowed-resub gate
      main.exe aig             >=10k-gate AIG snapshot (BENCH_aig.json)
    Sections: fig1 fig2 table1 fig4 table2 table3 table4 table5 ablation
-   bech bench jobscheck shardcheck tracecheck memocheck dccheck cubeops
-   servicecheck service aigcheck aig
+   bech bench jobscheck shardcheck tracecheck memocheck dccheck kcheck
+   cubeops servicecheck service aigcheck aig
    Options (key=value): jobs=N (bench parallelism, default 1, 0 = one per
    core; snapshots at jobs=1 are gated >20%% CPU-regression against the
    previous file, and jobs>1 snapshots >20%% wall-clock regression
    against a previous snapshot taken at the same job count), sim-seed=N
-   (signature-filter seed), clients=N (service bench concurrency,
-   default 8). *)
+   (signature-filter seed), sim-words=N (signature vector size in 64-bit
+   words, recorded in the snapshot), clients=N (service bench
+   concurrency, default 8). *)
 
 open Twolevel
 module Network = Logic_network.Network
@@ -837,14 +839,19 @@ let scaling_speedup cells =
 (* Key names avoid the "cpu_seconds" / "wall_seconds" /
    "full_fixpoint_seconds" substrings the regression parsers scan for. *)
 let scaling_json cells =
-  Printf.sprintf "{\"host_cores\": %d, \"cells\": [%s]}"
-    (Domain.recommended_domain_count ())
+  let cores = Domain.recommended_domain_count () in
+  Printf.sprintf "{\"host_cores\": %d, \"cells\": [%s]}" cores
     (String.concat ", "
        (List.map
           (fun (c, speedup) ->
+            (* Oversubscribed cells measure scheduling luck, not the
+               scheduler: flag them so downstream diffs don't gate on
+               their wall-clock figures. *)
             Printf.sprintf
-              "{\"jobs\": %d, \"late_pass_wall\": %.6f, \"speedup\": %.2f}"
-              c.sc_jobs c.sc_wall speedup)
+              "{\"jobs\": %d, \"late_pass_wall\": %.6f, \"speedup\": \
+               %.2f%s}"
+              c.sc_jobs c.sc_wall speedup
+              (if c.sc_jobs > cores then ", \"advisory\": true" else ""))
           (scaling_speedup cells)))
 
 let print_scaling cells =
@@ -978,7 +985,8 @@ let dc_json () =
    gate compares cpu_seconds, the load-insensitive one. At [jobs = 1] the
    run is gated against the previous snapshot: >20% total-CPU regression
    fails. *)
-let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed rows =
+let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed ?sim_words
+    rows =
   section "bench - machine-readable resub snapshot";
   let baseline_cpu = if jobs = 1 then previous_total_cpu path else None in
   let baseline_script = if jobs = 1 then previous_script_cpu path else None in
@@ -1010,8 +1018,8 @@ let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed rows =
               let counters = Rar_util.Counters.create () in
               let (), span =
                 Rar_util.Stopwatch.time_span (fun () ->
-                    Synth.Script.resub_command ~jobs ?sim_seed ~counters meth
-                      scratch)
+                    Synth.Script.resub_command ~jobs ?sim_seed ?sim_words
+                      ~counters meth scratch)
               in
               let lits = Lit_count.factored scratch in
               let ok = Equiv.equivalent scratch net in
@@ -1064,7 +1072,10 @@ let bench_json ?(path = "BENCH_resub.json") ?(jobs = 1) ?sim_seed rows =
       span.Rar_util.Stopwatch.wall_seconds ok
       (Rar_util.Counters.to_json counters)
   in
-  Buffer.add_string buffer (Printf.sprintf "{\n  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buffer
+    (Printf.sprintf "{\n  \"jobs\": %d,\n  \"sim_words\": %d,\n" jobs
+       (Option.value sim_words
+          ~default:Logic_sim.Signature.default_words));
   (* The cubeops and dc records must precede the "totals" marker: the
      regression parser above sums every "cpu_seconds" after it, and
      these figures deliberately use different key names. *)
@@ -1522,6 +1533,120 @@ let dc_check ~pinned rows =
     Printf.printf
       "dccheck: empty views invisible, DC runs deterministic, fixture \
        floors met\n"
+
+(* ------------------------------------------------------------------ *)
+(* kcheck - constructive k-resubstitution gate                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The resub-k quick-suite literal ceiling: the constructive driver
+   must do at least as well as extended division (the "ext" column of
+   [expected_quick_totals]). *)
+let kresub_quick_floor = 239
+
+(* Gates for the constructive k-resub driver:
+   1. every method's jobs=1 memo-on result is verified with the BDD
+      oracle ({!Robdd.Of_network.equivalent}) — an exact check,
+      independent of the random-simulation [Equiv] the other gates use,
+      so every committed substitution is proven, not sampled;
+   2. on the quick suite the four existing methods stay pinned to the
+      shardcheck totals and resub-k's total meets the ext floor;
+   3. resub-k is byte-identical across jobs {1,2,8} x memo {on,off};
+   4. resub-k's candidate-construction CPU stays below ext's division
+      CPU (exact validation is accounted separately — it replaces the
+      per-candidate division work the signatures used to gate). *)
+let k_check ~pinned rows =
+  section "kcheck - constructive k-resub: BDD verify + identity + floor";
+  let grid = [ (1, false); (2, true); (2, false); (8, true); (8, false) ] in
+  let failures = ref 0 in
+  let totals = Hashtbl.create 7 in
+  let construct_cpu = ref 0.0 and validate_cpu = ref 0.0 in
+  let ext_division = ref 0.0 in
+  List.iter
+    (fun row ->
+      let net = Suite.build row in
+      Synth.Script.run net Synth.Script.script_a;
+      List.iter
+        (fun (name, meth) ->
+          let reference = Network.copy net in
+          let counters = Rar_util.Counters.create () in
+          Synth.Script.resub_command ~jobs:1 ~use_memo:true ~counters meth
+            reference;
+          let lits = Lit_count.factored reference in
+          Hashtbl.replace totals name
+            ((try Hashtbl.find totals name with Not_found -> 0) + lits);
+          (match meth with
+          | Synth.Script.Ext ->
+            ext_division :=
+              !ext_division
+              +. Atomic.get counters.Rar_util.Counters.division_seconds
+          | Synth.Script.Kresub ->
+            construct_cpu :=
+              !construct_cpu
+              +. Atomic.get counters.Rar_util.Counters.filter_seconds;
+            validate_cpu :=
+              !validate_cpu
+              +. Atomic.get counters.Rar_util.Counters.validation_seconds
+          | Synth.Script.Algebraic | Synth.Script.Basic
+          | Synth.Script.Ext_gdc ->
+            ());
+          let bdd_ok = Robdd.Of_network.equivalent reference net in
+          if not bdd_ok then incr failures;
+          let grid_ok =
+            match meth with
+            | Synth.Script.Kresub ->
+              let ref_str = Network.to_string reference in
+              List.for_all
+                (fun (jobs, use_memo) ->
+                  let scratch = Network.copy net in
+                  Synth.Script.resub_command ~jobs ~use_memo meth scratch;
+                  String.equal (Network.to_string scratch) ref_str)
+                grid
+            | Synth.Script.Algebraic | Synth.Script.Basic | Synth.Script.Ext
+            | Synth.Script.Ext_gdc ->
+              true
+          in
+          if not grid_ok then incr failures;
+          Printf.printf "  %-12s %-8s %4d lits  BDD %s%s\n" row.Suite.name
+            name lits
+            (if bdd_ok then "ok" else "FAIL")
+            (match meth with
+            | Synth.Script.Kresub ->
+              if grid_ok then "  identical across jobs x memo grid"
+              else "  DIVERGES across grid"
+            | Synth.Script.Algebraic | Synth.Script.Basic | Synth.Script.Ext
+            | Synth.Script.Ext_gdc ->
+              ""))
+        Synth.Script.resub_methods)
+    rows;
+  if pinned then begin
+    List.iter
+      (fun (name, expect) ->
+        let got = try Hashtbl.find totals name with Not_found -> 0 in
+        Printf.printf "  total %-8s %4d lits (expected %d)\n" name got
+          expect;
+        if got <> expect then incr failures)
+      expected_quick_totals;
+    let got_k = try Hashtbl.find totals "resub-k" with Not_found -> 0 in
+    Printf.printf "  total %-8s %4d lits (floor: <= %d, the ext total)\n"
+      "resub-k" got_k kresub_quick_floor;
+    if got_k > kresub_quick_floor then incr failures
+  end;
+  Printf.printf
+    "  cpu: resub-k construction %.3fs + validation %.3fs | ext division \
+     %.3fs\n"
+    !construct_cpu !validate_cpu !ext_division;
+  if !ext_division > 0.0 && !construct_cpu >= !ext_division then begin
+    Printf.printf
+      "  resub-k candidate construction is not cheaper than ext division\n";
+    incr failures
+  end;
+  if !failures > 0 then begin
+    Printf.printf "kcheck: %d check(s) FAILED\n" !failures;
+    exit 10
+  end
+  else
+    Printf.printf
+      "kcheck: BDD-verified, byte-identical across the grid, floor met\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel benches - one per table                                    *)
@@ -2021,11 +2146,17 @@ let () =
         match kv "sim-seed" tok with Some n -> Some n | None -> acc)
       None args
   in
+  let sim_words =
+    List.fold_left
+      (fun acc tok ->
+        match kv "sim-words" tok with Some n -> Some (max 1 n) | None -> acc)
+      None args
+  in
   let args =
     List.filter
       (fun tok ->
         kv "jobs" tok = None && kv "sim-seed" tok = None
-        && kv "clients" tok = None)
+        && kv "sim-words" tok = None && kv "clients" tok = None)
       args
   in
   let quick = List.mem "quick" args in
@@ -2055,6 +2186,7 @@ let () =
   if List.mem "tracecheck" explicit then trace_check rows;
   if List.mem "memocheck" explicit then memo_check rows;
   if List.mem "dccheck" explicit then dc_check ~pinned:quick rows;
+  if List.mem "kcheck" explicit then k_check ~pinned:quick rows;
   if List.mem "cubeops" explicit then cubeops_report ();
   if List.mem "servicecheck" explicit then service_check rows;
   if List.mem "service" explicit then service_bench ~clients rows;
@@ -2062,4 +2194,4 @@ let () =
   if List.mem "aig" explicit then aig_bench ~jobs ();
   (* JSON snapshot only on explicit request: it is a CI artifact, not part
      of the default figure/table regeneration. *)
-  if List.mem "bench" explicit then bench_json ~jobs ?sim_seed rows
+  if List.mem "bench" explicit then bench_json ~jobs ?sim_seed ?sim_words rows

@@ -183,7 +183,8 @@ let resubs =
 
 let optimize_cmd =
   let run circuit file exdc script method_name no_filter no_memo jobs
-      sim_seed fault_budget deadline trace_file output verify verbose =
+      sim_seed sim_words fault_budget deadline trace_file output verify
+      verbose =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
@@ -225,8 +226,8 @@ let optimize_cmd =
         | `Other command -> command
         | `Method meth ->
           Synth.Script.resub_command ~use_filter:(not no_filter)
-            ~use_memo:(not no_memo) ~jobs ~sim_seed ?fault_fuel:fault_budget
-            ?deadline_at ~trace ~counters ?dc meth
+            ~use_memo:(not no_memo) ~jobs ~sim_seed ~sim_words
+            ?fault_fuel:fault_budget ?deadline_at ~trace ~counters ?dc meth
       in
       Option.iter
         (fun dc ->
@@ -325,6 +326,16 @@ let optimize_cmd =
       & info [ "sim-seed" ] ~docv:"SEED"
           ~doc:"RNG seed for the simulation-signature divisor filter.")
   in
+  let sim_words_arg =
+    Arg.(
+      value
+      & opt int Logic_sim.Signature.default_words
+      & info [ "sim-words" ] ~docv:"N"
+          ~doc:
+            "Signature vector size in 64-bit words (default 8 = 512 \
+             bits). Larger vectors make the signature engines more \
+             discriminating at more simulation cost per node.")
+  in
   let fault_budget_arg =
     Arg.(
       value
@@ -376,8 +387,8 @@ let optimize_cmd =
     Term.(
       const run $ circuit_arg $ file_arg $ exdc_arg $ script_arg $ method_arg
       $ no_filter_flag $ no_memo_flag $ jobs_arg $ sim_seed_arg
-      $ fault_budget_arg $ deadline_arg $ trace_arg $ output_arg
-      $ verify_flag $ verbose_flag)
+      $ sim_words_arg $ fault_budget_arg $ deadline_arg $ trace_arg
+      $ output_arg $ verify_flag $ verbose_flag)
 
 (* ------------------------------------------------------------------ *)
 (* optimize-aig                                                        *)
@@ -390,8 +401,8 @@ let optimize_cmd =
    verification. *)
 let optimize_aig_cmd =
   let run file exdc script method_name no_filter no_memo jobs sim_seed
-      fault_budget deadline max_window max_leaves trace_file output verify
-      verbose =
+      sim_words fault_budget deadline max_window max_leaves trace_file output
+      verify verbose =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
@@ -461,6 +472,7 @@ let optimize_aig_cmd =
             use_memo = not no_memo;
             jobs;
             sim_seed;
+            sim_words;
             max_gates = max_window;
             max_leaves;
             dc;
@@ -570,6 +582,15 @@ let optimize_aig_cmd =
       & info [ "sim-seed" ] ~docv:"SEED"
           ~doc:"RNG seed for the simulation-signature divisor filter.")
   in
+  let sim_words_arg =
+    Arg.(
+      value
+      & opt int Logic_sim.Signature.default_words
+      & info [ "sim-words" ] ~docv:"N"
+          ~doc:
+            "Signature vector size in 64-bit words for the per-window \
+             engines (default 8 = 512 bits).")
+  in
   let fault_budget_arg =
     Arg.(
       value
@@ -629,8 +650,9 @@ let optimize_aig_cmd =
     Term.(
       const run $ file_arg $ exdc_arg $ script_arg $ method_arg
       $ no_filter_flag $ no_memo_flag $ jobs_arg $ sim_seed_arg
-      $ fault_budget_arg $ deadline_arg $ max_window_arg $ max_leaves_arg
-      $ trace_arg $ output_arg $ verify_flag $ verbose_flag)
+      $ sim_words_arg $ fault_budget_arg $ deadline_arg $ max_window_arg
+      $ max_leaves_arg $ trace_arg $ output_arg $ verify_flag
+      $ verbose_flag)
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)
@@ -651,7 +673,7 @@ let client_cmd =
     buf
   in
   let run socket circuit file exdc script method_name no_filter no_memo jobs
-      sim_seed fault_budget deadline no_cache timeout output =
+      sim_seed sim_words fault_budget deadline no_cache timeout output =
     let blif =
       (* Inline [.exdc] sections ride along in the body (the daemon
          splits them back out); an [--exdc FILE] travels verbatim in the
@@ -693,6 +715,7 @@ let client_cmd =
           use_memo = not no_memo;
           jobs = (match jobs with Some n -> max 0 n | None -> 1);
           sim_seed;
+          sim_words;
           fault_budget;
           deadline;
           use_cache = not no_cache;
@@ -767,6 +790,15 @@ let client_cmd =
       & info [ "sim-seed" ] ~docv:"SEED"
           ~doc:"RNG seed for the divisor filter (default: the daemon's).")
   in
+  let sim_words_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sim-words" ] ~docv:"N"
+          ~doc:
+            "Signature vector size in 64-bit words (default: the \
+             daemon's).")
+  in
   let fault_budget_arg =
     Arg.(
       value
@@ -811,8 +843,8 @@ let client_cmd =
     Term.(
       const run $ socket_arg $ circuit_arg $ file_arg $ exdc_arg
       $ script_arg $ method_arg $ no_filter_flag $ no_memo_flag $ jobs_arg
-      $ sim_seed_arg $ fault_budget_arg $ deadline_arg $ no_cache_flag
-      $ timeout_arg $ output_arg)
+      $ sim_seed_arg $ sim_words_arg $ fault_budget_arg $ deadline_arg
+      $ no_cache_flag $ timeout_arg $ output_arg)
 
 let () =
   let info =

@@ -4,7 +4,7 @@ module Node_set = Network.Node_set
 
 type phase = Pos | Neg | Both
 
-type meth = Algebraic | Boolean
+type meth = Algebraic | Boolean | Kresub
 
 type target = Divisor of Network.node_id * phase | Pool of Network.node_id list
 
@@ -12,9 +12,14 @@ type reads = All_nodes | Nodes of Network.node_id array
 
 type entry = { at : int; reads : reads; burn : int }
 
-type dividend_entry = { d_at : int; d_burn : int; d_units : int }
+type dividend_entry = { d_at : int; d_gen : int; d_burn : int; d_units : int }
 
-type key = Network.node_id * meth * target
+(* The trailing int is the caller's refinement generation (0 for the
+   division drivers): the kresub driver bumps it whenever a
+   counterexample refines the signature vectors, which retires every
+   entry recorded against the coarser signatures without touching the
+   Dirty clock. *)
+type key = Network.node_id * meth * target * int
 
 (* The failure table is striped so worker domains of the sharded
    drivers can record and replay concurrently: each stripe owns a
@@ -67,8 +72,8 @@ let fresh t at = function
     done;
     !ok
 
-let replay_failure t ~f target ~meth =
-  let key = (f, meth, target) in
+let replay_failure ?(gen = 0) t ~f target ~meth =
+  let key = (f, meth, target, gen) in
   let s = stripe_of t key in
   (* The freshness test reads Dirty stamps, which only the driver's
      domain advances and never during a parallel batch — so running it
@@ -84,23 +89,25 @@ let replay_failure t ~f target ~meth =
           None
         end)
 
-let record_failure t ~f target ~meth ~reads ~burn =
-  let key = (f, meth, target) in
+let record_failure ?(gen = 0) t ~f target ~meth ~reads ~burn =
+  let key = (f, meth, target, gen) in
   let s = stripe_of t key in
   let e = { at = Dirty.clock t.dirty; reads; burn } in
   with_lock s.lock (fun () -> Hashtbl.replace s.entries key e)
 
-let replay_dividend t ~f =
+let replay_dividend ?(gen = 0) t ~f =
   with_lock t.div_lock (fun () ->
       match Hashtbl.find_opt t.dividends f with
       | None -> None
       | Some e ->
-        if Dirty.clock t.dirty = e.d_at then Some (e.d_burn, e.d_units)
+        if Dirty.clock t.dirty = e.d_at && e.d_gen = gen then
+          Some (e.d_burn, e.d_units)
         else begin
           Hashtbl.remove t.dividends f;
           None
         end)
 
-let record_dividend t ~f ~at ~burn ~units =
+let record_dividend ?(gen = 0) t ~f ~at ~burn ~units =
   with_lock t.div_lock (fun () ->
-      Hashtbl.replace t.dividends f { d_at = at; d_burn = burn; d_units = units })
+      Hashtbl.replace t.dividends f
+        { d_at = at; d_gen = gen; d_burn = burn; d_units = units })

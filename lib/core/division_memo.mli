@@ -34,7 +34,9 @@ type phase = Pos | Neg | Both
 (** Which polarity of the divisor the attempt covered. [Both] keys
     whole Boolean units that internally try both phases. *)
 
-type meth = Algebraic | Boolean
+type meth = Algebraic | Boolean | Kresub
+(** [Kresub] keys the constructive simulation-guided driver's entries
+    apart from the division drivers sharing the same table. *)
 
 type target =
   | Divisor of Logic_network.Network.node_id * phase
@@ -56,12 +58,21 @@ val create : Logic_network.Dirty.t -> t
 val dirty : t -> Logic_network.Dirty.t
 
 val replay_failure :
-  t -> f:Logic_network.Network.node_id -> target -> meth:meth -> int option
+  ?gen:int ->
+  t ->
+  f:Logic_network.Network.node_id ->
+  target ->
+  meth:meth ->
+  int option
 (** [Some burn] iff a failure with this key is recorded and every read
     stamp is still at or below the recorded clock; the caller must
-    reserve [burn] ids. Stale entries are dropped as a side effect. *)
+    reserve [burn] ids. Stale entries are dropped as a side effect.
+    [gen] (default 0) is part of the key: the kresub driver passes its
+    refinement generation so failures proven against pre-refinement
+    signatures never replay once a counterexample sharpened them. *)
 
 val record_failure :
+  ?gen:int ->
   t ->
   f:Logic_network.Network.node_id ->
   target ->
@@ -74,14 +85,21 @@ val record_failure :
     (modulo the id burn). *)
 
 val replay_dividend :
-  t -> f:Logic_network.Network.node_id -> (int * int) option
+  ?gen:int -> t -> f:Logic_network.Network.node_id -> (int * int) option
 (** [Some (burn, units)] iff a whole dividend scan for [f] was recorded
-    and the clock has not moved at all since: every unit of the scan is
-    then individually a provable replay, so the whole scan can be
-    skipped after reserving [burn] ids. [units] is how many attempts the
-    scan covered (for the hit counter). *)
+    and the clock has not moved at all since — and, when [gen] is given,
+    the entry was recorded at the same refinement generation: every unit
+    of the scan is then individually a provable replay, so the whole
+    scan can be skipped after reserving [burn] ids. [units] is how many
+    attempts the scan covered (for the hit counter). *)
 
 val record_dividend :
-  t -> f:Logic_network.Network.node_id -> at:int -> burn:int -> units:int -> unit
+  ?gen:int ->
+  t ->
+  f:Logic_network.Network.node_id ->
+  at:int ->
+  burn:int ->
+  units:int ->
+  unit
 (** Record that the scan of dividend [f], started at clock [at],
     committed nothing. Only call when the clock still equals [at]. *)

@@ -27,6 +27,7 @@ type config = {
   max_passes : int;
   jobs : int;
   sim_seed : int;
+  sim_words : int;
   use_memo : bool;
   dc : Logic_network.Dont_care.t option;
 }
@@ -44,6 +45,7 @@ let basic_config =
     max_passes = 4;
     jobs = 1;
     sim_seed = Signature.default_seed;
+    sim_words = Signature.default_words;
     use_memo = true;
     dc = None;
   }
@@ -346,7 +348,9 @@ let run ?(config = extended_config) ?fault_fuel ?deadline_at
   let cache = Fanin_cache.create net in
   let sigs =
     if config.use_filter then
-      Some (Signature.create ~seed:config.sim_seed ?dc:config.dc net)
+      Some
+        (Signature.create ~seed:config.sim_seed ~words:config.sim_words
+           ?dc:config.dc net)
     else None
   in
   Fun.protect ~finally:(fun () -> Option.iter Signature.detach sigs)
@@ -551,7 +555,9 @@ let run ?(config = extended_config) ?fault_fuel ?deadline_at
         let wcache = Fanin_cache.create snap in
         let wsigs =
           if config.use_filter then
-            Some (Signature.create ~seed:config.sim_seed ?dc:config.dc snap)
+            Some
+              (Signature.create ~seed:config.sim_seed ~words:config.sim_words
+                 ?dc:config.dc snap)
           else None
         in
         Fun.protect ~finally:(fun () -> Option.iter Signature.detach wsigs)

@@ -39,6 +39,9 @@ type config = {
   sim_seed : int;
       (** signature-filter RNG seed (default
           {!Logic_sim.Signature.default_seed}) *)
+  sim_words : int;
+      (** signature vector size in 64-bit words (default
+          {!Logic_sim.Signature.default_words}) *)
   use_memo : bool;
       (** memoise failed division attempts in a {!Division_memo} keyed
           on dirty-tracker stamps and skip provable replays on later

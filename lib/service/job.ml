@@ -142,11 +142,15 @@ let prepare ?warm (request : Protocol.request) =
           | None ->
             Some
               (Printf.sprintf
-                 "%s\x00%s\x00%s\x00filter=%b memo=%b seed=%s fuel=%s\x00%s"
+                 "%s\x00%s\x00%s\x00filter=%b memo=%b seed=%s words=%s \
+                  fuel=%s\x00%s"
                  canonical request.script request.meth request.use_filter
                  request.use_memo
                  (match request.sim_seed with
                  | Some s -> string_of_int s
+                 | None -> "default")
+                 (match request.sim_words with
+                 | Some w -> string_of_int w
                  | None -> "default")
                  (match request.fault_budget with
                  | Some f -> string_of_int f
@@ -196,7 +200,8 @@ let execute ?warm p =
     in
     Synth.Script.resub_command ~use_filter:req.use_filter
       ~use_memo:req.use_memo ~jobs ?sim_seed:req.sim_seed
-      ?fault_fuel:req.fault_budget ?deadline_at ~counters ?dc:p.dc meth net);
+      ?sim_words:req.sim_words ?fault_fuel:req.fault_budget ?deadline_at
+      ~counters ?dc:p.dc meth net);
   {
     Cache.blif = Blif.to_string net;
     literals = Lit_count.factored net;

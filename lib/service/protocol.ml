@@ -11,6 +11,7 @@ type request = {
   use_memo : bool;
   jobs : int;
   sim_seed : int option;
+  sim_words : int option;
   fault_budget : int option;
   deadline : float option;
   use_cache : bool;
@@ -26,6 +27,7 @@ let default_request ~blif =
     use_memo = true;
     jobs = 1;
     sim_seed = None;
+    sim_words = None;
     fault_budget = None;
     deadline = None;
     use_cache = true;
@@ -60,6 +62,9 @@ let encode_request r =
   Option.iter
     (fun s -> Buffer.add_string b (Printf.sprintf "sim-seed %d\n" s))
     r.sim_seed;
+  Option.iter
+    (fun w -> Buffer.add_string b (Printf.sprintf "sim-words %d\n" w))
+    r.sim_words;
   Option.iter
     (fun f -> Buffer.add_string b (Printf.sprintf "fault-budget %d\n" f))
     r.fault_budget;
@@ -161,6 +166,7 @@ let decode_request payload =
   else
     let known =
       [ "script"; "method"; "filter"; "memo"; "jobs"; "cache"; "sim-seed";
+        "sim-words";
         "fault-budget"; "deadline"; "exdc-bytes" ]
     in
     match List.find_opt (fun (k, _) -> not (List.mem k known)) headers with
@@ -190,6 +196,7 @@ let decode_request payload =
       let* jobs = dflt int_value "jobs" 1 in
       let* use_cache = dflt bool_value "cache" true in
       let* sim_seed = opt int_value "sim-seed" in
+      let* sim_words = opt int_value "sim-words" in
       let* fault_budget = opt int_value "fault-budget" in
       let* deadline = opt float_value "deadline" in
       let* exdc_bytes = opt int_value "exdc-bytes" in
@@ -213,6 +220,7 @@ let decode_request payload =
           use_memo;
           jobs;
           sim_seed;
+          sim_words;
           fault_budget;
           deadline;
           use_cache;

@@ -30,6 +30,10 @@ type request = {
   use_memo : bool;
   jobs : int;  (** driver parallelism; [0] = auto on the daemon's host *)
   sim_seed : int option;  (** [None] = the engine default *)
+  sim_words : int option;
+      (** signature vector size in 64-bit words; [None] = the engine
+          default (8 = 512 bits). Output-relevant, so part of the
+          daemon's cache key. *)
   fault_budget : int option;
   deadline : float option;  (** relative seconds, applied at job start *)
   use_cache : bool;  (** [false] bypasses the daemon's result cache *)

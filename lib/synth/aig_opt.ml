@@ -16,6 +16,7 @@ type config = {
   use_memo : bool;
   jobs : int;
   sim_seed : int;
+  sim_words : int;
   verify_windows : bool;
   dc : Logic_network.Dont_care.t option;
 }
@@ -32,6 +33,7 @@ let default_config =
     use_memo = true;
     jobs = 1;
     sim_seed = Logic_sim.Signature.default_seed;
+    sim_words = Logic_sim.Signature.default_words;
     verify_windows = false;
     dc = None;
   }
@@ -234,7 +236,8 @@ let optimize ?(config = default_config) ?fault_fuel ?deadline_at
   let resub =
     Script.resub_command ~use_filter:config.use_filter
       ~use_memo:config.use_memo ~jobs:config.jobs ~sim_seed:config.sim_seed
-      ?fault_fuel ?deadline_at ?counters config.meth
+      ~sim_words:config.sim_words ?fault_fuel ?deadline_at ?counters
+      config.meth
   in
   let view = ref (view_of work) in
   let current_live = ref gates_before in
@@ -344,8 +347,8 @@ let optimize ?(config = default_config) ?fault_fuel ?deadline_at
           | Some wdc ->
             Script.resub_command ~use_filter:config.use_filter
               ~use_memo:config.use_memo ~jobs:config.jobs
-              ~sim_seed:config.sim_seed ?fault_fuel ?deadline_at ?counters
-              ~dc:wdc config.meth
+              ~sim_seed:config.sim_seed ~sim_words:config.sim_words
+              ?fault_fuel ?deadline_at ?counters ~dc:wdc config.meth
         in
         let reference =
           if config.verify_windows then Some (Network.copy wnet) else None

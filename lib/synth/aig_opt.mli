@@ -32,6 +32,9 @@ type config = {
   use_memo : bool;
   jobs : int;
   sim_seed : int;
+  sim_words : int;
+      (** signature vector size in 64-bit words for the per-window
+          engines (default {!Logic_sim.Signature.default_words}) *)
   verify_windows : bool;
       (** BDD-check every optimised window against its collapsed
           original before splicing (belt-and-braces; windows are small

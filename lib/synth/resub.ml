@@ -106,8 +106,9 @@ type spec_result = {
 
 let run ?(use_complement = true) ?(use_filter = true)
     ?(max_candidates = default_max_candidates) ?(max_passes = 4) ?(jobs = 1)
-    ?(sim_seed = Signature.default_seed) ?(use_memo = true) ?deadline_at
-    ?(trace = Trace.disabled) ?counters ?dc net =
+    ?(sim_seed = Signature.default_seed) ?(sim_words = Signature.default_words)
+    ?(use_memo = true) ?deadline_at ?(trace = Trace.disabled) ?counters ?dc net
+    =
   let counters =
     match counters with Some c -> c | None -> Counters.create ()
   in
@@ -135,7 +136,8 @@ let run ?(use_complement = true) ?(use_filter = true)
   in
   let cache = Fanin_cache.create net in
   let sigs =
-    if use_filter then Some (Signature.create ~seed:sim_seed ?dc net)
+    if use_filter then
+      Some (Signature.create ~seed:sim_seed ~words:sim_words ?dc net)
     else None
   in
   Fun.protect ~finally:(fun () -> Option.iter Signature.detach sigs)
@@ -312,7 +314,7 @@ let run ?(use_complement = true) ?(use_filter = true)
         let wcache = Fanin_cache.create snap in
         let wsigs =
           if use_filter then
-            Some (Signature.create ~seed:sim_seed ?dc snap)
+            Some (Signature.create ~seed:sim_seed ~words:sim_words ?dc snap)
           else None
         in
         Fun.protect ~finally:(fun () -> Option.iter Signature.detach wsigs)

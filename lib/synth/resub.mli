@@ -33,6 +33,7 @@ val run :
   ?max_passes:int ->
   ?jobs:int ->
   ?sim_seed:int ->
+  ?sim_words:int ->
   ?use_memo:bool ->
   ?deadline_at:float ->
   ?trace:Rar_util.Trace.t ->
@@ -49,7 +50,9 @@ val run :
     parallel on private network snapshots and commits serially in rank
     order, so the result is bit-identical to a sequential run; [sim_seed]
     (default {!Logic_sim.Signature.default_seed}) seeds the signature
-    filter.
+    filter and [sim_words] (default
+    {!Logic_sim.Signature.default_words}) sizes its vectors in 64-bit
+    words.
 
     [use_memo] (default [true]) memoises failed attempts in a
     {!Booldiv.Division_memo} keyed on dirty-tracker stamps, skipping

@@ -62,28 +62,50 @@ let run ?resub ?(trace = Rar_util.Trace.disabled) net steps =
             match resub with Some command -> command net | None -> ())))
     steps
 
-type resub_method = Algebraic | Basic | Ext | Ext_gdc
+type resub_method = Algebraic | Basic | Ext | Ext_gdc | Kresub
 
 let resub_methods =
-  [ ("sis", Algebraic); ("basic", Basic); ("ext", Ext); ("ext-gdc", Ext_gdc) ]
+  [
+    ("sis", Algebraic);
+    ("basic", Basic);
+    ("ext", Ext);
+    ("ext-gdc", Ext_gdc);
+    ("resub-k", Kresub);
+  ]
 
 let resub_command ?(use_filter = true) ?(jobs = 1)
-    ?(sim_seed = Logic_sim.Signature.default_seed) ?(use_memo = true)
+    ?(sim_seed = Logic_sim.Signature.default_seed)
+    ?(sim_words = Logic_sim.Signature.default_words) ?(use_memo = true)
     ?fault_fuel ?deadline_at ?trace ?counters ?dc meth net =
   match meth with
   | Algebraic ->
     ignore
-      (Resub.run ~use_complement:true ~use_filter ~jobs ~sim_seed ~use_memo
-         ?deadline_at ?trace ?counters ?dc net)
+      (Resub.run ~use_complement:true ~use_filter ~jobs ~sim_seed ~sim_words
+         ~use_memo ?deadline_at ?trace ?counters ?dc net)
+  | Kresub ->
+    (* The constructive driver has no signature-as-filter mode to turn
+       off — signatures are its candidate generator — so [use_filter]
+       and [fault_fuel] (no implication work) are accepted and unused. *)
+    ignore
+      (Kresub.run ~jobs ~sim_seed ~sim_words ~use_memo ?deadline_at ?trace
+         ?counters ?dc net)
   | Basic | Ext | Ext_gdc ->
     let base =
       match meth with
       | Basic -> Booldiv.Substitute.basic_config
       | Ext -> Booldiv.Substitute.extended_config
-      | Ext_gdc | Algebraic -> Booldiv.Substitute.extended_gdc_config
+      | Ext_gdc | Algebraic | Kresub -> Booldiv.Substitute.extended_gdc_config
     in
     let config =
-      { base with Booldiv.Substitute.use_filter; jobs; sim_seed; use_memo; dc }
+      {
+        base with
+        Booldiv.Substitute.use_filter;
+        jobs;
+        sim_seed;
+        sim_words;
+        use_memo;
+        dc;
+      }
     in
     ignore
       (Booldiv.Substitute.run ~config ?fault_fuel ?deadline_at ?trace

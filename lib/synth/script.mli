@@ -47,16 +47,17 @@ val run :
     provided. Each step runs inside a [step.<name>] span on [trace]
     (default {!Rar_util.Trace.disabled}). *)
 
-type resub_method = Algebraic | Basic | Ext | Ext_gdc
+type resub_method = Algebraic | Basic | Ext | Ext_gdc | Kresub
 
 val resub_methods : (string * resub_method) list
-(** CLI spellings of the four methods ([sis], [basic], [ext],
-    [ext-gdc]). *)
+(** CLI spellings of the five methods ([sis], [basic], [ext],
+    [ext-gdc], [resub-k]). *)
 
 val resub_command :
   ?use_filter:bool ->
   ?jobs:int ->
   ?sim_seed:int ->
+  ?sim_words:int ->
   ?use_memo:bool ->
   ?fault_fuel:int ->
   ?deadline_at:float ->
@@ -66,10 +67,14 @@ val resub_command :
   resub_method ->
   resub_command
 (** Build a resubstitution command. [use_filter] toggles the
-    simulation-signature divisor filter (default on); [jobs] sets the
-    speculative-evaluation parallelism (default 1; any value yields
-    bit-identical networks); [sim_seed] seeds the signature filter
-    (default {!Logic_sim.Signature.default_seed}); [use_memo] (default
+    simulation-signature divisor filter (default on; ignored by
+    [Kresub], whose signatures are the candidate generator rather than
+    a filter); [jobs] sets the speculative-evaluation parallelism
+    (default 1; any value yields bit-identical networks); [sim_seed]
+    seeds the signature engines (default
+    {!Logic_sim.Signature.default_seed}) and [sim_words] sizes their
+    vectors in 64-bit words (default
+    {!Logic_sim.Signature.default_words}); [use_memo] (default
     on) memoises failed division attempts across passes, producing
     bit-identical networks with fewer replayed attempts; [counters]
     accumulates pair/division tallies across the run for reporting.

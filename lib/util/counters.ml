@@ -18,10 +18,14 @@ type t = {
   speculative_wasted : int Atomic.t;
   degradations : int Atomic.t;
   passes : int Atomic.t;
+  kresub_candidates : int Atomic.t;
+  kresub_validated : int Atomic.t;
+  kresub_refinements : int Atomic.t;
   mutable pass_divisions : int list;
   filter_seconds : float Atomic.t;
   division_seconds : float Atomic.t;
   speculative_seconds : float Atomic.t;
+  validation_seconds : float Atomic.t;
 }
 
 let create () =
@@ -38,10 +42,14 @@ let create () =
     speculative_wasted = Atomic.make 0;
     degradations = Atomic.make 0;
     passes = Atomic.make 0;
+    kresub_candidates = Atomic.make 0;
+    kresub_validated = Atomic.make 0;
+    kresub_refinements = Atomic.make 0;
     pass_divisions = [];
     filter_seconds = Atomic.make 0.0;
     division_seconds = Atomic.make 0.0;
     speculative_seconds = Atomic.make 0.0;
+    validation_seconds = Atomic.make 0.0;
   }
 
 let add cell n = ignore (Atomic.fetch_and_add cell n : int)
@@ -77,10 +85,14 @@ let accumulate dst src =
   add dst.degradations (Atomic.get src.degradations);
   (let p = Atomic.get src.passes in
    if p > Atomic.get dst.passes then Atomic.set dst.passes p);
+  add dst.kresub_candidates (Atomic.get src.kresub_candidates);
+  add dst.kresub_validated (Atomic.get src.kresub_validated);
+  add dst.kresub_refinements (Atomic.get src.kresub_refinements);
   dst.pass_divisions <- sum_by_pass dst.pass_divisions src.pass_divisions;
   add_seconds dst.filter_seconds (Atomic.get src.filter_seconds);
   add_seconds dst.division_seconds (Atomic.get src.division_seconds);
-  add_seconds dst.speculative_seconds (Atomic.get src.speculative_seconds)
+  add_seconds dst.speculative_seconds (Atomic.get src.speculative_seconds);
+  add_seconds dst.validation_seconds (Atomic.get src.validation_seconds)
 
 (* The elapsed time must land in its bucket also when [f] raises (a
    budget exhaustion or conflict escaping a division is normal control
@@ -94,7 +106,8 @@ let timed t field f =
       match field with
       | `Filter -> add_seconds t.filter_seconds elapsed
       | `Division -> add_seconds t.division_seconds elapsed
-      | `Speculative -> add_seconds t.speculative_seconds elapsed)
+      | `Speculative -> add_seconds t.speculative_seconds elapsed
+      | `Validate -> add_seconds t.validation_seconds elapsed)
     f
 
 let pass_divisions_string t =
@@ -104,8 +117,9 @@ let to_string t =
   Printf.sprintf
     "pairs %d (filtered %d), divisions %d (passes %d: [%s]), substitutions \
      %d, memo %d hits / %d misses, imply %d creates / %d resets / %d \
-     checkpoints, speculative %d wasted, degradations %d, filter %.2fs, \
-     division %.2fs, speculative %.2fs"
+     checkpoints, speculative %d wasted, degradations %d, kresub %d \
+     candidates / %d validated / %d refinements, filter %.2fs, \
+     division %.2fs, speculative %.2fs, validation %.2fs"
     (Atomic.get t.pairs_considered)
     (Atomic.get t.pairs_filtered)
     (Atomic.get t.divisions_attempted)
@@ -118,9 +132,13 @@ let to_string t =
     (Atomic.get t.imply_checkpoints)
     (Atomic.get t.speculative_wasted)
     (Atomic.get t.degradations)
+    (Atomic.get t.kresub_candidates)
+    (Atomic.get t.kresub_validated)
+    (Atomic.get t.kresub_refinements)
     (Atomic.get t.filter_seconds)
     (Atomic.get t.division_seconds)
     (Atomic.get t.speculative_seconds)
+    (Atomic.get t.validation_seconds)
 
 let to_json t =
   Printf.sprintf
@@ -131,8 +149,10 @@ let to_json t =
      \"imply_checkpoints\": %d, \
      \"speculative_wasted\": %d, \"degradations\": %d, \
      \"passes\": %d, \"pass_divisions\": [%s], \
+     \"kresub_candidates\": %d, \"kresub_validated\": %d, \
+     \"kresub_refinements\": %d, \
      \"filter_seconds\": %.6f, \"division_seconds\": %.6f, \
-     \"speculative_seconds\": %.6f}"
+     \"speculative_seconds\": %.6f, \"validation_seconds\": %.6f}"
     (Atomic.get t.pairs_considered)
     (Atomic.get t.pairs_filtered)
     (Atomic.get t.divisions_attempted)
@@ -145,6 +165,10 @@ let to_json t =
     (Atomic.get t.degradations)
     (Atomic.get t.passes)
     (pass_divisions_string t)
+    (Atomic.get t.kresub_candidates)
+    (Atomic.get t.kresub_validated)
+    (Atomic.get t.kresub_refinements)
     (Atomic.get t.filter_seconds)
     (Atomic.get t.division_seconds)
     (Atomic.get t.speculative_seconds)
+    (Atomic.get t.validation_seconds)

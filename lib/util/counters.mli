@@ -42,6 +42,14 @@ type t = {
           (redundancy scan cut short, vote table truncated, unit
           skipped) instead of aborting the run *)
   passes : int Atomic.t;  (** fixpoint passes executed by the driver *)
+  kresub_candidates : int Atomic.t;
+      (** resubstitution candidates constructed from signatures by the
+          [Kresub] driver (before exact validation) *)
+  kresub_validated : int Atomic.t;
+      (** kresub candidates that passed exact BDD validation *)
+  kresub_refinements : int Atomic.t;
+      (** counterexample patterns folded back into the kresub signature
+          vectors after a failed validation *)
   mutable pass_divisions : int list;
       (** divisions_attempted per pass, oldest pass first; when
           accumulated across circuits the lists are summed index-wise.
@@ -50,6 +58,10 @@ type t = {
   division_seconds : float Atomic.t;
   speculative_seconds : float Atomic.t;
       (** wall-clock spent inside the discarded evaluations *)
+  validation_seconds : float Atomic.t;
+      (** wall-clock spent in exact (BDD) validation of kresub
+          candidates — reported separately from [division_seconds] so
+          constructive matching and oracle time stay attributable *)
 }
 
 val create : unit -> t
@@ -65,7 +77,8 @@ val accumulate : t -> t -> unit
 (** [accumulate dst src] adds [src]'s tallies into [dst] ([passes] takes
     the max, [pass_divisions] sums index-wise). *)
 
-val timed : t -> [ `Filter | `Division | `Speculative ] -> (unit -> 'a) -> 'a
+val timed :
+  t -> [ `Filter | `Division | `Speculative | `Validate ] -> (unit -> 'a) -> 'a
 (** Run a thunk and add its elapsed wall-clock time to the chosen
     bucket. Exception-safe: the time is recorded (and the exception
     re-raised) also when the thunk raises. *)

@@ -1,0 +1,177 @@
+(* Constructive simulation-guided k-resubstitution.
+
+   The load-bearing property is the counterexample-refinement loop: a
+   candidate that survives the signature test but fails exact validation
+   must yield a counterexample row that distinguishes the pair forever,
+   so the same wrong candidate is proposed at most once per run. The
+   planted circuit below aliases a dividend and a divisor on the base
+   stimulus (they differ only where fourteen inputs are all 1 — beyond
+   the reach of 64 random rows), forcing exactly that sequence:
+   propose, refute, refine, never re-propose. *)
+
+module Network = Logic_network.Network
+module Builder = Logic_network.Builder
+module Lit_count = Logic_network.Lit_count
+module Dont_care = Logic_network.Dont_care
+module Suite = Bench_suite.Suite
+module Counters = Rar_util.Counters
+
+let bdd_equivalent = Robdd.Of_network.equivalent
+
+let inputs16 =
+  [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h"; "i"; "j"; "k"; "l"; "m"; "n";
+    "o"; "p" ]
+
+(* [w] agrees with [v = ab] everywhere except the single pattern slice
+   where c..p are all 1 and ab is not — 2^-14 of the input space, which
+   one 64-row signature word misses with near certainty. *)
+let aliased_net () =
+  Builder.of_spec ~inputs:inputs16
+    ~nodes:[ ("v", "ab"); ("w", "ab + cdefghijklmnop") ]
+    ~outputs:[ "w"; "v" ]
+
+let test_refinement_no_reproposal () =
+  let net = aliased_net () in
+  let reference = aliased_net () in
+  let counters = Counters.create () in
+  (* [max_divisors:0] empties the ranked list — no pairs, triples or
+     absorption rewrites — while 0-resub wires still scan the whole
+     pool. The v/w wire is then the only candidate in the entire run
+     that survives the signature test. *)
+  let n = Synth.Kresub.run ~max_divisors:0 ~sim_words:1 ~counters net in
+  Alcotest.(check bool)
+    "net untouched and still equivalent" true
+    (bdd_equivalent net reference);
+  Alcotest.(check int) "no substitution committed" 0 n;
+  (* The aliased wire must be proposed and refuted exactly once: the
+     counterexample row (c..p all 1, ab false) pins the difference into
+     the stimulus permanently, so every later restart and pass — for
+     both nodes, in both directions — rejects the pair on signatures
+     alone. A re-proposal would validate, fail and refine again, so any
+     count above 1 here means the invariant broke. *)
+  Alcotest.(check int) "exactly one candidate proposed" 1
+    (Atomic.get counters.Counters.kresub_candidates);
+  Alcotest.(check int)
+    "exactly one refinement" 1
+    (Atomic.get counters.Counters.kresub_refinements);
+  Alcotest.(check int)
+    "nothing survived validation" 0
+    (Atomic.get counters.Counters.kresub_validated);
+  let w = Builder.node net "w" in
+  Alcotest.(check int) "w keeps its 16 literals" 16
+    (Lit_count.node_factored net w)
+
+let test_zero_resub_duplicate () =
+  let build () =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c" ]
+      ~nodes:[ ("u", "ab + c"); ("v", "ab + c") ]
+      ~outputs:[ "u"; "v" ]
+  in
+  let net = build () in
+  let n = Synth.Kresub.run net in
+  Alcotest.(check bool) "duplicate collapsed to a wire" true (n >= 1);
+  Alcotest.(check bool)
+    "result BDD-equivalent" true
+    (bdd_equivalent net (build ()))
+
+let test_one_resub_and () =
+  let build () =
+    Builder.of_spec ~inputs:[ "a"; "b"; "c"; "d" ]
+      ~nodes:
+        [ ("s", "a + b"); ("t", "c + d"); ("u", "ac + ad + bc + bd") ]
+      ~outputs:[ "u"; "s"; "t" ]
+  in
+  let net = build () in
+  let n = Synth.Kresub.run net in
+  Alcotest.(check bool) "at least one substitution" true (n >= 1);
+  let u = Builder.node net "u" in
+  Alcotest.(check int) "u rebuilt as s.t" 2 (Lit_count.node_factored net u);
+  Alcotest.(check bool)
+    "result BDD-equivalent" true
+    (bdd_equivalent net (build ()))
+
+(* The determinism discipline every other method obeys: any jobs value
+   and either memo setting must give byte-identical networks. *)
+let test_determinism () =
+  let base =
+    let row = Option.get (Suite.find "b9") in
+    let net = Suite.build row in
+    Synth.Script.run net Synth.Script.script_a;
+    net
+  in
+  let run ~jobs ~use_memo =
+    let scratch = Network.copy base in
+    ignore (Synth.Kresub.run ~jobs ~use_memo scratch);
+    Network.to_string scratch
+  in
+  let reference = run ~jobs:1 ~use_memo:true in
+  List.iter
+    (fun (jobs, use_memo) ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d memo=%b identical" jobs use_memo)
+        reference
+        (run ~jobs ~use_memo))
+    [ (1, false); (2, true); (4, true); (4, false) ]
+
+let test_sim_words () =
+  let build () =
+    let row = Option.get (Suite.find "alu_slice") in
+    let net = Suite.build row in
+    Synth.Script.run net Synth.Script.script_a;
+    net
+  in
+  let reference = build () in
+  List.iter
+    (fun words ->
+      let net = Network.copy reference in
+      ignore (Synth.Kresub.run ~sim_words:words net);
+      Alcotest.(check bool)
+        (Printf.sprintf "sim_words=%d result BDD-equivalent" words)
+        true
+        (bdd_equivalent net reference))
+    [ 1; 2; 8 ];
+  Alcotest.check_raises "sim_words = 0 rejected"
+    (Invalid_argument "Kresub.run: sim_words must be positive") (fun () ->
+      ignore (Synth.Kresub.run ~sim_words:0 (build ())))
+
+let test_empty_dc_invisible () =
+  let base =
+    let row = Option.get (Suite.find "alu_slice") in
+    let net = Suite.build row in
+    Synth.Script.run net Synth.Script.script_a;
+    net
+  in
+  let plain = Network.copy base in
+  ignore (Synth.Kresub.run plain);
+  let with_dc = Network.copy base in
+  ignore (Synth.Kresub.run ~dc:(Dont_care.create ()) with_dc);
+  Alcotest.(check string)
+    "empty view byte-invisible"
+    (Network.to_string plain)
+    (Network.to_string with_dc)
+
+let () =
+  Alcotest.run "kresub"
+    [
+      ( "refinement",
+        [
+          Alcotest.test_case "propose, refute, never re-propose" `Quick
+            test_refinement_no_reproposal;
+        ] );
+      ( "construction",
+        [
+          Alcotest.test_case "0-resub duplicate" `Quick
+            test_zero_resub_duplicate;
+          Alcotest.test_case "1-resub AND of two nodes" `Quick
+            test_one_resub_and;
+        ] );
+      ( "discipline",
+        [
+          Alcotest.test_case "jobs x memo byte-identity" `Quick
+            test_determinism;
+          Alcotest.test_case "sim_words sizes the vector" `Quick
+            test_sim_words;
+          Alcotest.test_case "empty DC view invisible" `Quick
+            test_empty_dc_invisible;
+        ] );
+    ]
